@@ -1,0 +1,67 @@
+// Extension: validate the DNS world against the Akamai end-user-mapping
+// study the paper leans on (Chen et al., SIGCOMM'15 [17], quoted in §3.3):
+// "excluding 8% of demand from public resolvers, only 11-12% of demand
+// comes from clients who are further than 500km from their LDNS."
+//
+// The beacon's candidate-selection design (ten closest front-ends to the
+// LDNS) is justified by exactly this statistic, so the simulated resolver
+// population must reproduce it.
+#include <cstdio>
+
+#include "common/csv.h"
+#include "report/ascii_chart.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "sim/world.h"
+#include "stats/distribution.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+
+  DistributionBuilder isp_demand_km;     // non-public resolver clients
+  DistributionBuilder public_demand_km;  // public resolver clients
+  double public_volume = 0.0;
+  double total_volume = 0.0;
+
+  for (const Client24& c : world.clients().clients()) {
+    const LdnsServer& server = world.ldns().server(c.ldns);
+    const Kilometers d = haversine_km(c.location, server.location);
+    total_volume += c.daily_queries;
+    if (server.is_public) {
+      public_volume += c.daily_queries;
+      public_demand_km.add(d, c.daily_queries);
+    } else {
+      isp_demand_km.add(d, c.daily_queries);
+    }
+  }
+
+  const double public_share = public_volume / total_volume;
+  const double far_share = 1.0 - isp_demand_km.fraction_at_most(500.0);
+  std::printf("public-resolver demand share: %.1f%% (paper's [17]: ~8%%)\n",
+              100.0 * public_share);
+  std::printf("ISP-resolver demand >500km from LDNS: %.1f%% "
+              "(paper's [17]: 11-12%%)\n",
+              100.0 * far_share);
+
+  Figure figure("client-to-LDNS distance (demand-weighted)", "distance_km",
+                "CDF of demand");
+  figure.add_series(Series{"ISP resolvers", isp_demand_km.cdf()});
+  figure.add_series(Series{"public resolvers", public_demand_km.cdf()});
+  figure.write_csv("ext_ldns_proximity.csv");
+  ChartOptions chart;
+  chart.log_x = true;
+  chart.x_min = 16;
+  chart.x_max = 8192;
+  std::printf("\n%s\n", render_chart(figure, chart).c_str());
+
+  ShapeReport report("Extension: LDNS proximity ([17] calibration)");
+  report.check("public resolver demand share (paper ~8%)", public_share,
+               0.04, 0.14);
+  report.check("ISP demand >500km from its LDNS (paper 11-12%)", far_share,
+               0.04, 0.25);
+  report.check("public-resolver clients are farther from their resolver",
+               public_demand_km.quantile(0.5) - isp_demand_km.quantile(0.5),
+               0.0, 1e9);
+  return report.print() ? 0 : 1;
+}

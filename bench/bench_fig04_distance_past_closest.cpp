@@ -1,0 +1,68 @@
+// Figure 4: CDFs (log-x km) of (a) the distance between clients and the
+// anycast front-end they are directed to, and (b) that distance minus the
+// distance to their closest front-end ("past closest"), both unweighted
+// and query-volume weighted (paper §5, one day of production traffic).
+//
+// Paper headlines: ~55% of clients are routed to their closest front-end;
+// ~75% end up within ~400 km of the closest and 90% within ~1375 km;
+// ~82% of clients (87% of query volume) are within 2000 km of their
+// anycast front-end.
+#include <cstdio>
+
+#include "analysis/figures.h"
+#include "report/ascii_chart.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "report/svg_chart.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+  Simulation sim(world);
+  sim.run_days(1);
+
+  const Fig4Distances d =
+      fig4_distances(sim.passive(), 0, world.clients(),
+                     world.cdn().deployment(), world.metros(),
+                     &world.geolocation());
+
+  Figure figure("Figure 4: client distance to anycast front-end (km)",
+                "distance_km", "CDF");
+  figure.add_series(
+      Series{"Weighted Clients Past Closest", d.past_closest_weighted.cdf()});
+  figure.add_series(Series{"Clients Past Closest", d.past_closest.cdf()});
+  figure.add_series(
+      Series{"Weighted Clients to Front-end", d.to_front_end_weighted.cdf()});
+  figure.add_series(Series{"Clients to Front-end", d.to_front_end.cdf()});
+  figure.write_csv("fig04_distance_past_closest.csv");
+  {
+    SvgOptions svg;
+    svg.log_x = true;
+    svg.x_min = 64;
+    svg.x_max = 8192;
+    write_svg(figure, "fig04_distance_past_closest.svg", svg);
+  }
+  ChartOptions chart;
+  chart.log_x = true;
+  chart.x_min = 64;
+  chart.x_max = 8192;
+  std::printf("%s\n", render_chart(figure, chart).c_str());
+
+  ShapeReport report("Figure 4");
+  report.check("clients at their closest front-end (paper ~55%)",
+               d.past_closest.fraction_at_most(1.0), 0.35, 0.75);
+  report.check("clients within 400km past closest (paper ~75%)",
+               d.past_closest.fraction_at_most(400.0), 0.55, 0.90);
+  report.check("clients within 1375km past closest (paper ~90%)",
+               d.past_closest.fraction_at_most(1375.0), 0.75, 0.98);
+  report.check("clients within 2000km of front-end (paper ~82%)",
+               d.to_front_end.fraction_at_most(2000.0), 0.65, 0.95);
+  report.check(
+      "weighting helps: weighted minus unweighted at 2000km (paper ~+5%)",
+      d.to_front_end_weighted.fraction_at_most(2000.0) -
+          d.to_front_end.fraction_at_most(2000.0),
+      -0.02, 0.20);
+  return report.print() ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Figure 5: for each day of April 2015, the fraction of client /24s for
+// which some unicast front-end improves on anycast by more than
+// {0, 10, 25, 50, 100} ms, computed from per-day median latencies (§5).
+//
+// Paper headlines: on average 19% of prefixes see some improvement, 12%
+// see >= 10 ms, and only 4% see >= 50 ms; prevalence is roughly flat
+// across the month.
+#include <cstdio>
+
+#include "analysis/figures.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+#include "stats/quantile.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+  Simulation sim(world);
+  const int kDays = 28;  // four weeks of April
+  sim.run_days(kDays);
+
+  const Fig5Config config;
+  const auto days = fig5_daily_prevalence(sim.measurements(), config);
+
+  std::printf("== Figure 5: daily poor-path prevalence ==\n");
+  std::printf("%-12s %-5s", "date", "dow");
+  for (double t : config.thresholds) std::printf("  >%4.0fms", t);
+  std::printf("\n");
+  std::vector<std::vector<double>> columns(config.thresholds.size());
+  for (const Fig5Day& day : days) {
+    const Date date = world.calendar().date(day.day);
+    std::printf("%-12s %-5s", date.to_string().c_str(),
+                to_string(world.calendar().weekday(day.day)));
+    for (std::size_t i = 0; i < day.fraction_above.size(); ++i) {
+      std::printf("  %6.3f", day.fraction_above[i]);
+      columns[i].push_back(day.fraction_above[i]);
+    }
+    std::printf("\n");
+  }
+
+  Figure figure("Figure 5 series", "day", "fraction of /24s");
+  const char* names[] = {"all", ">10ms", ">25ms", ">50ms", ">100ms"};
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    Series s{names[i], {}};
+    for (std::size_t d = 0; d < columns[i].size(); ++d) {
+      s.points.push_back({double(d), columns[i][d]});
+    }
+    figure.add_series(std::move(s));
+  }
+  figure.write_csv("fig05_daily_prevalence.csv");
+
+  ShapeReport report("Figure 5");
+  report.check("mean fraction with any improvement (paper ~19%)",
+               mean(columns[0]), 0.08, 0.35);
+  report.check("mean fraction with >10ms improvement (paper ~12%)",
+               mean(columns[1]), 0.05, 0.22);
+  report.check("mean fraction with >50ms improvement (paper ~4%)",
+               mean(columns[3]), 0.005, 0.10);
+  report.check("thresholds are nested: all >= 10ms line",
+               mean(columns[0]) - mean(columns[1]), 0.0, 1.0);
+  report.check("day-to-day stability: stddev of 'all' line",
+               stddev(columns[0]), 0.0, 0.06);
+  return report.print() ? 0 : 1;
+}

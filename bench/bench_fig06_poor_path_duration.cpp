@@ -1,0 +1,53 @@
+// Figure 6: among /24s that ever saw a poor anycast path in April, the CDF
+// of (a) how many days they were poor and (b) their longest consecutive
+// poor streak (paper §5).
+//
+// Paper headlines: ~60% of such /24s are poor on only one day of the
+// month; ~10% are poor on 5+ days; only ~5% are poor 5+ days in a row —
+// poor anycast performance is persistent in aggregate but mostly
+// short-lived per network.
+#include <cstdio>
+
+#include "analysis/figures.h"
+#include "report/ascii_chart.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+  Simulation sim(world);
+  sim.run_days(28);
+
+  const Fig6Duration durations =
+      fig6_poor_duration(sim.measurements(), Fig5Config{});
+
+  Figure figure("Figure 6: poor path duration (days)", "days",
+                "CDF of client /24s");
+  figure.add_series(
+      Series{"Max # of Consecutive Days", durations.max_consecutive.cdf()});
+  figure.add_series(Series{"# Days", durations.days_poor.cdf()});
+  figure.print_table();
+  figure.write_csv("fig06_poor_path_duration.csv");
+  ChartOptions chart;
+  chart.x_min = 1;
+  chart.x_max = 15;
+  std::printf("\n%s\n", render_chart(figure, chart).c_str());
+
+  ShapeReport report("Figure 6");
+  report.check("poor /24s poor on exactly one day (paper ~60%)",
+               durations.days_poor.fraction_at_most(1.0), 0.35, 0.80);
+  report.check("poor /24s poor on 5+ days (paper ~10%)",
+               1.0 - durations.days_poor.fraction_at_most(4.0), 0.02, 0.30);
+  report.check("poor /24s with 5+ consecutive poor days (paper ~5%)",
+               1.0 - durations.max_consecutive.fraction_at_most(4.0), 0.0,
+               0.18);
+  report.check(
+      "consecutive streaks are shorter than total poor days (CDF order)",
+      durations.max_consecutive.fraction_at_most(2.0) -
+          durations.days_poor.fraction_at_most(2.0),
+      0.0, 1.0);
+  return report.print() ? 0 : 1;
+}

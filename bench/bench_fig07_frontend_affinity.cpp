@@ -1,0 +1,57 @@
+// Figure 7: the cumulative fraction of clients that have landed on more
+// than one front-end by each day of a week starting Wednesday (paper §5,
+// passive logs).
+//
+// Paper headlines: ~7% of clients switch within the first day, another
+// 2-4% each subsequent weekday, under 0.5% per weekend day, and ~21% of
+// clients have switched by the end of the week.
+#include <cstdio>
+
+#include "analysis/figures.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+  Simulation sim(world);
+  const int kDays = 7;  // Wed .. Tue, as in the figure
+  sim.run_days(kDays);
+
+  const auto cumulative = fig7_cumulative_switched(sim.passive(), kDays);
+
+  std::printf("== Figure 7: cumulative fraction of clients switching "
+              "front-end ==\n");
+  Series series{"cumulative switched", {}};
+  for (int d = 0; d < kDays; ++d) {
+    std::printf("  %-4s (%s): %6.3f\n",
+                to_string(world.calendar().weekday(d)),
+                world.calendar().date(d).to_string().c_str(),
+                cumulative[static_cast<std::size_t>(d)]);
+    series.points.push_back({double(d), cumulative[std::size_t(d)]});
+  }
+  Figure figure("Figure 7", "day", "cumulative fraction switched");
+  figure.add_series(std::move(series));
+  figure.write_csv("fig07_frontend_affinity.csv");
+
+  const double day0 = cumulative[0];
+  const double week = cumulative[static_cast<std::size_t>(kDays - 1)];
+  // Weekend increments: days 3 (Sat) and 4 (Sun) from a Wednesday start.
+  const double sat_inc = cumulative[3] - cumulative[2];
+  const double sun_inc = cumulative[4] - cumulative[3];
+  const double thu_inc = cumulative[1] - cumulative[0];
+
+  ShapeReport report("Figure 7");
+  report.check("clients switching within day 1 (paper ~7%)", day0, 0.03,
+               0.13);
+  report.check("clients switched by end of week (paper ~21%)", week, 0.10,
+               0.32);
+  report.check("weekday increment Thu (paper 2-4%)", thu_inc, 0.005, 0.07);
+  report.check("weekend increment Sat (paper <0.5%)", sat_inc, 0.0, 0.012);
+  report.check("weekend increment Sun (paper <0.5%)", sun_inc, 0.0, 0.012);
+  report.check("weekday churn exceeds weekend churn", thu_inc - sat_inc, 0.0,
+               1.0);
+  return report.print() ? 0 : 1;
+}

@@ -1,0 +1,124 @@
+// Substrate microbenchmarks (google-benchmark): the per-operation costs
+// that determine how large a simulated world and measurement volume the
+// library can handle.
+#include <benchmark/benchmark.h>
+
+#include "cdn/router.h"
+#include "common/rng.h"
+#include "net/radix_trie.h"
+#include "routing/bgp.h"
+#include "sim/world.h"
+#include "stats/p2.h"
+#include "stats/quantile.h"
+
+namespace {
+
+using namespace acdn;
+
+const World& shared_world() {
+  static World world(ScenarioConfig::paper_default());
+  return world;
+}
+
+void BM_Haversine(benchmark::State& state) {
+  const GeoPoint a{51.5, -0.1}, b{40.7, -74.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(haversine_km(a, b));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_RadixTrieLongestMatch(benchmark::State& state) {
+  RadixTrie<int> trie;
+  PrefixAllocator alloc = PrefixAllocator::client_pool();
+  for (int i = 0; i < state.range(0); ++i) {
+    trie.insert(alloc.allocate_slash24(), i);
+  }
+  Rng rng(1);
+  std::vector<Ipv4Address> queries;
+  for (int i = 0; i < 1024; ++i) {
+    queries.push_back(
+        Ipv4Address((10u << 24) | (rng.next_u64() & 0xffffff)));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trie.longest_match(queries[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_RadixTrieLongestMatch)->Arg(1024)->Arg(16384);
+
+void BM_P2Insert(benchmark::State& state) {
+  P2Quantile p2(0.25);
+  Rng rng(2);
+  for (auto _ : state) {
+    p2.add(rng.lognormal(3.0, 0.4));
+  }
+  benchmark::DoNotOptimize(p2.value());
+}
+BENCHMARK(BM_P2Insert);
+
+void BM_ExactQuantile(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> samples;
+  for (int i = 0; i < state.range(0); ++i) {
+    samples.push_back(rng.lognormal(3.0, 0.4));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantile(samples, 0.25));
+  }
+}
+BENCHMARK(BM_ExactQuantile)->Arg(64)->Arg(1024);
+
+void BM_BgpAnycastTableCompute(benchmark::State& state) {
+  const World& world = shared_world();
+  const BgpSimulator sim(world.graph(), world.cdn().as_id());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.compute_anycast());
+  }
+}
+BENCHMARK(BM_BgpAnycastTableCompute);
+
+void BM_RouteAnycastLookup(benchmark::State& state) {
+  const World& world = shared_world();
+  const auto clients = world.clients().clients();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client24& c = clients[i++ % clients.size()];
+    benchmark::DoNotOptimize(
+        world.router().route_anycast(c.access_as, c.metro));
+  }
+}
+BENCHMARK(BM_RouteAnycastLookup);
+
+void BM_BeaconRun(benchmark::State& state) {
+  World& world = const_cast<World&>(shared_world());
+  Rng rng(7);
+  std::vector<DnsLogEntry> dns_log;
+  std::vector<HttpLogEntry> http_log;
+  const auto clients = world.clients().clients();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client24& c = clients[i++ % clients.size()];
+    const RouteResult route =
+        world.router().route_anycast(c.access_as, c.metro);
+    world.beacon().run_beacon(c, SimTime{0, 43200.0}, route, rng, dns_log,
+                              http_log);
+    if (dns_log.size() > 1u << 16) {
+      dns_log.clear();
+      http_log.clear();
+    }
+  }
+}
+BENCHMARK(BM_BeaconRun);
+
+void BM_WorldConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    World world(ScenarioConfig::small_test());
+    benchmark::DoNotOptimize(world.clients().size());
+  }
+}
+BENCHMARK(BM_WorldConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

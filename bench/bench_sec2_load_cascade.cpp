@@ -1,0 +1,93 @@
+// Section 2's anycast load-management claims, made executable:
+//
+//   "If a particular front-end becomes overloaded, it is difficult to
+//    gradually direct traffic away from that front-end, although there
+//    has been recent progress in this area [FastRoute]. Simply
+//    withdrawing the route to take that front-end offline can lead to
+//    cascading overloading of nearby front-ends."
+//
+// Scenario: withdraw the CDN's most-loaded front-end. Compare (a) the
+// naive route-withdrawal cascade against (b) FastRoute-style gradual DNS
+// shedding handling the same failure.
+#include <cstdio>
+
+#include "load/fastroute.h"
+#include "load/load_model.h"
+#include "load/withdrawal.h"
+#include "report/shape_check.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+
+  // Tight provisioning makes §2's failure mode visible: sites run hot, so
+  // a neighbor's catchment landing on them pushes them over.
+  LoadConfig load_config;
+  load_config.headroom = 1.35;
+  const LoadModel model(world.clients(), world.router(), load_config);
+
+  const LoadMap& baseline = model.baseline();
+  FrontEndId biggest;
+  for (std::size_t i = 0; i < baseline.offered.size(); ++i) {
+    if (!biggest.valid() ||
+        baseline.offered[i] > baseline.offered[biggest.value]) {
+      biggest = FrontEndId(static_cast<std::uint32_t>(i));
+    }
+  }
+  const Deployment& deployment = world.cdn().deployment();
+  std::printf("baseline: %zu front-ends, none overloaded (%zu), biggest "
+              "site %s carries %.0f q/day\n",
+              baseline.offered.size(), baseline.overloaded_count(),
+              deployment.site(biggest).name.c_str(),
+              baseline.offered[biggest.value]);
+
+  // --- (a) Naive withdrawal of the biggest site.
+  const WithdrawalSimulator withdrawal(model);
+  const CascadeResult cascade = withdrawal.cascade({biggest});
+  std::printf("\nwithdrawal cascade:\n");
+  for (const CascadeRound& round : cascade.rounds) {
+    std::printf("  round %d: withdrew %zu site(s); %zu survivors "
+                "overloaded; max utilization %.2f\n",
+                round.round, round.newly_withdrawn.size(),
+                round.overloaded.size(), round.max_utilization);
+  }
+  std::printf("  total sites lost: %zu of %zu%s\n",
+              cascade.total_withdrawn.size(), baseline.offered.size(),
+              cascade.collapsed ? " (full collapse)" : "");
+
+  // --- (b) FastRoute-style shedding of the same failure: the site fails,
+  // but instead of letting overloads trigger more withdrawals, the
+  // controller sheds DNS traffic from hot survivors to spare capacity.
+  std::vector<bool> withdrawn(baseline.offered.size(), false);
+  withdrawn[biggest.value] = true;
+  const LoadMap after_failure = model.with_withdrawn(withdrawn);
+  SheddingConfig shed_config;
+  const FastRouteController controller(model, shed_config);
+  const SheddingPlan plan = controller.plan(after_failure);
+  std::printf("\nload-aware shedding after the same failure:\n");
+  std::printf("  overloaded before shedding: %zu\n",
+              after_failure.overloaded_count());
+  std::printf("  shed directives: %zu moving %.1f%% of global traffic, "
+              "%d round(s)\n",
+              plan.directives.size(), 100.0 * plan.moved_share(),
+              plan.rounds);
+  std::printf("  overloaded after shedding: %zu (stabilized: %s)\n",
+              plan.final_load.overloaded_count(),
+              plan.stabilized ? "yes" : "no");
+
+  ShapeReport report("Section 2: overload handling");
+  report.check("baseline is healthy (no overloaded site)",
+               double(baseline.overloaded_count()), 0, 0);
+  report.check("naive withdrawal cascades (additional sites lost)",
+               double(cascade.total_withdrawn.size()), 2, 1e9);
+  report.check("shedding moves a small, gradual share of traffic",
+               plan.moved_share(), 0.0, 0.35);
+  report.check("shedding ends with fewer overloaded sites than it started",
+               double(after_failure.overloaded_count()) -
+                   double(plan.final_load.overloaded_count()),
+               0.0, 1e9);
+  report.check("no site is overloaded after shedding",
+               double(plan.final_load.overloaded_count()), 0, 0);
+  return report.print() ? 0 : 1;
+}

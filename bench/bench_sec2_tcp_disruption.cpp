@@ -1,0 +1,81 @@
+// Section 2's TCP claim, made executable: anycast route changes break
+// in-flight TCP sessions, but "the Web ... is dominated by short flows"
+// so this "does not appear to be an issue in practice". We measure the
+// per-client front-end change rate from the simulated world's route
+// dynamics (the same machinery behind Figure 7), then estimate the
+// disrupted-flow fraction per flow profile.
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "analysis/tcp_disruption.h"
+#include "common/csv.h"
+#include "report/shape_check.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+int main() {
+  using namespace acdn;
+  World world(ScenarioConfig::paper_default());
+  Simulation sim(world);
+  const int kDays = 7;
+  sim.run_days(kDays);
+
+  // Front-end transitions per client over the week, from passive logs:
+  // dominant-FE changes across days plus two transitions per flap day.
+  std::map<ClientId, std::map<DayIndex, std::set<FrontEndId>>> seen;
+  std::map<ClientId, std::map<DayIndex, FrontEndId>> dominant;
+  for (DayIndex d = 0; d < kDays; ++d) {
+    std::map<ClientId, std::pair<double, FrontEndId>> best;
+    for (const PassiveLogEntry& e : sim.passive().by_day(d)) {
+      seen[e.client][d].insert(e.front_end);
+      auto& b = best[e.client];
+      if (e.queries > b.first) b = {e.queries, e.front_end};
+    }
+    for (const auto& [client, b] : best) dominant[client][d] = b.second;
+  }
+  double transitions = 0.0;
+  std::size_t client_days = 0;
+  for (const auto& [client, days] : seen) {
+    std::optional<FrontEndId> prev;
+    for (const auto& [day, fes] : days) {
+      client_days += 1;
+      transitions += 2.0 * double(fes.size() - 1);  // flap away + back
+      const FrontEndId dom = dominant[client][day];
+      if (prev && *prev != dom) transitions += 1.0;
+      prev = dom;
+    }
+  }
+  DisruptionConfig config;
+  config.route_changes_per_day = transitions / double(client_days);
+  std::printf("measured front-end transitions per client-day: %.4f\n\n",
+              config.route_changes_per_day);
+
+  Rng rng = world.fork_rng("tcp-disruption");
+  const auto sweep = disruption_sweep(config, rng);
+  CsvWriter csv("sec2_tcp_disruption.csv");
+  csv.write_header({"profile", "mean_duration_s", "disrupted_fraction"});
+  std::printf("%-12s %18s %20s\n", "profile", "mean duration (s)",
+              "disrupted fraction");
+  std::map<FlowProfile, double> disrupted;
+  for (const DisruptionEstimate& e : sweep) {
+    std::printf("%-12s %18.1f %19.5f%%\n", to_string(e.profile),
+                e.mean_duration_s, 100.0 * e.disrupted_fraction);
+    csv.write_row({to_string(e.profile), std::to_string(e.mean_duration_s),
+                   std::to_string(e.disrupted_fraction)});
+    disrupted[e.profile] = e.disrupted_fraction;
+  }
+
+  ShapeReport report("Section 2: TCP disruption");
+  report.check("short web flows are essentially never disrupted (<0.1%)",
+               disrupted[FlowProfile::kWebShort], 0.0, 0.001);
+  report.check("full page loads are rarely disrupted (<0.5%)",
+               disrupted[FlowProfile::kWebPage], 0.0, 0.005);
+  report.check("long video sessions are disrupted orders of magnitude more",
+               disrupted[FlowProfile::kVideoLong] /
+                   std::max(1e-9, disrupted[FlowProfile::kWebShort]),
+               50.0, 1e12);
+  report.note("download disruption fraction",
+              disrupted[FlowProfile::kDownload]);
+  return report.print() ? 0 : 1;
+}

@@ -1,0 +1,193 @@
+// Scenario runner: the library as a command-line tool. Builds a world from
+// flags, simulates N days, and writes the standard analysis outputs
+// (figure CSVs + a console summary) — the entry point for a user who wants
+// data out without writing C++.
+//
+//   $ ./run_scenario --seed 7 --days 7 --clients 4000 --sampling 0.05
+//                    --remote-peering 0.10 --csv-prefix out_
+//
+// Unknown flags exit with usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/catchment.h"
+#include "analysis/figures.h"
+#include "common/logging.h"
+#include "report/export.h"
+#include "report/series.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace acdn;
+
+struct Flags {
+  std::uint64_t seed = 42;
+  int days = 7;
+  int clients = 4000;
+  double sampling = 0.02;
+  double remote_peering = 0.10;
+  int threads = 1;
+  std::string csv_prefix = "scenario_";
+  bool verbose = false;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--days N] [--clients N] [--sampling F]\n"
+      "          [--remote-peering F] [--threads N] [--csv-prefix STR]\n"
+      "          [--verbose]\n",
+      argv0);
+}
+
+bool parse(int argc, char** argv, Flags& flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      flags.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--days") {
+      const char* v = next();
+      if (!v) return false;
+      flags.days = std::atoi(v);
+    } else if (arg == "--clients") {
+      const char* v = next();
+      if (!v) return false;
+      flags.clients = std::atoi(v);
+    } else if (arg == "--sampling") {
+      const char* v = next();
+      if (!v) return false;
+      flags.sampling = std::atof(v);
+    } else if (arg == "--remote-peering") {
+      const char* v = next();
+      if (!v) return false;
+      flags.remote_peering = std::atof(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      flags.threads = std::atoi(v);
+    } else if (arg == "--csv-prefix") {
+      const char* v = next();
+      if (!v) return false;
+      flags.csv_prefix = v;
+    } else if (arg == "--verbose") {
+      flags.verbose = true;
+    } else {
+      return false;
+    }
+  }
+  return flags.days > 0 && flags.clients > 0 && flags.threads > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!parse(argc, argv, flags)) {
+    usage(argv[0]);
+    return 2;
+  }
+  if (flags.verbose) set_log_level(LogLevel::kInfo);
+
+  ScenarioConfig config = ScenarioConfig::paper_default();
+  config.seed = flags.seed;
+  config.workload.total_client_24s = flags.clients;
+  config.schedule.beacon_sampling = flags.sampling;
+  config.topology.remote_peering_fraction = flags.remote_peering;
+  config.simulation_threads = flags.threads;
+
+  World world(config);
+  Simulation sim(world);
+  sim.run_days(flags.days);
+
+  // --- Console summary.
+  std::size_t beacons = 0;
+  for (DayIndex d = 0; d < flags.days; ++d) {
+    beacons += sim.measurements().by_day(d).size();
+  }
+  std::printf("world: %zu ASes, %zu front-ends, %zu client /24s\n",
+              world.graph().as_count(), world.cdn().deployment().size(),
+              world.clients().size());
+  std::printf("simulated %d days (%s .. %s): %zu beacon executions\n",
+              flags.days, world.calendar().date(0).to_string().c_str(),
+              world.calendar().date(flags.days - 1).to_string().c_str(),
+              beacons);
+
+  std::vector<BeaconMeasurement> all;
+  for (DayIndex d = 0; d < flags.days; ++d) {
+    const auto day = sim.measurements().by_day(d);
+    all.insert(all.end(), day.begin(), day.end());
+  }
+  const DistributionBuilder diff =
+      fig3_anycast_minus_best_unicast(all, world.clients(), std::nullopt);
+  std::printf("anycast >=25ms slower than best unicast: %.1f%% of requests\n",
+              100.0 * (1.0 - diff.fraction_at_most(25.0)));
+
+  // Operator view: the busiest anycast catchments.
+  auto catchments = compute_catchments(world.clients(), world.router(),
+                                       world.metros());
+  std::sort(catchments.begin(), catchments.end(),
+            [](const CatchmentSummary& a, const CatchmentSummary& b) {
+              return a.query_share > b.query_share;
+            });
+  const CatchmentHealth health = catchment_health(catchments);
+  std::printf("\nbusiest catchments (of %zu front-ends, %.0f%% active, "
+              "%.0f%% of volume served within 1000km):\n",
+              catchments.size(), 100.0 * health.active_front_ends,
+              100.0 * health.volume_within_1000km);
+  std::printf("  %-16s %8s %8s %10s %10s\n", "front-end", "share",
+              "clients", "median km", "countries");
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, catchments.size());
+       ++i) {
+    const CatchmentSummary& c = catchments[i];
+    std::printf("  %-16s %7.1f%% %8zu %10.0f %10zu\n", c.name.c_str(),
+                100.0 * c.query_share, c.clients, c.median_client_km,
+                c.countries.size());
+  }
+
+  // --- CSV exports.
+  Figure fig3("anycast vs unicast", "difference_ms", "ccdf");
+  fig3.add_series(Series{"world", diff.ccdf()});
+  fig3.write_csv(flags.csv_prefix + "anycast_vs_unicast.csv");
+
+  const Fig4Distances d4 =
+      fig4_distances(sim.passive(), 0, world.clients(),
+                     world.cdn().deployment(), world.metros(),
+                     &world.geolocation());
+  Figure fig4("client to front-end distance", "km", "cdf");
+  fig4.add_series(Series{"to_front_end", d4.to_front_end.cdf()});
+  fig4.add_series(Series{"past_closest", d4.past_closest.cdf()});
+  fig4.write_csv(flags.csv_prefix + "distance.csv");
+
+  const auto switched = fig7_cumulative_switched(sim.passive(), flags.days);
+  Figure fig7("front-end affinity", "day", "cumulative switched");
+  Series s7{"switched", {}};
+  for (std::size_t i = 0; i < switched.size(); ++i) {
+    s7.points.push_back({double(i), switched[i]});
+  }
+  fig7.add_series(std::move(s7));
+  fig7.write_csv(flags.csv_prefix + "affinity.csv");
+
+  // Raw logs, for analysis in external tooling (re-importable with
+  // report/export.h).
+  export_passive_log(sim.passive(), flags.csv_prefix + "passive_log.csv");
+  export_measurements(sim.measurements(),
+                      flags.csv_prefix + "measurements.csv");
+
+  std::printf("wrote %sanycast_vs_unicast.csv, %sdistance.csv, "
+              "%saffinity.csv,\n      %spassive_log.csv, "
+              "%smeasurements.csv\n",
+              flags.csv_prefix.c_str(), flags.csv_prefix.c_str(),
+              flags.csv_prefix.c_str(), flags.csv_prefix.c_str(),
+              flags.csv_prefix.c_str());
+  return 0;
+}

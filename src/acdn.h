@@ -1,0 +1,85 @@
+// Umbrella header: the library's public surface in one include.
+//
+//   #include "acdn.h"
+//
+// Fine-grained headers remain available (and are preferred inside the
+// library itself); this header exists for quick starts and downstream
+// consumers who want everything.
+#pragma once
+
+// Foundations.
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/types.h"
+
+// Geography and addressing.
+#include "geo/geo_point.h"
+#include "geo/geolocation.h"
+#include "geo/metro.h"
+#include "net/allocator.h"
+#include "net/ipv4.h"
+#include "net/radix_trie.h"
+
+// Statistics.
+#include "stats/distribution.h"
+#include "stats/p2.h"
+#include "stats/quantile.h"
+
+// The synthetic Internet.
+#include "routing/bgp.h"
+#include "routing/dynamics.h"
+#include "routing/path.h"
+#include "topology/as_graph.h"
+#include "topology/backbone.h"
+#include "topology/builder.h"
+
+// The CDN and its clients.
+#include "cdn/catalogs.h"
+#include "cdn/deployment.h"
+#include "cdn/network.h"
+#include "cdn/router.h"
+#include "latency/rtt_model.h"
+#include "latency/timing_api.h"
+#include "load/fastroute.h"
+#include "load/load_model.h"
+#include "load/withdrawal.h"
+#include "workload/clients.h"
+#include "workload/schedule.h"
+
+// DNS.
+#include "dns/authoritative.h"
+#include "dns/cache.h"
+#include "dns/ldns.h"
+#include "dns/policy.h"
+
+// Measurement and analysis.
+#include "analysis/aggregate.h"
+#include "analysis/catchment.h"
+#include "analysis/figures.h"
+#include "analysis/tcp_disruption.h"
+#include "atlas/diagnose.h"
+#include "atlas/probe.h"
+#include "atlas/traceroute.h"
+#include "beacon/beacon.h"
+#include "beacon/measurement.h"
+#include "beacon/store.h"
+
+// The paper's contribution.
+#include "core/evaluator.h"
+#include "core/hybrid.h"
+#include "core/predictor.h"
+#include "core/streaming.h"
+
+// Orchestration and reporting.
+#include "report/ascii_chart.h"
+#include "report/export.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+#include "report/svg_chart.h"
+#include "sim/policy_lab.h"
+#include "sim/scenario.h"
+#include "sim/simulation.h"
+#include "sim/world.h"

@@ -1,0 +1,38 @@
+#include "analysis/aggregate.h"
+
+namespace acdn {
+
+const char* to_string(Grouping g) {
+  switch (g) {
+    case Grouping::kEcsPrefix: return "EDNS-0";
+    case Grouping::kLdns:      return "LDNS";
+  }
+  return "?";
+}
+
+std::size_t GroupSamples::sample_count(const TargetKey& key) const {
+  auto it = by_target.find(key);
+  return it == by_target.end() ? 0 : it->second.size();
+}
+
+std::uint32_t DayAggregates::group_key(const BeaconMeasurement& m,
+                                       Grouping grouping) {
+  return grouping == Grouping::kEcsPrefix ? m.client.value : m.ldns.value;
+}
+
+DayAggregates DayAggregates::build(
+    std::span<const BeaconMeasurement> measurements, Grouping grouping) {
+  DayAggregates out;
+  out.grouping_ = grouping;
+  for (const BeaconMeasurement& m : measurements) {
+    GroupSamples& group = out.groups_[group_key(m, grouping)];
+    for (const BeaconMeasurement::Target& t : m.targets) {
+      const TargetKey key{t.anycast,
+                          t.anycast ? FrontEndId{} : t.front_end};
+      group.by_target[key].push_back(t.rtt_ms);
+    }
+  }
+  return out;
+}
+
+}  // namespace acdn

@@ -1,0 +1,67 @@
+// Grouped latency aggregation over beacon measurements.
+//
+// Both the daily poor-path analyses (§5) and the prediction scheme (§6)
+// consume one day of beacon measurements bucketed by client group — the
+// client /24 (what ECS redirection can key on) or the client's LDNS (what
+// classic DNS redirection must key on) — and, within a group, by target:
+// the anycast address or a specific unicast front-end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "beacon/measurement.h"
+#include "beacon/store.h"
+#include "dns/ldns.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+/// Client grouping granularity for DNS-side decisions.
+enum class Grouping {
+  kEcsPrefix,  // per client /24 (ECS-capable resolvers)
+  kLdns,       // per LDNS (traditional DNS redirection)
+};
+
+[[nodiscard]] const char* to_string(Grouping g);
+
+/// Target of a latency sample within a group.
+struct TargetKey {
+  bool anycast = false;
+  FrontEndId front_end;  // meaningful when !anycast
+
+  auto operator<=>(const TargetKey&) const = default;
+};
+
+/// One day of measurements for one client group.
+struct GroupSamples {
+  /// Latency samples per target (anycast and each measured front-end).
+  std::map<TargetKey, std::vector<Milliseconds>> by_target;
+
+  [[nodiscard]] std::size_t sample_count(const TargetKey& key) const;
+};
+
+/// All groups for one day.
+class DayAggregates {
+ public:
+  /// Buckets `measurements` (one day's worth) by group and target.
+  static DayAggregates build(std::span<const BeaconMeasurement> measurements,
+                             Grouping grouping);
+
+  [[nodiscard]] Grouping grouping() const { return grouping_; }
+  [[nodiscard]] const std::map<std::uint32_t, GroupSamples>& groups() const {
+    return groups_;
+  }
+
+  /// Group key for a measurement under this aggregation's grouping.
+  [[nodiscard]] static std::uint32_t group_key(const BeaconMeasurement& m,
+                                               Grouping grouping);
+
+ private:
+  Grouping grouping_ = Grouping::kEcsPrefix;
+  std::map<std::uint32_t, GroupSamples> groups_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,78 @@
+#include "analysis/catchment.h"
+
+#include <algorithm>
+
+#include "stats/quantile.h"
+
+namespace acdn {
+
+int CatchmentSummary::foreign_clients() const {
+  // The front-end's own country is the plurality country of its metro; we
+  // carry it implicitly: countries not matching the site name's country
+  // cannot be derived here, so count clients outside the *largest*
+  // contributor as a proxy for geographic mixing.
+  int total = 0;
+  int largest = 0;
+  for (const auto& [country, n] : countries) {
+    total += n;
+    largest = std::max(largest, n);
+  }
+  return total - largest;
+}
+
+std::vector<CatchmentSummary> compute_catchments(
+    const ClientPopulation& clients, const CdnRouter& router,
+    const MetroDatabase& metros) {
+  const Deployment& deployment = router.cdn().deployment();
+  std::vector<CatchmentSummary> out(deployment.size());
+  std::vector<std::vector<double>> distances(deployment.size());
+  double total_volume = 0.0;
+
+  for (const FrontEndSite& s : deployment.sites()) {
+    out[s.id.value].front_end = s.id;
+    out[s.id.value].name = s.name;
+  }
+
+  for (const Client24& c : clients.clients()) {
+    const RouteResult route = router.route_anycast(c.access_as, c.metro);
+    if (!route.valid) continue;
+    CatchmentSummary& summary = out[route.front_end.value];
+    ++summary.clients;
+    summary.query_share += c.daily_queries;  // normalized below
+    total_volume += c.daily_queries;
+    ++summary.countries[metros.metro(c.metro).country];
+    distances[route.front_end.value].push_back(haversine_km(
+        c.location,
+        metros.metro(deployment.site(route.front_end).metro).location));
+  }
+
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (total_volume > 0.0) out[i].query_share /= total_volume;
+    if (!distances[i].empty()) {
+      out[i].median_client_km = quantile(distances[i], 0.5);
+      out[i].p90_client_km = quantile(distances[i], 0.9);
+    }
+  }
+  return out;
+}
+
+CatchmentHealth catchment_health(
+    std::span<const CatchmentSummary> catchments) {
+  CatchmentHealth health;
+  if (catchments.empty()) return health;
+  double active = 0.0;
+  for (const CatchmentSummary& c : catchments) {
+    if (c.clients > 0) active += 1.0;
+    health.busiest_share = std::max(health.busiest_share, c.query_share);
+    if (c.median_client_km <= 1000.0 && c.clients > 0) {
+      // Approximation: credit the whole catchment when its median client
+      // is within 1000 km (exact per-client accounting would need the raw
+      // distances; the health indicator only steers provisioning).
+      health.volume_within_1000km += c.query_share;
+    }
+  }
+  health.active_front_ends = active / double(catchments.size());
+  return health;
+}
+
+}  // namespace acdn

@@ -1,0 +1,291 @@
+#include "analysis/figures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+#include "stats/quantile.h"
+
+namespace acdn {
+
+namespace {
+
+/// Per-client view of the passive log: dominant front-end per day, plus
+/// the set of all front-ends seen per day.
+struct ClientDays {
+  // day -> (front_end -> queries)
+  std::map<DayIndex, std::map<FrontEndId, double>> days;
+
+  [[nodiscard]] FrontEndId dominant(DayIndex day) const {
+    const auto& fes = days.at(day);
+    FrontEndId best = fes.begin()->first;
+    double best_q = fes.begin()->second;
+    for (const auto& [fe, q] : fes) {
+      if (q > best_q) {
+        best = fe;
+        best_q = q;
+      }
+    }
+    return best;
+  }
+};
+
+std::map<ClientId, ClientDays> passive_by_client(const PassiveLog& log,
+                                                 int days) {
+  std::map<ClientId, ClientDays> out;
+  for (DayIndex d = 0; d < days; ++d) {
+    for (const PassiveLogEntry& e : log.by_day(d)) {
+      out[e.client].days[d][e.front_end] += e.queries;
+    }
+  }
+  return out;
+}
+
+Kilometers client_fe_distance(const Client24& client, FrontEndId fe,
+                              const Deployment& deployment,
+                              const MetroDatabase& metros) {
+  return haversine_km(client.location,
+                      metros.metro(deployment.site(fe).metro).location);
+}
+
+}  // namespace
+
+std::vector<DistributionBuilder> fig1_min_latency_by_pool_size(
+    std::span<const std::vector<Milliseconds>> per_client,
+    std::span<const int> ns) {
+  std::vector<DistributionBuilder> out(ns.size());
+  for (const std::vector<Milliseconds>& lat : per_client) {
+    if (lat.empty()) continue;
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      const auto n = static_cast<std::size_t>(std::max(1, ns[i]));
+      const auto end = std::min(n, lat.size());
+      const Milliseconds best =
+          *std::min_element(lat.begin(), lat.begin() + static_cast<long>(end));
+      out[i].add(best);
+    }
+  }
+  return out;
+}
+
+std::vector<DistributionBuilder> fig2_nth_closest_distances(
+    const ClientPopulation& clients, const Deployment& deployment,
+    const MetroDatabase& metros, int n) {
+  require(n >= 1, "fig2 needs at least one rank");
+  std::vector<DistributionBuilder> out(static_cast<std::size_t>(n));
+  for (const Client24& c : clients.clients()) {
+    const auto nearest = deployment.nearest_sites(
+        metros, c.location, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < nearest.size(); ++i) {
+      out[i].add(haversine_km(
+                     c.location,
+                     metros.metro(deployment.site(nearest[i]).metro).location),
+                 c.daily_queries);
+    }
+  }
+  return out;
+}
+
+DistributionBuilder fig3_anycast_minus_best_unicast(
+    std::span<const BeaconMeasurement> measurements,
+    const ClientPopulation& clients, std::optional<Region> region) {
+  DistributionBuilder builder;
+  for (const BeaconMeasurement& m : measurements) {
+    if (region && clients.client(m.client).region != *region) continue;
+    const auto anycast = m.anycast_ms();
+    const auto best = m.best_unicast();
+    if (!anycast || !best) continue;
+    builder.add(*anycast - best->rtt_ms);
+  }
+  return builder;
+}
+
+Fig4Distances fig4_distances(const PassiveLog& log, DayIndex day,
+                             const ClientPopulation& clients,
+                             const Deployment& deployment,
+                             const MetroDatabase& metros,
+                             const GeolocationModel* geolocation) {
+  Fig4Distances out;
+  // Dominant front-end per client that day.
+  std::map<ClientId, std::map<FrontEndId, double>> per_client;
+  for (const PassiveLogEntry& e : log.by_day(day)) {
+    per_client[e.client][e.front_end] += e.queries;
+  }
+  for (const auto& [client_id, fes] : per_client) {
+    const Client24& client = clients.client(client_id);
+    FrontEndId dominant = fes.begin()->first;
+    double best_q = fes.begin()->second;
+    for (const auto& [fe, q] : fes) {
+      if (q > best_q) {
+        dominant = fe;
+        best_q = q;
+      }
+    }
+    // The analysis only knows where the geolocation database puts the
+    // client, not where it really is.
+    const GeoPoint where =
+        geolocation
+            ? geolocation->estimate(client.location,
+                                    client.prefix.address().value())
+            : client.location;
+    auto fe_distance = [&](FrontEndId fe) {
+      return haversine_km(
+          where, metros.metro(deployment.site(fe).metro).location);
+    };
+    const Kilometers to_fe = fe_distance(dominant);
+    const auto closest = deployment.nearest_sites(metros, where, 1);
+    require(!closest.empty(), "deployment has no sites");
+    const Kilometers to_closest = fe_distance(closest.front());
+
+    out.to_front_end.add(to_fe);
+    out.to_front_end_weighted.add(to_fe, client.daily_queries);
+    out.past_closest.add(to_fe - to_closest);
+    out.past_closest_weighted.add(to_fe - to_closest, client.daily_queries);
+  }
+  return out;
+}
+
+std::map<std::uint32_t, Milliseconds> daily_improvement(
+    std::span<const BeaconMeasurement> measurements,
+    const Fig5Config& config) {
+  std::map<std::uint32_t, Milliseconds> out;
+  const DayAggregates agg =
+      DayAggregates::build(measurements, Grouping::kEcsPrefix);
+  for (const auto& [group, samples] : agg.groups()) {
+    const TargetKey anycast_key{true, FrontEndId{}};
+    auto anycast_it = samples.by_target.find(anycast_key);
+    if (anycast_it == samples.by_target.end() ||
+        static_cast<int>(anycast_it->second.size()) <
+            config.min_samples_per_target) {
+      continue;
+    }
+    const Milliseconds anycast_median = median(anycast_it->second);
+
+    std::optional<Milliseconds> best_unicast;
+    for (const auto& [key, rtts] : samples.by_target) {
+      if (key.anycast) continue;
+      if (static_cast<int>(rtts.size()) < config.min_samples_per_target) {
+        continue;
+      }
+      const Milliseconds med = median(rtts);
+      if (!best_unicast || med < *best_unicast) best_unicast = med;
+    }
+    if (!best_unicast) continue;
+    out[group] = anycast_median - *best_unicast;
+  }
+  return out;
+}
+
+std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
+                                           const Fig5Config& config) {
+  std::vector<Fig5Day> out;
+  for (DayIndex d = 0; d < store.days(); ++d) {
+    const auto improvements = daily_improvement(store.by_day(d), config);
+    Fig5Day day;
+    day.day = d;
+    day.fraction_above.assign(config.thresholds.size(), 0.0);
+    if (improvements.empty()) {
+      out.push_back(std::move(day));
+      continue;
+    }
+    for (const auto& [group, improvement] : improvements) {
+      for (std::size_t i = 0; i < config.thresholds.size(); ++i) {
+        const Milliseconds threshold =
+            config.thresholds[i] == 0.0 ? config.epsilon_ms
+                                        : config.thresholds[i];
+        if (improvement > threshold) day.fraction_above[i] += 1.0;
+      }
+    }
+    for (double& f : day.fraction_above) {
+      f /= static_cast<double>(improvements.size());
+    }
+    out.push_back(std::move(day));
+  }
+  return out;
+}
+
+Fig6Duration fig6_poor_duration(const MeasurementStore& store,
+                                const Fig5Config& config) {
+  // Per /24: the set of days it was poor.
+  std::map<std::uint32_t, std::vector<DayIndex>> poor_days;
+  for (DayIndex d = 0; d < store.days(); ++d) {
+    for (const auto& [group, improvement] :
+         daily_improvement(store.by_day(d), config)) {
+      if (improvement > config.epsilon_ms) poor_days[group].push_back(d);
+    }
+  }
+
+  Fig6Duration out;
+  for (const auto& [group, days] : poor_days) {
+    out.days_poor.add(static_cast<double>(days.size()));
+    int longest = 1;
+    int current = 1;
+    for (std::size_t i = 1; i < days.size(); ++i) {
+      current = (days[i] == days[i - 1] + 1) ? current + 1 : 1;
+      longest = std::max(longest, current);
+    }
+    out.max_consecutive.add(static_cast<double>(longest));
+  }
+  return out;
+}
+
+std::vector<double> fig7_cumulative_switched(const PassiveLog& log,
+                                             int days) {
+  const auto per_client = passive_by_client(log, days);
+  if (per_client.empty()) return std::vector<double>(std::max(0, days), 0.0);
+
+  std::vector<double> switched(static_cast<std::size_t>(days), 0.0);
+  for (const auto& [client, view] : per_client) {
+    std::set<FrontEndId> seen;
+    std::optional<DayIndex> first_switch;
+    for (const auto& [day, fes] : view.days) {
+      for (const auto& [fe, q] : fes) seen.insert(fe);
+      if (seen.size() > 1) {
+        first_switch = day;
+        break;
+      }
+    }
+    if (first_switch) {
+      for (DayIndex d = *first_switch; d < days; ++d) {
+        switched[static_cast<std::size_t>(d)] += 1.0;
+      }
+    }
+  }
+  for (double& s : switched) s /= static_cast<double>(per_client.size());
+  return switched;
+}
+
+DistributionBuilder fig8_switch_distance(const PassiveLog& log, int days,
+                                         const ClientPopulation& clients,
+                                         const Deployment& deployment,
+                                         const MetroDatabase& metros) {
+  DistributionBuilder out;
+  const auto per_client = passive_by_client(log, days);
+  for (const auto& [client_id, view] : per_client) {
+    const Client24& client = clients.client(client_id);
+    auto distance = [&](FrontEndId fe) {
+      return client_fe_distance(client, fe, deployment, metros);
+    };
+
+    std::optional<FrontEndId> previous;
+    for (const auto& [day, fes] : view.days) {
+      // Intra-day: more than one front-end seen the same day.
+      if (fes.size() > 1) {
+        // Record the change between the two most-used front-ends.
+        std::vector<std::pair<double, FrontEndId>> ranked;
+        for (const auto& [fe, q] : fes) ranked.emplace_back(q, fe);
+        std::sort(ranked.rbegin(), ranked.rend());
+        out.add(std::abs(distance(ranked[0].second) -
+                         distance(ranked[1].second)));
+      }
+      const FrontEndId today = view.dominant(day);
+      if (previous && *previous != today) {
+        out.add(std::abs(distance(today) - distance(*previous)));
+      }
+      previous = today;
+    }
+  }
+  return out;
+}
+
+}  // namespace acdn

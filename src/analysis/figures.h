@@ -1,0 +1,118 @@
+// Figure-level analyses (paper §3.3, §5).
+//
+// Each function turns raw measurement data into exactly the distribution a
+// figure plots. The bench harnesses wrap these with printing; keeping the
+// statistics here makes them unit-testable against hand-built logs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "analysis/aggregate.h"
+#include "beacon/store.h"
+#include "cdn/deployment.h"
+#include "geo/geolocation.h"
+#include "stats/distribution.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+// ---------------------------------------------------------------- Figure 1
+/// CDF of per-client minimum observed latency when only the nearest N
+/// candidates are measured, for each N in `ns`. `per_client` holds each
+/// client's latencies to its LDNS's candidates, nearest-first (from
+/// BeaconSystem::measure_all_candidates).
+[[nodiscard]] std::vector<DistributionBuilder> fig1_min_latency_by_pool_size(
+    std::span<const std::vector<Milliseconds>> per_client,
+    std::span<const int> ns);
+
+// ---------------------------------------------------------------- Figure 2
+/// Query-weighted distributions of the distance from each client to its
+/// Nth-closest front-end, for N = 1..n (paper §4). Output index i holds
+/// the (i+1)-th closest.
+[[nodiscard]] std::vector<DistributionBuilder> fig2_nth_closest_distances(
+    const ClientPopulation& clients, const Deployment& deployment,
+    const MetroDatabase& metros, int n);
+
+// ---------------------------------------------------------------- Figure 3
+/// CCDF input: per beacon execution, anycast latency minus the best of the
+/// unicast fetches (positive = anycast slower). Optionally restricted to
+/// clients in `region`.
+[[nodiscard]] DistributionBuilder fig3_anycast_minus_best_unicast(
+    std::span<const BeaconMeasurement> measurements,
+    const ClientPopulation& clients, std::optional<Region> region);
+
+// ---------------------------------------------------------------- Figure 4
+struct Fig4Distances {
+  DistributionBuilder to_front_end;           // client -> anycast FE, km
+  DistributionBuilder to_front_end_weighted;  // same, query-weighted
+  DistributionBuilder past_closest;           // anycast FE dist - closest FE dist
+  DistributionBuilder past_closest_weighted;
+};
+
+/// Built from one day of passive logs: each client's dominant anycast
+/// front-end that day. When `geolocation` is non-null, client positions
+/// are taken from the geolocation database rather than ground truth —
+/// what the paper's analysis had to do, and the source of part of its
+/// long-distance tail (paper footnote 1).
+[[nodiscard]] Fig4Distances fig4_distances(
+    const PassiveLog& log, DayIndex day, const ClientPopulation& clients,
+    const Deployment& deployment, const MetroDatabase& metros,
+    const GeolocationModel* geolocation = nullptr);
+
+// ---------------------------------------------------------------- Figure 5
+struct Fig5Config {
+  /// Minimum samples a target needs that day to enter the comparison.
+  int min_samples_per_target = 3;
+  /// Median-noise guard on the "any improvement" line: medians of a few
+  /// samples jitter by a couple of ms even when two targets are identical.
+  Milliseconds epsilon_ms = 2.0;
+  std::vector<Milliseconds> thresholds{0.0, 10.0, 25.0, 50.0, 100.0};
+};
+
+/// Per-/24 improvement available over anycast on one day: median anycast
+/// latency minus the best per-front-end median. Only groups where anycast
+/// and at least one unicast target pass the sample gate appear.
+[[nodiscard]] std::map<std::uint32_t, Milliseconds> daily_improvement(
+    std::span<const BeaconMeasurement> measurements, const Fig5Config& config);
+
+struct Fig5Day {
+  DayIndex day = 0;
+  /// fraction of /24s whose improvement exceeds thresholds[i] (+epsilon for
+  /// the 0 threshold), aligned with Fig5Config::thresholds.
+  std::vector<double> fraction_above;
+};
+
+[[nodiscard]] std::vector<Fig5Day> fig5_daily_prevalence(
+    const MeasurementStore& store, const Fig5Config& config);
+
+// ---------------------------------------------------------------- Figure 6
+struct Fig6Duration {
+  DistributionBuilder days_poor;        // # days a /24 was poor in the month
+  DistributionBuilder max_consecutive;  // longest consecutive poor streak
+};
+
+/// A /24 is "poor" on a day if any unicast front-end beats anycast (the
+/// paper: "any latency inflation over a unicast front-end"). Only /24s
+/// poor on at least one day enter the distributions, matching the figure's
+/// population ("client /24s categorized as having poor-performing paths").
+[[nodiscard]] Fig6Duration fig6_poor_duration(const MeasurementStore& store,
+                                              const Fig5Config& config);
+
+// ---------------------------------------------------------------- Figure 7
+/// Cumulative fraction of clients that have landed on more than one
+/// front-end by the end of each day (passive logs; intra-day switches
+/// count on their day).
+[[nodiscard]] std::vector<double> fig7_cumulative_switched(
+    const PassiveLog& log, int days);
+
+// ---------------------------------------------------------------- Figure 8
+/// |change in client-to-front-end distance| per front-end switch event
+/// (both across consecutive days and within a day).
+[[nodiscard]] DistributionBuilder fig8_switch_distance(
+    const PassiveLog& log, int days, const ClientPopulation& clients,
+    const Deployment& deployment, const MetroDatabase& metros);
+
+}  // namespace acdn

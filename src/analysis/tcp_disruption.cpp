@@ -1,0 +1,76 @@
+#include "analysis/tcp_disruption.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace acdn {
+
+const char* to_string(FlowProfile p) {
+  switch (p) {
+    case FlowProfile::kWebShort:  return "web-short";
+    case FlowProfile::kWebPage:   return "web-page";
+    case FlowProfile::kDownload:  return "download";
+    case FlowProfile::kVideoLong: return "video-long";
+  }
+  return "?";
+}
+
+double sample_flow_duration(FlowProfile profile, Rng& rng) {
+  // Lognormal bodies with realistic medians; heavy right tails.
+  switch (profile) {
+    case FlowProfile::kWebShort:
+      return rng.lognormal(std::log(0.5), 0.8);    // median 0.5 s
+    case FlowProfile::kWebPage:
+      return rng.lognormal(std::log(4.0), 0.7);    // median 4 s
+    case FlowProfile::kDownload:
+      return rng.lognormal(std::log(90.0), 0.9);   // median 1.5 min
+    case FlowProfile::kVideoLong:
+      return rng.lognormal(std::log(1500.0), 0.6); // median 25 min
+  }
+  return 1.0;
+}
+
+DisruptionEstimate estimate_disruption(FlowProfile profile,
+                                       const DisruptionConfig& config,
+                                       Rng& rng) {
+  require(config.route_changes_per_day >= 0.0,
+          "route change rate must be non-negative");
+  require(config.flows_per_estimate > 0, "need at least one flow");
+
+  const double rate_per_second = config.route_changes_per_day / 86400.0;
+  DisruptionEstimate estimate;
+  estimate.profile = profile;
+
+  double total_duration = 0.0;
+  int disrupted = 0;
+  for (int i = 0; i < config.flows_per_estimate; ++i) {
+    const double duration = sample_flow_duration(profile, rng);
+    total_duration += duration;
+    // Poisson process: P(no change during flow) = exp(-rate * duration).
+    // Sample rather than integrate so the tail of the duration
+    // distribution is represented faithfully.
+    if (rate_per_second > 0.0 &&
+        rng.uniform() > std::exp(-rate_per_second * duration)) {
+      ++disrupted;
+    }
+  }
+  estimate.mean_duration_s =
+      total_duration / double(config.flows_per_estimate);
+  estimate.disrupted_fraction =
+      double(disrupted) / double(config.flows_per_estimate);
+  return estimate;
+}
+
+std::vector<DisruptionEstimate> disruption_sweep(
+    const DisruptionConfig& config, Rng& rng) {
+  std::vector<DisruptionEstimate> out;
+  for (FlowProfile profile :
+       {FlowProfile::kWebShort, FlowProfile::kWebPage, FlowProfile::kDownload,
+        FlowProfile::kVideoLong}) {
+    out.push_back(estimate_disruption(profile, config, rng));
+  }
+  return out;
+}
+
+}  // namespace acdn

@@ -1,0 +1,60 @@
+// TCP session disruption under anycast route changes (paper §2).
+//
+// "Anycast routing changes can cause ongoing TCP sessions to terminate and
+// need to be restarted. In the context of the Web, which is dominated by
+// short flows, this does not appear to be an issue in practice [31, 23]."
+//
+// This module makes the claim quantitative: given the rate at which a
+// client's anycast front-end changes (from route dynamics) and a flow-
+// duration distribution, estimate the fraction of flows that experience a
+// front-end change mid-flight — by Monte Carlo against the same dynamics
+// the rest of the simulation uses.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace acdn {
+
+/// Flow-duration distributions relevant to the claim.
+enum class FlowProfile {
+  kWebShort,   // search/page fetches: sub-second to seconds
+  kWebPage,    // full page with subresources: seconds
+  kDownload,   // software download: minutes
+  kVideoLong,  // long-form streaming session: tens of minutes
+};
+
+[[nodiscard]] const char* to_string(FlowProfile p);
+
+/// Draws a flow duration (seconds) for a profile.
+[[nodiscard]] double sample_flow_duration(FlowProfile profile, Rng& rng);
+
+struct DisruptionConfig {
+  /// Mean front-end changes per client per day (measure from Figure 7's
+  /// world: changes + flap transitions). A flap contributes two
+  /// transitions (away and back).
+  double route_changes_per_day = 0.1;
+  int flows_per_estimate = 200000;
+};
+
+struct DisruptionEstimate {
+  FlowProfile profile;
+  double mean_duration_s = 0.0;
+  /// Fraction of flows that see at least one front-end change mid-flow
+  /// (and would need to restart: anycast TCP breaks on a catchment shift).
+  double disrupted_fraction = 0.0;
+};
+
+/// Monte Carlo: flows start at uniform times; route-change epochs arrive
+/// as a Poisson process with the configured daily rate; a flow whose
+/// interval contains an epoch is disrupted.
+[[nodiscard]] DisruptionEstimate estimate_disruption(
+    FlowProfile profile, const DisruptionConfig& config, Rng& rng);
+
+/// All profiles at once, sharing the config.
+[[nodiscard]] std::vector<DisruptionEstimate> disruption_sweep(
+    const DisruptionConfig& config, Rng& rng);
+
+}  // namespace acdn

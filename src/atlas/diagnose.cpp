@@ -1,0 +1,93 @@
+#include "atlas/diagnose.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace acdn {
+
+const char* to_string(AnycastPathology p) {
+  switch (p) {
+    case AnycastPathology::kNone:              return "none";
+    case AnycastPathology::kRemotePeering:     return "remote-peering";
+    case AnycastPathology::kTopologyBlindness: return "topology-blindness";
+  }
+  return "?";
+}
+
+Diagnosis AnycastDiagnoser::diagnose(const Probe& probe,
+                                     const TracerouteResult& trace) const {
+  Diagnosis diagnosis;
+  if (!trace.reached) {
+    diagnosis.description = "destination unreachable";
+    return diagnosis;
+  }
+  const MetroDatabase& metros = graph_->metros();
+  const CdnNetwork& cdn = router_->cdn();
+
+  // Is the CDN even present near this probe? Without nearby presence no
+  // routing decision could have done better, so nothing to classify.
+  const Kilometers ingress_distance =
+      metros.distance_km(probe.metro, trace.ingress_metro);
+  bool cdn_nearby = false;
+  for (MetroId pop : graph_->as_node(cdn.as_id()).presence) {
+    if (metros.distance_km(probe.metro, pop) <= config_.remote_handoff_km) {
+      cdn_nearby = true;
+      break;
+    }
+  }
+
+  // --- Remote peering / remote handoff: traffic entered the CDN far from
+  // the client although the CDN was present nearby. The detour happens in
+  // some ISP's network before the ingress — either the access ISP's cold
+  // potato toward a preferred (possibly foreign) interconnection hub, or a
+  // transit provider's internal policy selecting a distant peering point
+  // (the paper's Denver->Phoenix and Moscow->Stockholm cases).
+  if (cdn_nearby && ingress_distance > config_.remote_handoff_km) {
+    diagnosis.pathology = AnycastPathology::kRemotePeering;
+    diagnosis.detour_km = ingress_distance;
+    // Name the network whose segment carried traffic past the CDN.
+    const AsNode* culprit = &graph_->as_node(probe.access_as);
+    Kilometers longest = 0.0;
+    Kilometers so_far = 0.0;
+    for (const TracerouteHop& hop : trace.hops) {
+      const Kilometers here = metros.distance_km(probe.metro, hop.metro);
+      if (here - so_far > longest) {
+        longest = here - so_far;
+        culprit = &graph_->as_node(hop.as);
+      }
+      so_far = here;
+    }
+    std::ostringstream text;
+    text << culprit->name << " hands traffic from "
+         << metros.metro(probe.metro).name << " to the CDN at "
+         << metros.metro(trace.ingress_metro).name << " ("
+         << static_cast<int>(ingress_distance)
+         << " km away) despite CDN presence near the client";
+    diagnosis.description = text.str();
+    return diagnosis;
+  }
+
+  // --- Topology blindness: ingress was fine (near the client), but the
+  // nearest front-end by CDN IGP from that ingress is far away — BGP had
+  // no way to prefer the ingress whose interior path is short.
+  const Kilometers backbone =
+      cdn.backbone_km(trace.ingress_metro, trace.destination);
+  if (backbone > config_.backbone_detour_km) {
+    diagnosis.pathology = AnycastPathology::kTopologyBlindness;
+    diagnosis.detour_km = backbone;
+    std::ostringstream text;
+    text << "traffic ingressed at "
+         << metros.metro(trace.ingress_metro).name
+         << " and rode the CDN backbone "
+         << static_cast<int>(backbone) << " km to "
+         << cdn.deployment().site(trace.destination).name
+         << "; BGP cannot see the CDN's internal topology";
+    diagnosis.description = text.str();
+    return diagnosis;
+  }
+
+  diagnosis.description = "path is geographically reasonable";
+  return diagnosis;
+}
+
+}  // namespace acdn

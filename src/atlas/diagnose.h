@@ -1,0 +1,63 @@
+// Root-cause diagnosis of poor anycast routes (paper §5 case studies).
+//
+// The paper's troubleshooting found most poor anycast routes fall into two
+// classes:
+//   1. Remote peering: the client's ISP carries traffic to a distant
+//      handoff even though interconnection exists near the client
+//      (Moscow -> Stockholm; Denver -> Phoenix).
+//   2. Topology blindness: BGP cannot see the CDN's internal topology, so
+//      traffic ingresses at a peering router whose nearest front-end (by
+//      CDN IGP) is far away, when another ingress would have been served
+//      locally.
+// The diagnoser replays a probe's traceroute and classifies it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "atlas/traceroute.h"
+
+namespace acdn {
+
+enum class AnycastPathology {
+  kNone,              // path looks reasonable
+  kRemotePeering,     // ISP hauled traffic to a distant handoff
+  kTopologyBlindness, // ingress far from any front-end; backbone detour
+};
+
+[[nodiscard]] const char* to_string(AnycastPathology p);
+
+struct Diagnosis {
+  AnycastPathology pathology = AnycastPathology::kNone;
+  /// Extra kilometers attributable to the pathology.
+  Kilometers detour_km = 0.0;
+  std::string description;
+};
+
+class AnycastDiagnoser {
+ public:
+  struct Config {
+    /// Handoff farther than this from the client metro counts as remote
+    /// when local interconnection existed.
+    Kilometers remote_handoff_km = 500.0;
+    /// Backbone ride longer than this flags topology blindness.
+    Kilometers backbone_detour_km = 800.0;
+  };
+
+  AnycastDiagnoser(const CdnRouter& router, const AsGraph& graph,
+                   const Config& config)
+      : router_(&router), graph_(&graph), config_(config) {}
+  AnycastDiagnoser(const CdnRouter& router, const AsGraph& graph)
+      : AnycastDiagnoser(router, graph, Config{}) {}
+
+  /// Classifies a completed traceroute from `probe`.
+  [[nodiscard]] Diagnosis diagnose(const Probe& probe,
+                                   const TracerouteResult& trace) const;
+
+ private:
+  const CdnRouter* router_;
+  const AsGraph* graph_;
+  Config config_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,42 @@
+// Measurement probes in home networks (RIPE-Atlas-style, paper §5).
+//
+// To explain poor anycast routes the paper issued traceroutes "from Atlas
+// probes hosted within the same ISP-metro area pairs where we have
+// observed clients with poor performance". Probes here are placed in
+// access ISPs across metros; diagnosis runs a simulated traceroute from
+// the probe's vantage point over the very routing state clients use.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topology/as_graph.h"
+
+namespace acdn {
+
+struct Probe {
+  ProbeId id;
+  MetroId metro;
+  AsId access_as;
+};
+
+class ProbeSet {
+ public:
+  /// Places up to `per_metro` probes in each metro, each hosted in a
+  /// random access ISP present there.
+  static ProbeSet place(const AsGraph& graph, int per_metro, Rng& rng);
+
+  [[nodiscard]] std::span<const Probe> probes() const { return probes_; }
+  [[nodiscard]] std::size_t size() const { return probes_.size(); }
+
+  /// Probes in a specific (ISP, metro) pair — how the paper targeted its
+  /// case studies.
+  [[nodiscard]] std::vector<Probe> in(AsId access_as, MetroId metro) const;
+
+ private:
+  std::vector<Probe> probes_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,70 @@
+#include "atlas/traceroute.h"
+
+#include <sstream>
+
+namespace acdn {
+
+TracerouteResult TracerouteEngine::trace(const Probe& probe,
+                                         std::size_t candidate_index) const {
+  TracerouteResult result;
+  result.probe = probe.id;
+
+  const CdnRouter::Trace route =
+      router_->trace_anycast(probe.access_as, probe.metro, candidate_index);
+  if (!route.result.valid) return result;
+
+  Kilometers cumulative_km = 0.0;
+  int hops_crossed = 0;
+  // Hop at each AS's exit PoP (where it hands to the next network).
+  for (const PathSegment& seg : route.path.segments) {
+    cumulative_km += seg.km;
+    ++hops_crossed;
+    result.hops.push_back(TracerouteHop{
+        seg.as, seg.to,
+        rtt_->base_rtt(cumulative_km, hops_crossed, /*last_mile_ms=*/5.0)});
+  }
+  // Interior hops: the CDN backbone's shortest path from the ingress to
+  // the serving front-end, one responding router per PoP.
+  const FrontEndId fe = route.result.front_end;
+  const CdnNetwork& cdn = router_->cdn();
+  const std::vector<MetroId> interior = cdn.backbone().path(
+      route.result.ingress_metro, cdn.deployment().site(fe).metro);
+  MetroId previous = route.result.ingress_metro;
+  for (const MetroId hop : interior) {
+    if (hop == route.result.ingress_metro) continue;
+    cumulative_km += cdn.backbone().distance_km(previous, hop);
+    ++hops_crossed;
+    result.hops.push_back(TracerouteHop{
+        cdn.as_id(), hop,
+        rtt_->base_rtt(cumulative_km, hops_crossed, /*last_mile_ms=*/5.0)});
+    previous = hop;
+  }
+  if (interior.size() <= 1) {
+    // Ingress is the front-end's own PoP: one CDN hop responds.
+    ++hops_crossed;
+    result.hops.push_back(TracerouteHop{
+        cdn.as_id(), cdn.deployment().site(fe).metro,
+        rtt_->base_rtt(cumulative_km, hops_crossed, /*last_mile_ms=*/5.0)});
+  }
+
+  result.reached = true;
+  result.destination = fe;
+  result.ingress_metro = route.result.ingress_metro;
+  return result;
+}
+
+std::string TracerouteEngine::format(const TracerouteResult& result,
+                                     const AsGraph& graph) {
+  std::ostringstream out;
+  if (!result.reached) return "traceroute: destination unreachable\n";
+  int n = 1;
+  for (const TracerouteHop& hop : result.hops) {
+    out << "  " << n++ << "  AS" << graph.as_node(hop.as).asn << " ("
+        << graph.as_node(hop.as).name << ") "
+        << graph.metros().metro(hop.metro).name << "  "
+        << hop.rtt_ms << " ms\n";
+  }
+  return out.str();
+}
+
+}  // namespace acdn

@@ -1,0 +1,52 @@
+// Traceroute emulation over the simulated Internet.
+//
+// A traceroute from a probe toward the anycast address reveals the same
+// hop sequence the forwarding path takes: the probe's access network, each
+// transit network with its entry and exit PoPs, and finally the CDN
+// ingress and front-end. Hop RTTs accumulate the geographic distance
+// travelled so far, which is what makes remote-peering detours visible.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "atlas/probe.h"
+#include "cdn/router.h"
+#include "latency/rtt_model.h"
+
+namespace acdn {
+
+struct TracerouteHop {
+  AsId as;
+  MetroId metro;          // PoP the hop responds from
+  Milliseconds rtt_ms = 0;  // RTT from the probe to this hop
+};
+
+struct TracerouteResult {
+  ProbeId probe;
+  bool reached = false;
+  std::vector<TracerouteHop> hops;
+  FrontEndId destination;   // front-end the anycast address resolved to
+  MetroId ingress_metro;    // where the path entered the CDN
+};
+
+class TracerouteEngine {
+ public:
+  TracerouteEngine(const CdnRouter& router, const RttModel& rtt)
+      : router_(&router), rtt_(&rtt) {}
+
+  /// Traceroute from `probe` to the anycast prefix using the access AS's
+  /// `candidate_index`-th route.
+  [[nodiscard]] TracerouteResult trace(const Probe& probe,
+                                       std::size_t candidate_index = 0) const;
+
+  /// Human-readable rendering, one hop per line.
+  [[nodiscard]] static std::string format(const TracerouteResult& result,
+                                          const AsGraph& graph);
+
+ private:
+  const CdnRouter* router_;
+  const RttModel* rtt_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,143 @@
+#include "beacon/beacon.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "common/error.h"
+
+namespace acdn {
+
+BeaconSystem::BeaconSystem(const CdnRouter& router,
+                           const MetroDatabase& metros,
+                           const ClientPopulation& clients,
+                           const LdnsPopulation& ldns,
+                           const GeolocationModel& geolocation,
+                           const RttModel& rtt, const TimingModel& timing,
+                           const BeaconConfig& config)
+    : router_(&router),
+      metros_(&metros),
+      clients_(&clients),
+      ldns_(&ldns),
+      rtt_(&rtt),
+      timing_(&timing),
+      config_(config) {
+  require(config_.candidate_pool >= 1, "candidate pool must be positive");
+  require(config_.targets_per_beacon >= 2,
+          "beacon needs at least anycast + one unicast target");
+
+  // Candidate selection per LDNS (paper §3.3): the N front-ends closest to
+  // the LDNS *according to the geolocation database*.
+  candidates_.resize(ldns.size());
+  const Deployment& deployment = router.cdn().deployment();
+  for (const LdnsServer& server : ldns.servers()) {
+    const GeoPoint estimated = geolocation.estimate(
+        server.location, 0x1000000000ull + server.id.value);
+    candidates_[server.id.value] = deployment.nearest_sites(
+        metros, estimated,
+        static_cast<std::size_t>(config_.candidate_pool));
+  }
+}
+
+std::span<const FrontEndId> BeaconSystem::candidates_for(LdnsId ldns) const {
+  require(ldns.valid() && ldns.value < candidates_.size(), "unknown LDNS");
+  return candidates_[ldns.value];
+}
+
+RouteResult BeaconSystem::cached_unicast(AsId as, MetroId metro,
+                                         FrontEndId fe) const {
+  const std::uint64_t key = (std::uint64_t(as.value) << 40) |
+                            (std::uint64_t(metro.value) << 20) |
+                            std::uint64_t(fe.value);
+  {
+    std::shared_lock lock(unicast_cache_mutex_);
+    auto it = unicast_cache_.find(key);
+    if (it != unicast_cache_.end()) return it->second;
+  }
+  const RouteResult result = router_->route_unicast(as, metro, fe);
+  std::unique_lock lock(unicast_cache_mutex_);
+  unicast_cache_.emplace(key, result);
+  return result;
+}
+
+Milliseconds BeaconSystem::route_rtt(const Client24& client,
+                                     const RouteResult& route,
+                                     const SimTime& when, Rng& rng) const {
+  require(route.valid, "route_rtt over an invalid route");
+  const Kilometers local = haversine_km(
+      client.location, metros_->metro(client.metro).location);
+  const Milliseconds base = rtt_->base_rtt(local + route.total_km(),
+                                           route.as_hops,
+                                           client.last_mile_ms);
+  return rtt_->sample(base, when, rng);
+}
+
+Milliseconds BeaconSystem::unicast_rtt(const Client24& client, FrontEndId fe,
+                                       const SimTime& when, Rng& rng) const {
+  const RouteResult route =
+      cached_unicast(client.access_as, client.metro, fe);
+  require(route.valid, "unicast prefix unreachable from client");
+  return route_rtt(client, route, when, rng);
+}
+
+void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
+                              const SimTime& when,
+                              const RouteResult& anycast_route, Rng& rng,
+                              std::vector<DnsLogEntry>& dns_log,
+                              std::vector<HttpLogEntry>& http_log) {
+  const std::span<const FrontEndId> pool = candidates_for(client.ldns);
+
+  // Target list: anycast, closest-to-LDNS, then weighted randoms from the
+  // rest of the pool (closer candidates more likely, §3.3).
+  std::vector<BeaconMeasurement::Target> plan;
+  plan.push_back({true, anycast_route.front_end, 0.0});
+  if (!pool.empty()) plan.push_back({false, pool.front(), 0.0});
+
+  std::vector<FrontEndId> rest(pool.begin() + (pool.empty() ? 0 : 1),
+                               pool.end());
+  std::vector<double> weights;
+  weights.reserve(rest.size());
+  for (std::size_t i = 0; i < rest.size(); ++i) {
+    weights.push_back(1.0 / double(i + 2));  // rank-weighted: 3rd > 4th > ...
+  }
+  while (static_cast<int>(plan.size()) < config_.targets_per_beacon &&
+         !rest.empty()) {
+    const std::size_t pick = rng.weighted_index(weights);
+    plan.push_back({false, rest[pick], 0.0});
+    rest.erase(rest.begin() + static_cast<long>(pick));
+    weights.erase(weights.begin() + static_cast<long>(pick));
+  }
+
+  // One browser per page load: Resource Timing support is per-beacon.
+  const bool resource_timing = timing_->supports_resource_timing(rng);
+
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const std::uint64_t url_id = beacon_id * 4 + k;
+    // The warm-up fetch (not timed) populates the resolver cache, so the
+    // timed fetch below excludes DNS latency by construction.
+    dns_log.push_back(DnsLogEntry{url_id, client.ldns, when.day});
+
+    // A fetch can fail outright (timeout, user navigated away, report
+    // lost); the DNS row stays, the HTTP row never arrives.
+    if (rng.bernoulli(config_.fetch_loss_prob)) continue;
+
+    const Milliseconds true_rtt =
+        plan[k].anycast ? route_rtt(client, anycast_route, when, rng)
+                        : unicast_rtt(client, plan[k].front_end, when, rng);
+    const Milliseconds observed =
+        timing_->observe(true_rtt, resource_timing, rng);
+    http_log.push_back(HttpLogEntry{url_id, client.id, plan[k].anycast,
+                                    plan[k].front_end, observed, when.day,
+                                    when.hour_of_day()});
+  }
+}
+
+std::vector<Milliseconds> BeaconSystem::measure_all_candidates(
+    const Client24& client, const SimTime& when, Rng& rng) const {
+  std::vector<Milliseconds> out;
+  for (FrontEndId fe : candidates_for(client.ldns)) {
+    out.push_back(unicast_rtt(client, fe, when, rng));
+  }
+  return out;
+}
+
+}  // namespace acdn

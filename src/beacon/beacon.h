@@ -1,0 +1,118 @@
+// The JavaScript measurement beacon (paper §3.2.2, §3.3).
+//
+// After a sampled search-results page loads, the beacon times fetches to
+// four front-ends:
+//   (a) the one anycast routing selects,
+//   (b) the front-end geographically closest to the client's LDNS,
+//   (c,d) two front-ends drawn from the ten closest to the LDNS, with
+//         selection probability weighted toward nearer candidates.
+// A warm-up request removes DNS lookup time from the measurement, and the
+// W3C Resource Timing API replaces the primitive timings when the browser
+// supports it. Candidates are chosen per-LDNS using the (imperfect)
+// geolocation database, exactly as the real system must.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "beacon/measurement.h"
+#include "cdn/router.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "dns/ldns.h"
+#include "geo/geolocation.h"
+#include "latency/rtt_model.h"
+#include "latency/timing_api.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+struct BeaconConfig {
+  /// Candidate pool: front-ends nearest the LDNS considered for this
+  /// LDNS's clients (§3.3 uses the ten closest).
+  int candidate_pool = 10;
+  /// Fetches per beacon execution (anycast + closest + weighted randoms).
+  int targets_per_beacon = 4;
+  /// Probability a fetch fails (timeout, aborted page, lost report): its
+  /// DNS row exists but no HTTP row arrives, so the join drops it and the
+  /// measurement has fewer than four targets — as in any real pipeline.
+  double fetch_loss_prob = 0.015;
+};
+
+class BeaconSystem {
+ public:
+  BeaconSystem(const CdnRouter& router, const MetroDatabase& metros,
+               const ClientPopulation& clients, const LdnsPopulation& ldns,
+               const GeolocationModel& geolocation, const RttModel& rtt,
+               const TimingModel& timing, const BeaconConfig& config = {});
+
+  /// The ten-ish closest front-ends to `ldns` (geolocated), nearest first.
+  [[nodiscard]] std::span<const FrontEndId> candidates_for(LdnsId ldns) const;
+
+  /// Executes one beacon for `client` at `when`, given the front-end and
+  /// geographic route anycast currently assigns it. Appends four rows to
+  /// each log; the joined measurement is recovered later via
+  /// MeasurementStore::join.
+  ///
+  /// `beacon_id` must be globally unique per execution; the caller derives
+  /// it from stable coordinates (e.g. day/client/sequence) so executions
+  /// are identifiable and the system needs no shared counter — which is
+  /// what makes concurrent simulation days deterministic. Thread-safe for
+  /// distinct clients.
+  void run_beacon(std::uint64_t beacon_id, const Client24& client,
+                  const SimTime& when, const RouteResult& anycast_route,
+                  Rng& rng, std::vector<DnsLogEntry>& dns_log,
+                  std::vector<HttpLogEntry>& http_log);
+
+  /// Convenience overload using an internal sequence counter (single-
+  /// threaded callers only).
+  void run_beacon(const Client24& client, const SimTime& when,
+                  const RouteResult& anycast_route, Rng& rng,
+                  std::vector<DnsLogEntry>& dns_log,
+                  std::vector<HttpLogEntry>& http_log) {
+    run_beacon(next_beacon_id_++, client, when, anycast_route, rng, dns_log,
+               http_log);
+  }
+
+  /// Calibration sweep (Figure 1): measure `client` to *every* candidate
+  /// of its LDNS, nearest first. Returns one latency per candidate.
+  [[nodiscard]] std::vector<Milliseconds> measure_all_candidates(
+      const Client24& client, const SimTime& when, Rng& rng) const;
+
+  /// True one-sample RTT from `client` to front-end `fe` over the unicast
+  /// route (shared by beacon fetches and the Figure-1 sweep).
+  [[nodiscard]] Milliseconds unicast_rtt(const Client24& client, FrontEndId fe,
+                                         const SimTime& when, Rng& rng) const;
+
+  /// One-sample RTT over a resolved route (used for the anycast fetch).
+  [[nodiscard]] Milliseconds route_rtt(const Client24& client,
+                                       const RouteResult& route,
+                                       const SimTime& when, Rng& rng) const;
+
+  [[nodiscard]] const BeaconConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] RouteResult cached_unicast(AsId as, MetroId metro,
+                                           FrontEndId fe) const;
+
+  const CdnRouter* router_;
+  const MetroDatabase* metros_;
+  const ClientPopulation* clients_;
+  const LdnsPopulation* ldns_;
+  const RttModel* rtt_;
+  const TimingModel* timing_;
+  BeaconConfig config_;
+
+  std::vector<std::vector<FrontEndId>> candidates_;  // per LdnsId
+  std::uint64_t next_beacon_id_ = 0;  // convenience-overload counter only
+  /// (access AS, metro, front-end) -> unicast route; resolution is
+  /// deterministic, so memoization is safe. Guarded for concurrent
+  /// simulation days.
+  mutable std::shared_mutex unicast_cache_mutex_;
+  mutable std::unordered_map<std::uint64_t, RouteResult> unicast_cache_;
+};
+
+}  // namespace acdn

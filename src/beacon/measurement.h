@@ -1,0 +1,69 @@
+// Measurement record types.
+//
+// The beacon pipeline mirrors the paper's §3.2.2 plumbing: each beacon
+// execution fetches four test URLs with globally unique identifiers; the
+// authoritative DNS servers log which LDNS asked for each URL, the HTTP
+// side logs which client fetched it from which front-end and how long it
+// took, and the backend joins the two logs on the unique id. Passive
+// records correspond to the production server logs of §3.2.1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acdn {
+
+/// One row of the authoritative DNS query log.
+struct DnsLogEntry {
+  std::uint64_t url_id = 0;
+  LdnsId ldns;
+  DayIndex day = 0;
+};
+
+/// One row of the front-end HTTP log for a beacon fetch.
+struct HttpLogEntry {
+  std::uint64_t url_id = 0;
+  ClientId client;
+  bool anycast = false;     // fetched via the anycast VIP
+  FrontEndId front_end;     // front-end that served the fetch
+  Milliseconds rtt_ms = 0;  // latency the beacon reported
+  DayIndex day = 0;
+  double hour = 0.0;
+};
+
+/// A joined beacon execution: one client, one LDNS, four timed fetches.
+struct BeaconMeasurement {
+  std::uint64_t beacon_id = 0;
+  ClientId client;
+  LdnsId ldns;
+  DayIndex day = 0;
+  double hour = 0.0;
+
+  struct Target {
+    bool anycast = false;
+    FrontEndId front_end;
+    Milliseconds rtt_ms = 0;
+  };
+  std::vector<Target> targets;
+
+  /// Latency of the anycast fetch, if the beacon included one.
+  [[nodiscard]] std::optional<Milliseconds> anycast_ms() const;
+  /// Front-end the anycast fetch landed on.
+  [[nodiscard]] std::optional<FrontEndId> anycast_front_end() const;
+  /// Best (lowest-latency) unicast fetch of this beacon.
+  [[nodiscard]] std::optional<Target> best_unicast() const;
+};
+
+/// Aggregated production (passive) log row: queries a client /24 sent to a
+/// front-end on a day.
+struct PassiveLogEntry {
+  ClientId client;
+  FrontEndId front_end;
+  DayIndex day = 0;
+  double queries = 0.0;
+};
+
+}  // namespace acdn

@@ -1,0 +1,99 @@
+#include "beacon/store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace acdn {
+
+std::optional<Milliseconds> BeaconMeasurement::anycast_ms() const {
+  for (const Target& t : targets) {
+    if (t.anycast) return t.rtt_ms;
+  }
+  return std::nullopt;
+}
+
+std::optional<FrontEndId> BeaconMeasurement::anycast_front_end() const {
+  for (const Target& t : targets) {
+    if (t.anycast) return t.front_end;
+  }
+  return std::nullopt;
+}
+
+std::optional<BeaconMeasurement::Target> BeaconMeasurement::best_unicast()
+    const {
+  std::optional<Target> best;
+  for (const Target& t : targets) {
+    if (t.anycast) continue;
+    if (!best || t.rtt_ms < best->rtt_ms) best = t;
+  }
+  return best;
+}
+
+void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
+                            std::span<const HttpLogEntry> http_log) {
+  std::map<std::uint64_t, const DnsLogEntry*> dns_by_url;
+  for (const DnsLogEntry& e : dns_log) dns_by_url[e.url_id] = &e;
+
+  // Group HTTP rows by beacon id (url_id / 4) after matching DNS rows.
+  std::map<std::uint64_t, BeaconMeasurement> grouped;
+  for (const HttpLogEntry& h : http_log) {
+    auto it = dns_by_url.find(h.url_id);
+    if (it == dns_by_url.end()) continue;  // unjoined fetch: drop
+    const std::uint64_t beacon_id = h.url_id / 4;
+    BeaconMeasurement& m = grouped[beacon_id];
+    if (m.targets.empty()) {
+      m.beacon_id = beacon_id;
+      m.client = h.client;
+      m.ldns = it->second->ldns;
+      m.day = h.day;
+      m.hour = h.hour;
+    }
+    m.targets.push_back(
+        BeaconMeasurement::Target{h.anycast, h.front_end, h.rtt_ms});
+  }
+  for (auto& [id, m] : grouped) add(std::move(m));
+}
+
+void MeasurementStore::add(BeaconMeasurement measurement) {
+  require(measurement.day >= 0, "measurement day must be non-negative");
+  if (static_cast<std::size_t>(measurement.day) >= by_day_.size()) {
+    by_day_.resize(static_cast<std::size_t>(measurement.day) + 1);
+  }
+  by_day_[static_cast<std::size_t>(measurement.day)].push_back(
+      std::move(measurement));
+}
+
+std::span<const BeaconMeasurement> MeasurementStore::by_day(
+    DayIndex day) const {
+  if (day < 0 || static_cast<std::size_t>(day) >= by_day_.size()) return {};
+  return by_day_[static_cast<std::size_t>(day)];
+}
+
+std::size_t MeasurementStore::total() const {
+  std::size_t n = 0;
+  for (const auto& v : by_day_) n += v.size();
+  return n;
+}
+
+void PassiveLog::add(PassiveLogEntry entry) {
+  require(entry.day >= 0, "log day must be non-negative");
+  if (static_cast<std::size_t>(entry.day) >= by_day_.size()) {
+    by_day_.resize(static_cast<std::size_t>(entry.day) + 1);
+  }
+  by_day_[static_cast<std::size_t>(entry.day)].push_back(entry);
+}
+
+std::span<const PassiveLogEntry> PassiveLog::by_day(DayIndex day) const {
+  if (day < 0 || static_cast<std::size_t>(day) >= by_day_.size()) return {};
+  return by_day_[static_cast<std::size_t>(day)];
+}
+
+std::size_t PassiveLog::total() const {
+  std::size_t n = 0;
+  for (const auto& v : by_day_) n += v.size();
+  return n;
+}
+
+}  // namespace acdn

@@ -1,0 +1,44 @@
+// Measurement backend: joins DNS and HTTP logs into beacon measurements
+// (keyed by the globally unique URL id, §3.2.2) and stores them by day,
+// alongside the passive production logs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "beacon/measurement.h"
+
+namespace acdn {
+
+class MeasurementStore {
+ public:
+  /// Joins the two server-side logs on url_id. Fetches lacking a DNS-side
+  /// row (or vice versa) are dropped, as in any log join. Appends the
+  /// joined measurements to the store.
+  void join(std::span<const DnsLogEntry> dns_log,
+            std::span<const HttpLogEntry> http_log);
+
+  void add(BeaconMeasurement measurement);
+
+  [[nodiscard]] std::span<const BeaconMeasurement> by_day(DayIndex day) const;
+  [[nodiscard]] int days() const { return static_cast<int>(by_day_.size()); }
+  [[nodiscard]] std::size_t total() const;
+
+ private:
+  std::vector<std::vector<BeaconMeasurement>> by_day_;
+};
+
+/// Passive production logs, aggregated per (client, front-end, day).
+class PassiveLog {
+ public:
+  void add(PassiveLogEntry entry);
+
+  [[nodiscard]] std::span<const PassiveLogEntry> by_day(DayIndex day) const;
+  [[nodiscard]] int days() const { return static_cast<int>(by_day_.size()); }
+  [[nodiscard]] std::size_t total() const;
+
+ private:
+  std::vector<std::vector<PassiveLogEntry>> by_day_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,47 @@
+#include "cdn/catalogs.h"
+
+#include <array>
+
+namespace acdn {
+
+namespace {
+
+// Location counts quoted in §4 where the paper gives them; otherwise
+// approximate public data circa 2015 (flagged approximate).
+constexpr std::array<CdnCatalogEntry, 22> kCatalog = {{
+    {"Google", 1000, false, false, false},
+    {"Akamai", 1000, false, false, false},
+    {"ChinaNetCenter", 120, false, true, true},
+    {"ChinaCache", 110, false, true, true},
+    {"CDNetworks", 161, false, false, false},
+    {"SkyparkCDN", 119, false, false, false},
+    {"Level3", 62, false, false, false},
+    {"MaxCDN", 57, false, false, true},
+    {"Bing (this study)", 44, true, false, false},
+    {"CloudFlare", 43, true, false, false},
+    {"CacheFly", 41, true, false, false},
+    {"Limelight", 40, false, false, true},
+    {"Internap", 39, false, false, true},
+    {"Amazon CloudFront", 37, false, false, false},
+    {"EdgeCast", 31, true, false, false},
+    {"Incapsula", 27, true, false, true},
+    {"KeyCDN", 25, false, false, true},
+    {"Highwinds", 25, false, false, true},
+    {"Fastly", 23, false, false, true},
+    {"CDN77", 21, false, false, true},
+    {"OnApp", 19, false, false, true},
+    {"CDNify", 17, false, false, false},
+}};
+
+}  // namespace
+
+std::span<const CdnCatalogEntry> cdn_catalog() { return kCatalog; }
+
+const CdnCatalogEntry& study_cdn() {
+  for (const CdnCatalogEntry& e : kCatalog) {
+    if (e.name == "Bing (this study)") return e;
+  }
+  return kCatalog.front();  // unreachable
+}
+
+}  // namespace acdn

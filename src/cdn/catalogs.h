@@ -1,0 +1,32 @@
+// Public CDN deployment-size catalog (paper §4).
+//
+// The paper situates the Bing CDN among 21 CDNs and content providers with
+// publicly available location data (the USC CDN coverage project), noting
+// that a few dozen locations — not thousands — is the typical scale, and
+// that CloudFlare, CacheFly and EdgeCast run anycast at that scale. The
+// counts below reproduce the figures the paper quotes; entries the paper
+// does not name individually carry approximate public counts from the same
+// era and are marked `approximate`.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+namespace acdn {
+
+struct CdnCatalogEntry {
+  std::string_view name;
+  int locations = 0;
+  bool anycast = false;
+  bool china_focused = false;  // the paper treats the Chinese CDNs as outliers
+  bool approximate = false;    // not individually quoted in the paper
+};
+
+/// All 21 catalog entries plus the study's own CDN ("Bing"), sorted by
+/// descending location count.
+[[nodiscard]] std::span<const CdnCatalogEntry> cdn_catalog();
+
+/// Entry for the CDN under study.
+[[nodiscard]] const CdnCatalogEntry& study_cdn();
+
+}  // namespace acdn

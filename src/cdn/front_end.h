@@ -1,0 +1,21 @@
+// Front-end site: a CDN proxy location that terminates client TCP
+// connections and relays to backend data centers (paper §1).
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "net/ipv4.h"
+
+namespace acdn {
+
+struct FrontEndSite {
+  FrontEndId id;
+  MetroId metro;
+  std::string name;  // metro name, for reports
+  /// The front-end's unicast /24, announced only at the nearest peering
+  /// point (paper §3.1). All front-ends also serve the shared anycast /24.
+  Prefix unicast_prefix;
+};
+
+}  // namespace acdn

@@ -1,0 +1,62 @@
+#include "cdn/router.h"
+
+#include "common/error.h"
+
+namespace acdn {
+
+CdnRouter::CdnRouter(const AsGraph& graph, const CdnNetwork& cdn)
+    : cdn_(&cdn), unfolder_(graph, cdn.as_id()) {
+  const BgpSimulator sim(graph, cdn.as_id());
+  anycast_table_ = sim.compute(cdn.anycast_announce_metros());
+  unicast_tables_.reserve(cdn.deployment().size());
+  for (const FrontEndSite& s : cdn.deployment().sites()) {
+    unicast_tables_.push_back(sim.compute(cdn.unicast_announce_metros(s.id)));
+  }
+}
+
+RouteResult CdnRouter::route_anycast(AsId access, MetroId metro,
+                                     std::size_t candidate_index) const {
+  return trace_anycast(access, metro, candidate_index).result;
+}
+
+CdnRouter::Trace CdnRouter::trace_anycast(AsId access, MetroId metro,
+                                          std::size_t candidate_index) const {
+  Trace trace;
+  trace.path = unfolder_.unfold(access, metro, anycast_table_,
+                                cdn_->anycast_announce_metros(),
+                                candidate_index);
+  if (!trace.path.valid) return trace;
+  RouteResult& result = trace.result;
+  result.valid = true;
+  result.ingress_metro = trace.path.ingress_metro;
+  result.front_end = cdn_->nearest_front_end(trace.path.ingress_metro);
+  result.path_km = trace.path.total_km;
+  result.backbone_km =
+      cdn_->backbone_km(trace.path.ingress_metro, result.front_end);
+  result.as_hops = trace.path.as_hops;
+  return trace;
+}
+
+std::size_t CdnRouter::anycast_candidate_count(AsId access) const {
+  return anycast_table_.candidates(access).size();
+}
+
+RouteResult CdnRouter::route_unicast(AsId access, MetroId metro,
+                                     FrontEndId fe) const {
+  require(fe.valid() && fe.value < unicast_tables_.size(),
+          "unknown front-end");
+  RouteResult result;
+  const auto& announce = cdn_->unicast_announce_metros(fe);
+  const ForwardingPath path =
+      unfolder_.unfold(access, metro, unicast_tables_[fe.value], announce);
+  if (!path.valid) return result;
+  result.valid = true;
+  result.ingress_metro = path.ingress_metro;
+  result.front_end = fe;
+  result.path_km = path.total_km;
+  result.backbone_km = cdn_->backbone_km(path.ingress_metro, fe);
+  result.as_hops = path.as_hops;
+  return result;
+}
+
+}  // namespace acdn

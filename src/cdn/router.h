@@ -1,0 +1,69 @@
+// End-to-end route resolution: (access AS, client metro) -> front-end.
+//
+// Combines BGP-lite tables (one for the anycast prefix, one per front-end
+// unicast /24) with geographic path unfolding and the CDN's intradomain hot
+// potato. This is the oracle the rest of the system queries: passive logs,
+// beacon measurements and the Atlas-style traceroutes all derive from the
+// same routing state, exactly as they all observe the same Internet in the
+// real study.
+#pragma once
+
+#include <vector>
+
+#include "cdn/network.h"
+#include "routing/bgp.h"
+#include "routing/path.h"
+
+namespace acdn {
+
+struct RouteResult {
+  bool valid = false;
+  FrontEndId front_end;
+  MetroId ingress_metro;    // where traffic entered the CDN
+  Kilometers path_km = 0;   // client metro -> ingress, one way
+  Kilometers backbone_km = 0;  // ingress -> front-end on the CDN backbone
+  int as_hops = 0;
+
+  [[nodiscard]] Kilometers total_km() const { return path_km + backbone_km; }
+};
+
+class CdnRouter {
+ public:
+  /// Computes the anycast table and one unicast table per front-end.
+  CdnRouter(const AsGraph& graph, const CdnNetwork& cdn);
+
+  /// Anycast route for a client behind `access` in `metro`, using the
+  /// access AS's `candidate_index`-th ranked BGP route (0 = best; route
+  /// dynamics select alternates over time).
+  [[nodiscard]] RouteResult route_anycast(AsId access, MetroId metro,
+                                          std::size_t candidate_index = 0)
+      const;
+
+  /// Number of distinct anycast route candidates at `access` — the degrees
+  /// of freedom route dynamics can exercise.
+  [[nodiscard]] std::size_t anycast_candidate_count(AsId access) const;
+
+  /// Like route_anycast, but also returns the geographic path — hop-by-hop
+  /// detail for traceroute emulation and diagnosis.
+  struct Trace {
+    RouteResult result;
+    ForwardingPath path;
+  };
+  [[nodiscard]] Trace trace_anycast(AsId access, MetroId metro,
+                                    std::size_t candidate_index = 0) const;
+
+  /// Unicast route to front-end `fe`'s /24 (always index-0: the unicast
+  /// test prefixes are stable measurement targets).
+  [[nodiscard]] RouteResult route_unicast(AsId access, MetroId metro,
+                                          FrontEndId fe) const;
+
+  [[nodiscard]] const CdnNetwork& cdn() const { return *cdn_; }
+
+ private:
+  const CdnNetwork* cdn_;
+  PathUnfolder unfolder_;
+  BgpRouteTable anycast_table_;
+  std::vector<BgpRouteTable> unicast_tables_;  // indexed by FrontEndId
+};
+
+}  // namespace acdn

@@ -1,0 +1,65 @@
+#include "common/csv.h"
+
+#include <charconv>
+
+#include "common/error.h"
+
+namespace acdn {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw Error("csv: cannot open " + path);
+}
+
+void CsvWriter::write_field(std::string_view field, bool first) {
+  if (!first) out_ << ',';
+  const bool needs_quote =
+      field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) {
+    out_ << field;
+    return;
+  }
+  out_ << '"';
+  for (char c : field) {
+    if (c == '"') out_ << '"';
+    out_ << c;
+  }
+  out_ << '"';
+}
+
+void CsvWriter::write_row(std::span<const std::string> fields) {
+  bool first = true;
+  for (const auto& f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
+  bool first = true;
+  for (auto f : fields) {
+    write_field(f, first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::format_double(double v) {
+  // Shortest representation that round-trips exactly, so exported data
+  // re-imports bit-identical.
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buf, ptr);
+}
+
+void CsvWriter::write_row(std::span<const double> values) {
+  bool first = true;
+  for (double v : values) {
+    write_field(format_double(v), first);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+}  // namespace acdn

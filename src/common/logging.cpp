@@ -1,0 +1,33 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace acdn {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message) {
+  if (level > log_level() || message.empty()) return;
+  std::fprintf(stderr, "[acdn %s] %s\n", level_name(level), message.c_str());
+}
+}  // namespace detail
+
+}  // namespace acdn

@@ -1,0 +1,40 @@
+// Leveled logging to stderr. The simulation is library-first: nothing logs
+// by default; examples and benches opt in by raising the level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace acdn {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Process-wide log threshold. Messages above the threshold are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+/// Stream-style log entry: Log(LogLevel::kInfo) << "built " << n << " ASes";
+class Log {
+ public:
+  explicit Log(LogLevel level) : level_(level) {}
+  ~Log() { detail::log_line(level_, stream_.str()); }
+
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  template <typename T>
+  Log& operator<<(const T& v) {
+    if (level_ <= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,50 @@
+// Minimal data-parallel loop.
+//
+// The simulation's per-client day loop is embarrassingly parallel once
+// every client draws from its own keyed RNG substream (see
+// Simulation::run_day): workers never share mutable state except through
+// pre-allocated per-index output slots. parallel_for partitions [begin,
+// end) across N threads; with threads <= 1 it degenerates to a plain loop,
+// and results are identical either way by construction.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace acdn {
+
+/// Invokes fn(i) for every i in [begin, end), using up to `threads` OS
+/// threads. fn must be safe to call concurrently for distinct i.
+/// Exceptions thrown by fn terminate the process (workers run detached
+/// logic); validate inputs before entering the loop.
+inline void parallel_for(std::size_t begin, std::size_t end, int threads,
+                         const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const auto workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      // Strided partition: balances heavy-tailed per-index work better
+      // than contiguous blocks.
+      for (std::size_t i = begin + w; i < end; i += workers) fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+/// Hardware-concurrency default, never below 1.
+[[nodiscard]] inline int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace acdn

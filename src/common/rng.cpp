@@ -1,0 +1,68 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace acdn {
+
+namespace {
+
+// FNV-1a 64-bit over a label, used to derive fork seeds.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Rng::mix(std::uint64_t x) {
+  // SplitMix64 finalizer: spreads low-entropy seeds across the state space.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng(mix(seed_ ^ fnv1a(label)));
+}
+
+double Rng::pareto(double x_m, double alpha) {
+  require(x_m > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+  const double u = 1.0 - uniform();  // in (0, 1]
+  return x_m / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(total > 0.0, "weighted_index needs a positive total weight");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // guards against floating-point residue
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  require(n > 0, "zipf needs n > 0");
+  // Inverse-CDF on the harmonic weights. n is small (ranks per metro), so a
+  // linear scan is fine; callers that need bulk draws should precompute.
+  double norm = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) norm += 1.0 / std::pow(double(k), s);
+  double r = uniform() * norm;
+  for (std::size_t k = 1; k <= n; ++k) {
+    r -= 1.0 / std::pow(double(k), s);
+    if (r <= 0.0) return k - 1;
+  }
+  return n - 1;
+}
+
+}  // namespace acdn

@@ -1,0 +1,59 @@
+#include "common/sim_clock.h"
+
+#include <array>
+#include <cstdio>
+
+namespace acdn {
+
+const char* to_string(Weekday d) {
+  static constexpr std::array<const char*, 7> names = {
+      "Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun"};
+  return names[static_cast<int>(d)];
+}
+
+long days_from_civil(const Date& d) {
+  // Howard Hinnant's days_from_civil; epoch 1970-01-01.
+  int y = d.year;
+  const unsigned m = static_cast<unsigned>(d.month);
+  const unsigned dd = static_cast<unsigned>(d.day);
+  y -= m <= 2;
+  const long era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0,399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + dd - 1;// [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
+  return era * 146097 + static_cast<long>(doe) - 719468;
+}
+
+Date civil_from_days(long z) {
+  z += 719468;
+  const long era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const long y = static_cast<long>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned dd = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  return Date{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+              static_cast<int>(dd)};
+}
+
+Weekday Date::weekday() const {
+  // days_from_civil(1970-01-01) == 0, and that day was a Thursday (index 3
+  // with Monday == 0), hence the +10 ≡ +3 (mod 7) offset.
+  const long z = days_from_civil(*this);
+  const long dow = ((z % 7) + 10) % 7;  // 0 == Monday
+  return static_cast<Weekday>(dow);
+}
+
+Date Date::plus_days(int n) const {
+  return civil_from_days(days_from_civil(*this) + n);
+}
+
+std::string Date::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", year, month, day);
+  return buf;
+}
+
+}  // namespace acdn

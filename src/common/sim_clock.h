@@ -1,0 +1,71 @@
+// Simulated calendar time.
+//
+// The paper's analyses are keyed to calendar structure: Figure 5 spans April
+// 2015 day by day, Figure 7 follows a week starting Wednesday, and routing
+// churn is weekday-biased ("network operators not pushing out changes during
+// the weekend"). SimCalendar provides that structure without touching the
+// wall clock, keeping runs reproducible.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace acdn {
+
+enum class Weekday { kMonday, kTuesday, kWednesday, kThursday, kFriday,
+                     kSaturday, kSunday };
+
+[[nodiscard]] const char* to_string(Weekday d);
+
+[[nodiscard]] inline bool is_weekend(Weekday d) {
+  return d == Weekday::kSaturday || d == Weekday::kSunday;
+}
+
+/// A proleptic-Gregorian calendar date.
+struct Date {
+  int year = 2015;
+  int month = 4;  // 1-12
+  int day = 1;    // 1-31
+
+  [[nodiscard]] Weekday weekday() const;
+  [[nodiscard]] Date plus_days(int n) const;
+  [[nodiscard]] std::string to_string() const;  // "2015-04-01"
+
+  auto operator<=>(const Date&) const = default;
+};
+
+/// Days-since-epoch for date arithmetic (Howard Hinnant's algorithm).
+[[nodiscard]] long days_from_civil(const Date& d);
+[[nodiscard]] Date civil_from_days(long z);
+
+/// Maps a simulation's zero-based DayIndex onto calendar dates.
+class SimCalendar {
+ public:
+  /// Default start matches the paper's passive data set: April 1, 2015,
+  /// which was a Wednesday.
+  explicit SimCalendar(Date start = Date{2015, 4, 1}) : start_(start) {}
+
+  [[nodiscard]] Date date(DayIndex day) const { return start_.plus_days(day); }
+  [[nodiscard]] Weekday weekday(DayIndex day) const {
+    return date(day).weekday();
+  }
+  [[nodiscard]] bool is_weekend(DayIndex day) const {
+    return acdn::is_weekend(weekday(day));
+  }
+  [[nodiscard]] Date start() const { return start_; }
+
+ private:
+  Date start_;
+};
+
+/// A point in simulated time: day index plus seconds within the day.
+struct SimTime {
+  DayIndex day = 0;
+  double seconds = 0.0;  // [0, 86400)
+
+  [[nodiscard]] double hour_of_day() const { return seconds / 3600.0; }
+  auto operator<=>(const SimTime&) const = default;
+};
+
+}  // namespace acdn

@@ -1,0 +1,58 @@
+// Fundamental value types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace acdn {
+
+/// Latency in milliseconds. All latency values in the library use this unit.
+using Milliseconds = double;
+
+/// Distance in kilometers.
+using Kilometers = double;
+
+/// Zero-based day index within a simulation run.
+using DayIndex = int;
+
+/// Sentinel for "no value" in index-typed fields.
+inline constexpr std::uint32_t kInvalidIndex =
+    std::numeric_limits<std::uint32_t>::max();
+
+/// Strongly-typed identifier. Tag types make FrontEndId, MetroId, etc.
+/// distinct at compile time while staying trivially copyable.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = kInvalidIndex;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value != kInvalidIndex; }
+  constexpr auto operator<=>(const Id&) const = default;
+};
+
+struct MetroTag {};
+struct FrontEndTag {};
+struct AsTag {};
+struct LdnsTag {};
+struct ClientTag {};
+struct ProbeTag {};
+
+using MetroId = Id<MetroTag>;
+using FrontEndId = Id<FrontEndTag>;
+using AsId = Id<AsTag>;
+using LdnsId = Id<LdnsTag>;
+using ClientId = Id<ClientTag>;
+using ProbeId = Id<ProbeTag>;
+
+}  // namespace acdn
+
+namespace std {
+template <typename Tag>
+struct hash<acdn::Id<Tag>> {
+  size_t operator()(const acdn::Id<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

@@ -1,0 +1,92 @@
+#include "core/evaluator.h"
+
+#include "stats/quantile.h"
+
+namespace acdn {
+
+std::vector<EvalOutcome> PredictionEvaluator::evaluate(
+    const HistoryPredictor& predictor,
+    std::span<const BeaconMeasurement> eval_day_measurements) const {
+  // The evaluation is always per-/24, regardless of how predictions were
+  // grouped: clients inherit their LDNS group's prediction under LDNS
+  // grouping.
+  const DayAggregates per_client =
+      DayAggregates::build(eval_day_measurements, Grouping::kEcsPrefix);
+  const Grouping grouping = predictor.config().grouping;
+
+  std::vector<EvalOutcome> outcomes;
+  for (const auto& [client_key, samples] : per_client.groups()) {
+    const ClientId client_id(client_key);
+    const Client24& client = clients_->client(client_id);
+
+    const std::uint32_t prediction_key =
+        grouping == Grouping::kEcsPrefix ? client_key : client.ldns.value;
+    const std::optional<Prediction> prediction =
+        predictor.predict(prediction_key);
+
+    EvalOutcome outcome;
+    outcome.client = client_id;
+    outcome.weight = client.daily_queries;
+
+    if (!prediction || prediction->anycast) {
+      // The system would return the anycast address: performance is
+      // anycast's by definition; improvement is exactly zero.
+      outcome.predicted_anycast = true;
+      outcomes.push_back(outcome);
+      continue;
+    }
+
+    auto anycast_it = samples.by_target.find(TargetKey{true, FrontEndId{}});
+    if (anycast_it == samples.by_target.end() ||
+        static_cast<int>(anycast_it->second.size()) <
+            config_.min_eval_samples) {
+      continue;  // cannot judge without anycast baselines
+    }
+    auto fe_it = samples.by_target.find(
+        TargetKey{false, prediction->front_end});
+    if (fe_it == samples.by_target.end() ||
+        static_cast<int>(fe_it->second.size()) < config_.min_eval_samples) {
+      continue;  // predicted front-end unmeasured on the evaluation day
+    }
+
+    const double qs[] = {0.50, 0.75};
+    const auto anycast_q = quantiles(anycast_it->second, qs);
+    const auto fe_q = quantiles(fe_it->second, qs);
+    outcome.predicted_anycast = false;
+    outcome.improvement_p50 = anycast_q[0] - fe_q[0];
+    outcome.improvement_p75 = anycast_q[1] - fe_q[1];
+    outcomes.push_back(outcome);
+  }
+  return outcomes;
+}
+
+EvalSummary PredictionEvaluator::summarize(
+    std::span<const EvalOutcome> outcomes) const {
+  EvalSummary summary;
+  double total_weight = 0.0;
+  for (const EvalOutcome& o : outcomes) {
+    summary.improvement_p50.add(o.improvement_p50, o.weight);
+    summary.improvement_p75.add(o.improvement_p75, o.weight);
+    total_weight += o.weight;
+    if (o.improvement_p50 > config_.epsilon_ms) {
+      summary.fraction_improved_p50 += o.weight;
+    } else if (o.improvement_p50 < -config_.epsilon_ms) {
+      summary.fraction_worse_p50 += o.weight;
+    }
+    if (o.improvement_p75 > config_.epsilon_ms) {
+      summary.fraction_improved_p75 += o.weight;
+    } else if (o.improvement_p75 < -config_.epsilon_ms) {
+      summary.fraction_worse_p75 += o.weight;
+    }
+  }
+  summary.evaluated = outcomes.size();
+  if (total_weight > 0.0) {
+    summary.fraction_improved_p50 /= total_weight;
+    summary.fraction_worse_p50 /= total_weight;
+    summary.fraction_improved_p75 /= total_weight;
+    summary.fraction_worse_p75 /= total_weight;
+  }
+  return summary;
+}
+
+}  // namespace acdn

@@ -1,0 +1,79 @@
+// Prediction evaluation (paper §6, Figure 9).
+//
+// A mapping trained on day D is judged against day D+1's measurements:
+// for each client /24, compare the 50th and 75th percentile latency of the
+// *predicted* target against anycast's, both observed on day D+1. Under
+// LDNS grouping the prediction comes from the /24's resolver group but is
+// evaluated on the /24's own measurements — exactly the granularity
+// mismatch that makes LDNS-based redirection pay a penalty for clients
+// poorly represented by their LDNS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/predictor.h"
+#include "dns/ldns.h"
+#include "stats/distribution.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+/// Evaluation of one client /24 on the evaluation day.
+struct EvalOutcome {
+  ClientId client;
+  double weight = 1.0;  // query volume
+  bool predicted_anycast = true;
+  /// anycast percentile minus predicted-target percentile on the
+  /// evaluation day; positive = prediction beat anycast. Zero when the
+  /// prediction was anycast itself.
+  Milliseconds improvement_p50 = 0.0;
+  Milliseconds improvement_p75 = 0.0;
+};
+
+struct EvalSummary {
+  /// Query-volume-weighted improvement distributions over /24s.
+  DistributionBuilder improvement_p50;
+  DistributionBuilder improvement_p75;
+  /// Weighted fractions (by query volume) improving / regressing by more
+  /// than epsilon at each percentile.
+  double fraction_improved_p50 = 0.0;
+  double fraction_worse_p50 = 0.0;
+  double fraction_improved_p75 = 0.0;
+  double fraction_worse_p75 = 0.0;
+  std::size_t evaluated = 0;
+};
+
+class PredictionEvaluator {
+ public:
+  struct Config {
+    /// Minimum next-day samples per target for a /24 to be evaluated.
+    int min_eval_samples = 3;
+    /// Dead zone around zero when counting improved/worse fractions.
+    Milliseconds epsilon_ms = 1.0;
+  };
+
+  PredictionEvaluator(const ClientPopulation& clients,
+                      const LdnsPopulation& ldns, const Config& config)
+      : clients_(&clients), ldns_(&ldns), config_(config) {}
+  PredictionEvaluator(const ClientPopulation& clients,
+                      const LdnsPopulation& ldns)
+      : PredictionEvaluator(clients, ldns, Config{}) {}
+
+  /// Evaluates `predictor`'s current mapping on `eval_day_measurements`.
+  /// Every /24 with qualifying anycast samples appears; /24s whose
+  /// predicted front-end lacks next-day samples are skipped.
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(
+      const HistoryPredictor& predictor,
+      std::span<const BeaconMeasurement> eval_day_measurements) const;
+
+  [[nodiscard]] EvalSummary summarize(
+      std::span<const EvalOutcome> outcomes) const;
+
+ private:
+  const ClientPopulation* clients_;
+  const LdnsPopulation* ldns_;
+  Config config_;
+};
+
+}  // namespace acdn

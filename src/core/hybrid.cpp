@@ -1,0 +1,45 @@
+#include "core/hybrid.h"
+
+namespace acdn {
+
+namespace {
+
+bool qualifies(const Prediction& p, Milliseconds min_gain) {
+  if (p.anycast || !p.anycast_ms) return false;
+  return *p.anycast_ms - p.predicted_ms >= min_gain;
+}
+
+}  // namespace
+
+DnsAnswer HybridPolicy::resolve(const DnsQueryContext& query) const {
+  // Key resolution mirrors what the authoritative server can see: the ECS
+  // /24 when the resolver forwards one and the predictor is ECS-grouped,
+  // otherwise the LDNS.
+  std::optional<std::uint32_t> key;
+  if (predictor_->config().grouping == Grouping::kEcsPrefix) {
+    if (query.ecs_prefix) {
+      if (const auto client = clients_->find_by_prefix(*query.ecs_prefix)) {
+        key = client->value;
+      }
+    }
+  } else {
+    key = query.ldns.value;
+  }
+  if (!key) return DnsAnswer{true, FrontEndId{}};
+
+  const std::optional<Prediction> prediction = predictor_->predict(*key);
+  if (!prediction || !qualifies(*prediction, config_.min_predicted_gain_ms)) {
+    return DnsAnswer{true, FrontEndId{}};
+  }
+  return DnsAnswer{false, prediction->front_end};
+}
+
+std::size_t HybridPolicy::override_count() const {
+  std::size_t n = 0;
+  for (const auto& [group, p] : predictor_->predictions()) {
+    if (qualifies(p, config_.min_predicted_gain_ms)) ++n;
+  }
+  return n;
+}
+
+}  // namespace acdn

@@ -1,0 +1,45 @@
+// Hybrid anycast + DNS redirection (paper §6's closing proposal).
+//
+// "Use DNS-based redirection for a small subset of poor performing
+// clients, while leaving others to anycast." The policy consults the
+// trained predictor; only groups whose predicted gain over anycast clears
+// a threshold get a unicast answer, everyone else stays on anycast. This
+// keeps the operational surface small and avoids flapping marginal
+// clients onto unicast for noise-level gains.
+#pragma once
+
+#include "core/predictor.h"
+#include "dns/policy.h"
+
+namespace acdn {
+
+class HybridPolicy final : public RedirectionPolicy {
+ public:
+  struct Config {
+    /// Minimum predicted gain (anycast metric minus target metric) for a
+    /// DNS override; below it, anycast is returned.
+    Milliseconds min_predicted_gain_ms = 10.0;
+  };
+
+  /// `clients` resolves ECS prefixes to client groups. The predictor must
+  /// outlive the policy and may be retrained between days.
+  HybridPolicy(const HistoryPredictor& predictor,
+               const ClientPopulation& clients, const Config& config)
+      : predictor_(&predictor), clients_(&clients), config_(config) {}
+  HybridPolicy(const HistoryPredictor& predictor,
+               const ClientPopulation& clients)
+      : HybridPolicy(predictor, clients, Config{}) {}
+
+  [[nodiscard]] DnsAnswer resolve(const DnsQueryContext& query) const override;
+  [[nodiscard]] std::string name() const override { return "hybrid"; }
+
+  /// Number of groups the current mapping would override to unicast.
+  [[nodiscard]] std::size_t override_count() const;
+
+ private:
+  const HistoryPredictor* predictor_;
+  const ClientPopulation* clients_;
+  Config config_;
+};
+
+}  // namespace acdn

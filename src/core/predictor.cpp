@@ -1,0 +1,71 @@
+#include "core/predictor.h"
+
+#include "common/error.h"
+#include "stats/quantile.h"
+
+namespace acdn {
+
+const char* to_string(PredictionMetric m) {
+  switch (m) {
+    case PredictionMetric::kP25:    return "p25";
+    case PredictionMetric::kMedian: return "median";
+    case PredictionMetric::kP75:    return "p75";
+  }
+  return "?";
+}
+
+double metric_quantile(PredictionMetric m) {
+  switch (m) {
+    case PredictionMetric::kP25:    return 0.25;
+    case PredictionMetric::kMedian: return 0.50;
+    case PredictionMetric::kP75:    return 0.75;
+  }
+  return 0.5;
+}
+
+void PredictorConfig::validate() const {
+  require(min_measurements >= 1, "min_measurements must be at least 1");
+}
+
+HistoryPredictor::HistoryPredictor(const PredictorConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+Milliseconds HistoryPredictor::metric_value(
+    std::span<const Milliseconds> samples, PredictionMetric metric) {
+  return quantile(samples, metric_quantile(metric));
+}
+
+void HistoryPredictor::train(
+    std::span<const BeaconMeasurement> measurements) {
+  predictions_.clear();
+  const DayAggregates agg =
+      DayAggregates::build(measurements, config_.grouping);
+
+  for (const auto& [group, samples] : agg.groups()) {
+    std::optional<Prediction> best;
+    std::optional<Milliseconds> anycast_metric;
+
+    for (const auto& [key, rtts] : samples.by_target) {
+      if (static_cast<int>(rtts.size()) < config_.min_measurements) continue;
+      const Milliseconds value = metric_value(rtts, config_.metric);
+      if (key.anycast) anycast_metric = value;
+      if (!best || value < best->predicted_ms) {
+        best = Prediction{key.anycast, key.front_end, value, std::nullopt};
+      }
+    }
+    if (!best) continue;  // nothing qualified: group stays on anycast
+    best->anycast_ms = anycast_metric;
+    predictions_.emplace(group, *best);
+  }
+}
+
+std::optional<Prediction> HistoryPredictor::predict(
+    std::uint32_t group) const {
+  auto it = predictions_.find(group);
+  if (it == predictions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace acdn

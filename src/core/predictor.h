@@ -1,0 +1,78 @@
+// History-based front-end prediction (paper §6) — the primary contribution.
+//
+// Every prediction interval (one day), the scheme maps each client group —
+// the clients of an LDNS, or of an ECS /24 — to the front-end (or the
+// anycast address) with the lowest *prediction metric* over that group's
+// beacon measurements from the previous interval. The paper uses low
+// percentiles (25th; median behaves the same) because higher percentiles
+// of the latency distribution are too noisy day-over-day to predict from,
+// and only considers targets with at least 20 measurements from the group.
+// The resulting map drives DNS redirection for the next day.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+
+#include "analysis/aggregate.h"
+#include "beacon/measurement.h"
+#include "common/types.h"
+
+namespace acdn {
+
+enum class PredictionMetric { kP25, kMedian, kP75 };
+
+[[nodiscard]] const char* to_string(PredictionMetric m);
+[[nodiscard]] double metric_quantile(PredictionMetric m);
+
+struct PredictorConfig {
+  PredictionMetric metric = PredictionMetric::kP25;
+  /// Targets with fewer measurements than this are not considered (§6
+  /// selects "among the front-ends with 20+ measurements").
+  int min_measurements = 20;
+  Grouping grouping = Grouping::kEcsPrefix;
+
+  void validate() const;
+};
+
+/// A trained mapping for one group.
+struct Prediction {
+  /// True if anycast scored best (or nothing else qualified).
+  bool anycast = true;
+  FrontEndId front_end;  // meaningful when !anycast
+  /// Metric value of the chosen target in the training data.
+  Milliseconds predicted_ms = 0.0;
+  /// Metric value of anycast in the training data (when measurable);
+  /// predicted gain = anycast_ms - predicted_ms.
+  std::optional<Milliseconds> anycast_ms;
+};
+
+class HistoryPredictor {
+ public:
+  explicit HistoryPredictor(const PredictorConfig& config);
+
+  /// Replaces the mapping with one trained on `measurements` (one
+  /// prediction interval's worth of joined beacon data).
+  void train(std::span<const BeaconMeasurement> measurements);
+
+  /// The trained mapping for a group (client id under ECS grouping, LDNS
+  /// id under LDNS grouping); nullopt if the group had no qualifying data.
+  [[nodiscard]] std::optional<Prediction> predict(std::uint32_t group) const;
+
+  [[nodiscard]] const std::map<std::uint32_t, Prediction>& predictions()
+      const {
+    return predictions_;
+  }
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+
+  /// The configured metric over a sample set.
+  [[nodiscard]] static Milliseconds metric_value(
+      std::span<const Milliseconds> samples, PredictionMetric metric);
+
+ private:
+  PredictorConfig config_;
+  std::map<std::uint32_t, Prediction> predictions_;
+};
+
+}  // namespace acdn

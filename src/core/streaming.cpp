@@ -1,0 +1,67 @@
+#include "core/streaming.h"
+
+#include "analysis/aggregate.h"
+
+namespace acdn {
+
+StreamingTrainer::StreamingTrainer(const PredictorConfig& config)
+    : config_(config) {
+  config_.validate();
+}
+
+void StreamingTrainer::observe(const BeaconMeasurement& measurement) {
+  const std::uint32_t group =
+      DayAggregates::group_key(measurement, config_.grouping);
+  for (const BeaconMeasurement::Target& t : measurement.targets) {
+    const std::uint64_t key = pack(group, t.anycast, t.front_end);
+    auto it = states_.find(key);
+    if (it == states_.end()) {
+      it = states_
+               .emplace(key, P2Quantile(metric_quantile(config_.metric)))
+               .first;
+    }
+    it->second.add(t.rtt_ms);
+  }
+  ++observed_;
+}
+
+std::map<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
+  // Regroup the flat state map by group, then apply the batch trainer's
+  // selection rule.
+  std::map<std::uint32_t, Prediction> predictions;
+  std::map<std::uint32_t, std::optional<Milliseconds>> anycast_metric;
+
+  for (const auto& [key, estimator] : states_) {
+    if (static_cast<int>(estimator.count()) < config_.min_measurements) {
+      continue;
+    }
+    const auto group = static_cast<std::uint32_t>(key >> 33);
+    const bool anycast = ((key >> 32) & 1) != 0;
+    const FrontEndId fe(static_cast<std::uint32_t>(key & 0xffffffffu));
+    const Milliseconds value = estimator.value();
+
+    if (anycast) anycast_metric[group] = value;
+    auto it = predictions.find(group);
+    if (it == predictions.end() || value < it->second.predicted_ms) {
+      predictions[group] =
+          Prediction{anycast, anycast ? FrontEndId{} : fe, value,
+                     std::nullopt};
+    }
+  }
+  for (auto& [group, prediction] : predictions) {
+    auto it = anycast_metric.find(group);
+    if (it != anycast_metric.end()) prediction.anycast_ms = it->second;
+  }
+  return predictions;
+}
+
+std::size_t StreamingTrainer::group_count() const {
+  return snapshot().size();
+}
+
+void StreamingTrainer::reset() {
+  states_.clear();
+  observed_ = 0;
+}
+
+}  // namespace acdn

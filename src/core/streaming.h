@@ -1,0 +1,60 @@
+// Memory-bounded streaming trainer.
+//
+// HistoryPredictor::train buffers a full day of joined measurements; at
+// the study's real scale ("many millions of queries", §3.2) the backend
+// would instead fold each measurement into constant-space per-(group,
+// target) state. StreamingTrainer does exactly that with P² quantile
+// estimators (stats/p2.h): observe() measurements as they arrive, then
+// snapshot() a prediction map equivalent to the batch trainer's up to P²
+// estimation error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "beacon/measurement.h"
+#include "core/predictor.h"
+#include "stats/p2.h"
+
+namespace acdn {
+
+class StreamingTrainer {
+ public:
+  explicit StreamingTrainer(const PredictorConfig& config);
+
+  /// Folds one joined beacon measurement into the running estimates.
+  void observe(const BeaconMeasurement& measurement);
+
+  /// Prediction map from the current estimates — same shape and selection
+  /// rule as HistoryPredictor (metric minimum among targets that meet the
+  /// measurement gate).
+  [[nodiscard]] std::map<std::uint32_t, Prediction> snapshot() const;
+
+  /// Trains a HistoryPredictor-compatible object in place: predictions()
+  /// of the returned predictor equal snapshot().
+  [[nodiscard]] std::size_t group_count() const;
+  [[nodiscard]] std::size_t target_state_count() const {
+    return states_.size();
+  }
+  [[nodiscard]] std::uint64_t observed() const { return observed_; }
+  [[nodiscard]] const PredictorConfig& config() const { return config_; }
+
+  /// Discards all state (start of a new prediction interval).
+  void reset();
+
+ private:
+  /// (group, target) -> packed key. Bit 32 marks the anycast target.
+  [[nodiscard]] static std::uint64_t pack(std::uint32_t group, bool anycast,
+                                          FrontEndId fe) {
+    return (std::uint64_t(group) << 33) |
+           (std::uint64_t(anycast ? 1 : 0) << 32) |
+           std::uint64_t(anycast ? 0 : fe.value);
+  }
+
+  PredictorConfig config_;
+  std::unordered_map<std::uint64_t, P2Quantile> states_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace acdn

@@ -1,0 +1,54 @@
+#include "dns/authoritative.h"
+
+#include "common/error.h"
+
+namespace acdn {
+
+AuthoritativeServer::AuthoritativeServer(const RedirectionPolicy& policy,
+                                         const Deployment& deployment,
+                                         const AuthoritativeConfig& config)
+    : policy_(&policy),
+      deployment_(&deployment),
+      config_(config),
+      cache_(config.answer_ttl_seconds) {
+  require(config.answer_ttl_seconds > 0.0, "answer TTL must be positive");
+}
+
+Ipv4Address AuthoritativeServer::resolve(LdnsId ldns,
+                                         std::optional<Prefix> ecs_prefix,
+                                         const SimTime& now) {
+  if (!config_.honor_ecs) ecs_prefix.reset();
+  const CacheKey key{ldns.value,
+                     ecs_prefix ? ecs_prefix->address().value() : 0u};
+  if (const auto cached = cache_.get(key, now)) {
+    ++cache_hits_;
+    return *cached;
+  }
+
+  const DnsAnswer answer =
+      policy_->resolve(DnsQueryContext{ldns, ecs_prefix, now.day});
+  const Ipv4Address address =
+      answer.anycast
+          ? deployment_->anycast_prefix().address()
+          : deployment_->site(answer.front_end).unicast_prefix.address();
+
+  log_.push_back(AuthQueryLogEntry{next_query_id_++, ldns,
+                                   ecs_prefix.has_value(), answer.anycast,
+                                   answer.front_end, now.day, now.seconds});
+  cache_.put(key, address, now);
+  return address;
+}
+
+DnsAnswer AuthoritativeServer::decode(Ipv4Address address) const {
+  if (deployment_->anycast_prefix().contains(address)) {
+    return DnsAnswer{true, FrontEndId{}};
+  }
+  const auto site =
+      deployment_->site_for_prefix(Prefix::slash24_of(address));
+  require(site.has_value(), "address does not belong to the CDN");
+  return DnsAnswer{false, *site};
+}
+
+void AuthoritativeServer::flush_caches() { cache_.clear(); }
+
+}  // namespace acdn

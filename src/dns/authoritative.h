@@ -1,0 +1,100 @@
+// The CDN's authoritative nameserver.
+//
+// Serves resolution requests from LDNS resolvers: applies the configured
+// RedirectionPolicy, answers with the anycast VIP or a front-end's unicast
+// address plus a TTL, and logs every query — the paper's beacon pipeline
+// joins these logs with the HTTP side (§3.2.2), and small TTLs are what
+// let DNS-based redirection react "on small timescales" (§2).
+//
+// Resolver-side caching is modelled here too: an LDNS only re-queries the
+// authoritative server when its cached answer expired, so the effective
+// redirection reaction time is bounded by the TTL — the operational knob
+// the paper discusses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dns/cache.h"
+#include "dns/ldns.h"
+#include "dns/policy.h"
+#include "net/ipv4.h"
+
+namespace acdn {
+
+struct AuthoritativeConfig {
+  /// TTL on redirection answers. The paper's production choice is small so
+  /// mapping updates take effect quickly.
+  double answer_ttl_seconds = 120.0;
+  /// Whether the authoritative server honors ECS from resolvers that send
+  /// it (per-prefix answers); otherwise decisions are per-LDNS.
+  bool honor_ecs = true;
+};
+
+/// One row of the authoritative server's query log.
+struct AuthQueryLogEntry {
+  std::uint64_t query_id = 0;
+  LdnsId ldns;
+  bool had_ecs = false;
+  bool answered_anycast = true;
+  FrontEndId front_end;  // valid when !answered_anycast
+  DayIndex day = 0;
+  double seconds = 0.0;
+};
+
+class AuthoritativeServer {
+ public:
+  /// `policy`, `deployment` must outlive the server.
+  AuthoritativeServer(const RedirectionPolicy& policy,
+                      const Deployment& deployment,
+                      const AuthoritativeConfig& config);
+  AuthoritativeServer(const RedirectionPolicy& policy,
+                      const Deployment& deployment)
+      : AuthoritativeServer(policy, deployment, AuthoritativeConfig{}) {}
+
+  /// Resolution as seen by a client behind `ldns`: returns the cached
+  /// answer when the resolver's cache is fresh, otherwise forwards to the
+  /// authoritative side (running the policy and logging the query).
+  /// The returned address is the anycast VIP or a front-end unicast IP.
+  [[nodiscard]] Ipv4Address resolve(LdnsId ldns,
+                                    std::optional<Prefix> ecs_prefix,
+                                    const SimTime& now);
+
+  /// The redirection decision an address encodes (for analysis).
+  [[nodiscard]] DnsAnswer decode(Ipv4Address address) const;
+
+  [[nodiscard]] const std::vector<AuthQueryLogEntry>& query_log() const {
+    return log_;
+  }
+  [[nodiscard]] std::size_t authoritative_queries() const {
+    return log_.size();
+  }
+  [[nodiscard]] std::size_t cache_hits() const { return cache_hits_; }
+
+  /// Drops all resolver caches — what happens operationally when mappings
+  /// must take effect immediately.
+  void flush_caches();
+
+ private:
+  struct CacheKey {
+    std::uint32_t ldns;
+    std::uint32_t ecs;  // /24 network bits or 0
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return (std::size_t(k.ldns) << 32) ^ k.ecs;
+    }
+  };
+
+  const RedirectionPolicy* policy_;
+  const Deployment* deployment_;
+  AuthoritativeConfig config_;
+  TtlCache<CacheKey, Ipv4Address, CacheKeyHash> cache_;
+  std::vector<AuthQueryLogEntry> log_;
+  std::uint64_t next_query_id_ = 0;
+  std::size_t cache_hits_ = 0;
+};
+
+}  // namespace acdn

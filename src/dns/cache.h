@@ -1,0 +1,67 @@
+// TTL-expiring cache, as run by an LDNS.
+//
+// The beacon issues a warm-up request so the timed fetch is served from the
+// resolver cache and measures only the client-to-front-end path (§3.2.2);
+// TTLs are "longer than the duration of the beacon". For DNS redirection
+// itself, small TTLs bound how stale a redirection decision can get (§2).
+// The cache is simulated against SimTime, not the wall clock.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+
+#include "common/sim_clock.h"
+
+namespace acdn {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class TtlCache {
+ public:
+  /// `ttl_seconds` applies to every entry inserted.
+  explicit TtlCache(double ttl_seconds) : ttl_seconds_(ttl_seconds) {}
+
+  void put(const Key& key, Value value, const SimTime& now) {
+    entries_[key] = Entry{std::move(value), expiry(now)};
+  }
+
+  /// Value if present and unexpired at `now`; expired entries are erased.
+  [[nodiscard]] std::optional<Value> get(const Key& key, const SimTime& now) {
+    auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    if (absolute(now) >= it->second.expires_at) {
+      entries_.erase(it);
+      ++expirations_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second.value;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t expirations() const { return expirations_; }
+  [[nodiscard]] double ttl_seconds() const { return ttl_seconds_; }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Value value;
+    double expires_at;  // absolute seconds since day 0
+  };
+
+  static double absolute(const SimTime& t) {
+    return t.day * 86400.0 + t.seconds;
+  }
+  [[nodiscard]] double expiry(const SimTime& now) const {
+    return absolute(now) + ttl_seconds_;
+  }
+
+  double ttl_seconds_;
+  std::unordered_map<Key, Entry, Hash> entries_;
+  std::size_t hits_ = 0;
+  std::size_t expirations_ = 0;
+};
+
+}  // namespace acdn

@@ -1,0 +1,147 @@
+#include "dns/ldns.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.h"
+
+namespace acdn {
+
+void DnsConfig::validate() const {
+  require(metros_per_resolver_site >= 1,
+          "metros_per_resolver_site must be at least 1");
+  require(max_resolver_sites_per_isp >= 1,
+          "max_resolver_sites_per_isp must be at least 1");
+  require(public_resolver_fraction >= 0.0 && public_resolver_fraction <= 1.0,
+          "public_resolver_fraction must be in [0,1]");
+  require(public_resolver_sites >= 1, "need at least one public site");
+}
+
+LdnsPopulation LdnsPopulation::build_and_assign(ClientPopulation& clients,
+                                                const MetroDatabase& metros,
+                                                const DnsConfig& config,
+                                                Rng& rng) {
+  config.validate();
+  LdnsPopulation pop;
+  Rng gen = rng.fork("ldns");
+
+  // Public resolver sites at the most populous metros worldwide.
+  std::vector<MetroId> by_pop;
+  for (const Metro& m : metros.all()) by_pop.push_back(m.id);
+  std::sort(by_pop.begin(), by_pop.end(), [&](MetroId a, MetroId b) {
+    return metros.metro(a).population_millions >
+           metros.metro(b).population_millions;
+  });
+  std::vector<LdnsId> public_sites;
+  const int n_public = std::min<int>(config.public_resolver_sites,
+                                     static_cast<int>(by_pop.size()));
+  for (int i = 0; i < n_public; ++i) {
+    const MetroId m = by_pop[static_cast<std::size_t>(i)];
+    const LdnsId id(static_cast<std::uint32_t>(pop.servers_.size()));
+    pop.servers_.push_back(
+        LdnsServer{id, m, metros.metro(m).location, true, AsId{}});
+    public_sites.push_back(id);
+  }
+
+  // ISP resolver sites: each ISP runs one site per `metros_per_resolver_
+  // site` client metros (capped), at its most populous client metros.
+  // Clients use their ISP's nearest site — possibly a metro (or more)
+  // away, which is the LDNS/client mismatch the paper discusses.
+  std::map<AsId, std::map<MetroId, int>> as_metro_counts;
+  for (const Client24& c : clients.clients()) {
+    ++as_metro_counts[c.access_as][c.metro];
+  }
+
+  std::map<AsId, std::vector<LdnsId>> isp_sites;
+  for (const auto& [as, counts] : as_metro_counts) {
+    std::vector<MetroId> isp_metros;
+    for (const auto& [m, n] : counts) isp_metros.push_back(m);
+    const int sites = std::clamp<int>(
+        static_cast<int>(isp_metros.size()) / config.metros_per_resolver_site
+            + 1,
+        1, config.max_resolver_sites_per_isp);
+
+    // k-center site selection: the busiest metro first, then repeatedly
+    // the client metro farthest from any existing site — ISPs place
+    // resolvers for coverage, not just in their biggest cities. The
+    // residual far-demand tail is what [17] measured.
+    std::vector<MetroId> chosen;
+    MetroId first = isp_metros.front();
+    for (MetroId m : isp_metros) {
+      if (metros.metro(m).population_millions >
+          metros.metro(first).population_millions) {
+        first = m;
+      }
+    }
+    chosen.push_back(first);
+    while (static_cast<int>(chosen.size()) < sites &&
+           chosen.size() < isp_metros.size()) {
+      MetroId farthest = isp_metros.front();
+      Kilometers best = -1.0;
+      for (MetroId m : isp_metros) {
+        Kilometers nearest = 1e18;
+        for (MetroId c : chosen) {
+          nearest = std::min(nearest, metros.distance_km(m, c));
+        }
+        if (nearest > best) {
+          best = nearest;
+          farthest = m;
+        }
+      }
+      if (best <= 0.0) break;  // every metro already hosts a site
+      chosen.push_back(farthest);
+    }
+
+    std::vector<LdnsId>& ids = isp_sites[as];
+    for (MetroId m : chosen) {
+      const LdnsId id(static_cast<std::uint32_t>(pop.servers_.size()));
+      pop.servers_.push_back(
+          LdnsServer{id, m, metros.metro(m).location, false, as});
+      ids.push_back(id);
+    }
+  }
+
+  auto nearest_site = [&](const GeoPoint& where,
+                          const std::vector<LdnsId>& sites) {
+    LdnsId best = sites.front();
+    Kilometers best_d =
+        haversine_km(where, pop.servers_[best.value].location);
+    for (LdnsId s : sites) {
+      const Kilometers d =
+          haversine_km(where, pop.servers_[s.value].location);
+      if (d < best_d) {
+        best = s;
+        best_d = d;
+      }
+    }
+    return best;
+  };
+
+  for (const Client24& c : clients.clients()) {
+    const LdnsId assigned =
+        gen.uniform() < config.public_resolver_fraction
+            ? nearest_site(c.location, public_sites)
+            : nearest_site(c.location, isp_sites[c.access_as]);
+    clients.client(c.id).ldns = assigned;
+  }
+
+  pop.clients_.resize(pop.servers_.size());
+  for (const Client24& c : clients.clients()) {
+    pop.clients_[c.ldns.value].push_back(c.id);
+  }
+  return pop;
+}
+
+const LdnsServer& LdnsPopulation::server(LdnsId id) const {
+  if (!id.valid() || id.value >= servers_.size()) {
+    throw NotFoundError("ldns id " + std::to_string(id.value));
+  }
+  return servers_[id.value];
+}
+
+std::span<const ClientId> LdnsPopulation::clients_of(LdnsId id) const {
+  [[maybe_unused]] const LdnsServer& checked = server(id);  // bounds check
+  return clients_[id.value];
+}
+
+}  // namespace acdn

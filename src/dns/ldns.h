@@ -1,0 +1,71 @@
+// Local DNS resolver (LDNS) population and client assignment.
+//
+// DNS-based redirection decides per LDNS, not per client (§2), so LDNS
+// placement shapes how well it can work. Per the Akamai study the paper
+// cites [17]: most clients are near their LDNS, but 11-12% of demand comes
+// from clients >500 km away, and public resolvers (~8% of demand) serve
+// geographically disparate clients. We model three assignment classes:
+//   * co-located ISP resolver in the client's metro (the common case),
+//   * centralized ISP resolver at the ISP's hub metro (the distant case),
+//   * public anycast resolver: the client is served by the public
+//     resolver's site nearest the client.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "geo/metro.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+struct LdnsServer {
+  LdnsId id;
+  MetroId metro;
+  GeoPoint location;
+  bool is_public = false;
+  /// Owning access AS for ISP resolvers (invalid for public resolvers).
+  AsId owner;
+};
+
+struct DnsConfig {
+  /// ISPs centralize resolution: one resolver site per this many PoP
+  /// metros (at the most populous ones), so clients of a national ISP are
+  /// often served by a resolver one or more metros away — the geographic
+  /// mismatch that makes LDNS-granularity redirection pay a penalty
+  /// (paper §6 and the Akamai study it cites [17]).
+  int metros_per_resolver_site = 4;
+  /// Upper bound on resolver sites per ISP.
+  int max_resolver_sites_per_isp = 10;
+  /// Fraction of client /24s using a public resolver.
+  double public_resolver_fraction = 0.08;
+  /// Number of public-resolver anycast sites (placed at top metros).
+  int public_resolver_sites = 12;
+
+  void validate() const;
+};
+
+class LdnsPopulation {
+ public:
+  /// Builds the resolver fleet and assigns every client's `ldns` field.
+  static LdnsPopulation build_and_assign(ClientPopulation& clients,
+                                         const MetroDatabase& metros,
+                                         const DnsConfig& config, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return servers_.size(); }
+  [[nodiscard]] std::span<const LdnsServer> servers() const {
+    return servers_;
+  }
+  [[nodiscard]] const LdnsServer& server(LdnsId id) const;
+
+  /// Clients assigned to each LDNS (indexed by LdnsId).
+  [[nodiscard]] std::span<const ClientId> clients_of(LdnsId id) const;
+
+ private:
+  std::vector<LdnsServer> servers_;
+  std::vector<std::vector<ClientId>> clients_;
+};
+
+}  // namespace acdn

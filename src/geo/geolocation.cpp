@@ -1,0 +1,25 @@
+#include "geo/geolocation.h"
+
+namespace acdn {
+
+GeoPoint GeolocationModel::estimate(const GeoPoint& truth,
+                                    std::uint64_t entity_key) const {
+  // Independent stream per entity: re-seeding by key keeps estimates stable
+  // regardless of call order.
+  Rng rng(seed_ ^ (entity_key * 0x9e3779b97f4a7c15ull));
+  const double roll = rng.uniform();
+  if (roll < config_.exact_fraction) return truth;
+
+  const double bearing = rng.uniform(0.0, 360.0);
+  Kilometers error_km = 0.0;
+  if (roll < config_.exact_fraction + config_.gross_error_fraction) {
+    error_km = rng.uniform(config_.gross_error_min_km,
+                           config_.gross_error_max_km);
+  } else {
+    error_km = rng.lognormal(config_.nearby_error_mu,
+                             config_.nearby_error_sigma);
+  }
+  return destination_point(truth, bearing, error_km);
+}
+
+}  // namespace acdn

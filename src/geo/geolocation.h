@@ -1,0 +1,48 @@
+// Geolocation database error model.
+//
+// The paper relies on a commercial geolocation database to pick candidate
+// front-ends per LDNS (§3.3) and notes (footnote 1) that a fraction of very
+// long client-to-front-end distances may be geolocation error. This model
+// maps a true location to the location a geolocation database would report,
+// deterministically per entity, so the same /24 always geolocates the same
+// way within a run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "geo/geo_point.h"
+
+namespace acdn {
+
+struct GeolocationConfig {
+  /// Fraction of entities whose database entry is essentially exact.
+  double exact_fraction = 0.90;
+  /// Lognormal parameters (of km error) for inexact-but-plausible entries.
+  double nearby_error_mu = 3.2;     // median ~25 km
+  double nearby_error_sigma = 0.9;
+  /// Fraction of entities that are badly mislocated (wrong city/country).
+  double gross_error_fraction = 0.01;
+  /// Gross errors are uniform in [min, max] km from the truth.
+  Kilometers gross_error_min_km = 1000.0;
+  Kilometers gross_error_max_km = 8000.0;
+};
+
+class GeolocationModel {
+ public:
+  GeolocationModel(const GeolocationConfig& config, std::uint64_t seed)
+      : config_(config), seed_(seed) {}
+
+  /// The location the database reports for an entity whose true location is
+  /// `truth`. Deterministic in (seed, entity_key).
+  [[nodiscard]] GeoPoint estimate(const GeoPoint& truth,
+                                  std::uint64_t entity_key) const;
+
+  [[nodiscard]] const GeolocationConfig& config() const { return config_; }
+
+ private:
+  GeolocationConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace acdn

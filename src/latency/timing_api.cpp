@@ -1,0 +1,21 @@
+#include "latency/timing_api.h"
+
+#include <cmath>
+
+namespace acdn {
+
+Milliseconds TimingModel::observe(Milliseconds true_ms, bool resource_timing,
+                                  Rng& rng) const {
+  if (resource_timing) return true_ms;
+  const double overhead = rng.uniform(config_.primitive_overhead_min,
+                                      config_.primitive_overhead_max);
+  const Milliseconds extra =
+      config_.primitive_extra_mean_ms > 0.0
+          ? rng.exponential(1.0 / config_.primitive_extra_mean_ms)
+          : 0.0;
+  const Milliseconds raw = true_ms * overhead + extra;
+  const double res = config_.primitive_resolution_ms;
+  return res > 0.0 ? std::round(raw / res) * res : raw;
+}
+
+}  // namespace acdn

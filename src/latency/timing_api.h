@@ -1,0 +1,49 @@
+// Browser timing accuracy model.
+//
+// The paper's beacon (§3.2.2) first records latency with primitive
+// JavaScript timings — known to be imprecise (Li et al., IMC '13) — and
+// substitutes W3C Resource Timing API values when the browser supports
+// them. We model both observation channels: Resource Timing reports the
+// true fetch RTT; primitive timing adds scheduling overhead and coarse
+// clock noise.
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace acdn {
+
+struct TimingConfig {
+  /// Fraction of page loads whose browser supports Resource Timing (2015-era
+  /// support was widespread but not universal).
+  double resource_timing_support = 0.80;
+  /// Primitive timing inflation: multiplicative overhead range and an
+  /// additive scheduling-delay mean (exponential).
+  double primitive_overhead_min = 1.00;
+  double primitive_overhead_max = 1.12;
+  Milliseconds primitive_extra_mean_ms = 4.0;
+  /// Primitive clocks are quantized to this granularity.
+  Milliseconds primitive_resolution_ms = 1.0;
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(const TimingConfig& config = {}) : config_(config) {}
+
+  /// Whether this page load's browser exposes Resource Timing.
+  [[nodiscard]] bool supports_resource_timing(Rng& rng) const {
+    return rng.bernoulli(config_.resource_timing_support);
+  }
+
+  /// The latency value the beacon reports for a fetch whose true RTT is
+  /// `true_ms`: exact under Resource Timing, inflated + quantized otherwise.
+  [[nodiscard]] Milliseconds observe(Milliseconds true_ms,
+                                     bool resource_timing, Rng& rng) const;
+
+  [[nodiscard]] const TimingConfig& config() const { return config_; }
+
+ private:
+  TimingConfig config_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,65 @@
+// FastRoute-style load-aware shedding (Flavel et al., NSDI'15 — the
+// "recent progress" the paper cites in §2 for gradually directing traffic
+// away from an overloaded anycast front-end).
+//
+// Instead of withdrawing an overloaded site's route (load/withdrawal.h),
+// the controller sheds a *fraction* of each overloaded front-end's DNS-
+// resolvable traffic to nearby sites with spare capacity: the CDN flips a
+// fraction of DNS answers from the anycast VIP to unicast addresses of
+// less-loaded neighbors. Shedding is gradual, proportional to the
+// overload, and iterates until no site is above its target utilization or
+// the network is out of spare capacity.
+#pragma once
+
+#include <vector>
+
+#include "load/load_model.h"
+
+namespace acdn {
+
+struct SheddingConfig {
+  /// Target maximum utilization after shedding (keep a margin below 1.0).
+  double target_utilization = 0.90;
+  /// Fraction of a front-end's load that DNS can move per iteration (DNS
+  /// TTLs bound how fast answers change; shedding is gradual by design).
+  double max_shed_per_round = 0.25;
+  /// Overflow recipients per overloaded site, nearest-first.
+  int spill_candidates = 4;
+  int max_rounds = 32;
+};
+
+/// One shedding directive: move `queries_per_day` of `from`'s offered
+/// load to `to` (via unicast DNS answers for that share of resolutions).
+struct ShedDirective {
+  FrontEndId from;
+  FrontEndId to;
+  double queries_per_day = 0.0;
+};
+
+struct SheddingPlan {
+  std::vector<ShedDirective> directives;
+  LoadMap final_load;
+  int rounds = 0;
+  bool stabilized = false;  // all sites at or below target utilization
+
+  /// Total fraction of global traffic moved off its anycast front-end.
+  [[nodiscard]] double moved_share() const;
+};
+
+class FastRouteController {
+ public:
+  FastRouteController(const LoadModel& model, const SheddingConfig& config)
+      : model_(&model), config_(config) {}
+  explicit FastRouteController(const LoadModel& model)
+      : FastRouteController(model, SheddingConfig{}) {}
+
+  /// Plans shedding from the given starting load (e.g. the baseline, or a
+  /// post-failure load from LoadModel::with_withdrawn).
+  [[nodiscard]] SheddingPlan plan(const LoadMap& start) const;
+
+ private:
+  const LoadModel* model_;
+  SheddingConfig config_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,80 @@
+// Front-end load accounting.
+//
+// Anycast "is unaware of server load" (paper §2): whatever BGP delivers to
+// a front-end is that front-end's offered load. This module computes
+// per-front-end offered load from the client population and the routing
+// oracle, assigns capacities, and reports utilization — the inputs for
+// the route-withdrawal cascade (load/withdrawal.h) and the FastRoute-like
+// shedding controller (load/fastroute.h).
+#pragma once
+
+#include <vector>
+
+#include "cdn/router.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+/// Offered load and capacity per front-end (indexed by FrontEndId).
+struct LoadMap {
+  std::vector<double> offered;   // queries/day routed to each front-end
+  std::vector<double> capacity;  // queries/day each front-end can serve
+
+  [[nodiscard]] double utilization(FrontEndId fe) const {
+    return capacity[fe.value] > 0.0 ? offered[fe.value] / capacity[fe.value]
+                                    : 0.0;
+  }
+  [[nodiscard]] bool overloaded(FrontEndId fe) const {
+    return offered[fe.value] > capacity[fe.value];
+  }
+  [[nodiscard]] std::size_t overloaded_count() const;
+  [[nodiscard]] double total_offered() const;
+};
+
+struct LoadConfig {
+  /// Capacity provisioning: each front-end gets headroom times its
+  /// baseline (pre-failure) offered load, floored at a minimum share of
+  /// the global average so tiny sites are not provisioned at zero.
+  double headroom = 1.5;
+  double min_capacity_share = 0.25;
+};
+
+class LoadModel {
+ public:
+  LoadModel(const ClientPopulation& clients, const CdnRouter& router,
+            const LoadConfig& config);
+  LoadModel(const ClientPopulation& clients, const CdnRouter& router)
+      : LoadModel(clients, router, LoadConfig{}) {}
+
+  /// Baseline: every client on its primary anycast route, capacities
+  /// provisioned per the config.
+  [[nodiscard]] const LoadMap& baseline() const { return baseline_; }
+
+  /// Offered load when the given front-ends are withdrawn: each affected
+  /// client's traffic re-lands on the nearest surviving front-end from its
+  /// ingress (intradomain hot potato does not care why a site vanished).
+  /// `withdrawn` is indexed by FrontEndId. Capacities are unchanged.
+  [[nodiscard]] LoadMap with_withdrawn(
+      const std::vector<bool>& withdrawn) const;
+
+  [[nodiscard]] const CdnRouter& router() const { return *router_; }
+  [[nodiscard]] std::size_t front_end_count() const {
+    return baseline_.offered.size();
+  }
+
+ private:
+  /// Nearest surviving front-end (by CDN IGP) from an ingress PoP.
+  [[nodiscard]] FrontEndId nearest_surviving(
+      MetroId ingress, const std::vector<bool>& withdrawn) const;
+
+  const ClientPopulation* clients_;
+  const CdnRouter* router_;
+  LoadConfig config_;
+  LoadMap baseline_;
+  /// Per client: the ingress PoP its primary anycast route uses, so
+  /// withdrawal scenarios re-map without re-running BGP.
+  std::vector<MetroId> client_ingress_;
+  std::vector<bool> client_routable_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,53 @@
+#include "load/withdrawal.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace acdn {
+
+CascadeResult WithdrawalSimulator::cascade(
+    const std::vector<FrontEndId>& initial) const {
+  const std::size_t n = model_->front_end_count();
+  std::vector<bool> withdrawn(n, false);
+  CascadeResult result;
+
+  std::vector<FrontEndId> pending = initial;
+  int round = 0;
+  while (!pending.empty()) {
+    CascadeRound entry;
+    entry.round = round++;
+    for (FrontEndId fe : pending) {
+      require(fe.valid() && fe.value < n, "invalid front-end in cascade");
+      if (!withdrawn[fe.value]) {
+        withdrawn[fe.value] = true;
+        entry.newly_withdrawn.push_back(fe);
+        result.total_withdrawn.push_back(fe);
+      }
+    }
+    pending.clear();
+
+    const LoadMap load = model_->with_withdrawn(withdrawn);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (withdrawn[i]) continue;
+      const FrontEndId fe(static_cast<std::uint32_t>(i));
+      entry.max_utilization =
+          std::max(entry.max_utilization, load.utilization(fe));
+      if (load.overloaded(fe)) {
+        entry.overloaded.push_back(fe);
+        pending.push_back(fe);
+      }
+    }
+    result.final_load = load;
+    result.rounds.push_back(std::move(entry));
+
+    if (std::all_of(withdrawn.begin(), withdrawn.end(),
+                    [](bool w) { return w; })) {
+      result.collapsed = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace acdn

@@ -1,0 +1,53 @@
+// Route-withdrawal cascade simulation (paper §2).
+//
+// "If a particular front-end becomes overloaded ... simply withdrawing the
+// route to take that front-end offline can lead to cascading overloading
+// of nearby front-ends." This module makes that sentence executable: start
+// from an initial withdrawal, re-land the catchment on surviving sites,
+// withdraw any site pushed past capacity, and repeat until the system is
+// stable (or empty).
+#pragma once
+
+#include <vector>
+
+#include "load/load_model.h"
+
+namespace acdn {
+
+struct CascadeRound {
+  int round = 0;
+  /// Sites withdrawn at the start of this round (cumulative mask applied).
+  std::vector<FrontEndId> newly_withdrawn;
+  /// Overloaded survivors after re-landing the traffic.
+  std::vector<FrontEndId> overloaded;
+  double max_utilization = 0.0;
+};
+
+struct CascadeResult {
+  std::vector<CascadeRound> rounds;
+  /// Sites down when the cascade stopped (withdrawn at any point).
+  std::vector<FrontEndId> total_withdrawn;
+  bool collapsed = false;  // every front-end ended up withdrawn
+  LoadMap final_load;
+
+  [[nodiscard]] int rounds_to_stability() const {
+    return static_cast<int>(rounds.size());
+  }
+};
+
+class WithdrawalSimulator {
+ public:
+  explicit WithdrawalSimulator(const LoadModel& model) : model_(&model) {}
+
+  /// Withdraws `initial` and lets overload-triggered withdrawals cascade.
+  /// A site whose offered load exceeds capacity after a round is withdrawn
+  /// in the next round (the §2 failure mode: operators yank overloaded
+  /// sites' routes because anycast gives no gradual control).
+  [[nodiscard]] CascadeResult cascade(
+      const std::vector<FrontEndId>& initial) const;
+
+ private:
+  const LoadModel* model_;
+};
+
+}  // namespace acdn

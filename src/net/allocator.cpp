@@ -1,0 +1,31 @@
+#include "net/allocator.h"
+
+#include "common/error.h"
+
+namespace acdn {
+
+PrefixAllocator::PrefixAllocator(Prefix pool) : pool_(pool) {
+  require(pool.length() <= 24, "allocator pool must be /24 or larger");
+  capacity_ = std::size_t{1} << (24 - pool.length());
+}
+
+PrefixAllocator PrefixAllocator::client_pool() {
+  return PrefixAllocator(Prefix(Ipv4Address(10, 0, 0, 0), 8));
+}
+
+PrefixAllocator PrefixAllocator::cdn_pool() {
+  return PrefixAllocator(Prefix(Ipv4Address(172, 16, 0, 0), 12));
+}
+
+Prefix PrefixAllocator::allocate_slash24() {
+  if (next_ >= capacity_) {
+    throw Error("prefix pool " + pool_.to_string() + " exhausted");
+  }
+  const std::uint32_t base = pool_.address().value();
+  const std::uint32_t addr =
+      base + (static_cast<std::uint32_t>(next_) << 8);
+  ++next_;
+  return Prefix(Ipv4Address(addr), 24);
+}
+
+}  // namespace acdn

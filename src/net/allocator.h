@@ -1,0 +1,37 @@
+// Sequential /24 allocator.
+//
+// The workload generator asks for blocks of client /24s per (metro, ISP);
+// the CDN asks for one unicast /24 per front-end plus one global anycast
+// /24 (§3.1 of the paper). The allocator hands out non-overlapping /24s from
+// a configurable pool and never reuses space.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+
+namespace acdn {
+
+class PrefixAllocator {
+ public:
+  /// Allocates /24s from within `pool`. Pool length must be <= 24.
+  explicit PrefixAllocator(Prefix pool);
+
+  /// Default pools used by the simulation.
+  static PrefixAllocator client_pool();   // 10.0.0.0/8
+  static PrefixAllocator cdn_pool();      // 172.16.0.0/12
+
+  /// Next unallocated /24. Throws acdn::Error when the pool is exhausted.
+  Prefix allocate_slash24();
+
+  [[nodiscard]] std::size_t allocated() const { return next_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] Prefix pool() const { return pool_; }
+
+ private:
+  Prefix pool_;
+  std::size_t next_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace acdn

@@ -1,0 +1,54 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace acdn {
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    unsigned v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc{} || v > 255 || next == p) return std::nullopt;
+    value = (value << 8) | v;
+    p = next;
+    if (octet < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4Address(value);
+}
+
+std::string Prefix::to_string() const {
+  return addr_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = Ipv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int length = -1;
+  const std::string_view len_text = text.substr(slash + 1);
+  auto [next, ec] = std::from_chars(
+      len_text.data(), len_text.data() + len_text.size(), length);
+  if (ec != std::errc{} || next != len_text.data() + len_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix(*addr, length);
+}
+
+}  // namespace acdn

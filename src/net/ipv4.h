@@ -1,0 +1,99 @@
+// IPv4 address and prefix value types.
+//
+// The paper aggregates clients into /24 prefixes "because they tend to be
+// localized" (§3.2, citing Freedman et al.). Client identity throughout the
+// library is therefore a /24; ECS redirection decisions are keyed on it.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace acdn {
+
+/// An IPv4 address as a host-order 32-bit integer value type.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
+               (std::uint32_t(c) << 8) | std::uint32_t(d)) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad notation; nullopt on malformed input.
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix: address plus length. The address is stored normalized
+/// (host bits zeroed).
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  constexpr Prefix(Ipv4Address addr, int length)
+      : addr_(Ipv4Address(normalize(addr.value(), length))), length_(length) {}
+
+  [[nodiscard]] constexpr Ipv4Address address() const { return addr_; }
+  [[nodiscard]] constexpr int length() const { return length_; }
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return mask_for(length_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == addr_.value();
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const {
+    return other.length_ >= length_ && contains(other.addr_);
+  }
+
+  /// The /24 covering an address.
+  [[nodiscard]] static constexpr Prefix slash24_of(Ipv4Address a) {
+    return Prefix(a, 24);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+  static std::optional<Prefix> parse(std::string_view text);
+
+  constexpr auto operator<=>(const Prefix&) const = default;
+
+ private:
+  static constexpr std::uint32_t mask_for(int length) {
+    return length == 0 ? 0u : (~0u << (32 - length));
+  }
+  static constexpr std::uint32_t normalize(std::uint32_t v, int length) {
+    return v & mask_for(length);
+  }
+
+  Ipv4Address addr_;
+  int length_ = 0;
+};
+
+}  // namespace acdn
+
+namespace std {
+template <>
+struct hash<acdn::Ipv4Address> {
+  size_t operator()(const acdn::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+template <>
+struct hash<acdn::Prefix> {
+  size_t operator()(const acdn::Prefix& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t(p.address().value()) << 8) |
+        std::uint64_t(p.length()));
+  }
+};
+}  // namespace std

@@ -1,0 +1,144 @@
+// Binary radix trie keyed by IPv4 prefixes, supporting exact-match insert,
+// lookup, longest-prefix match, and erase.
+//
+// Used by the routing layer (unicast /24 forwarding, anycast catchment
+// lookups) and by the DNS layer for ECS scope resolution. This is a plain
+// bit trie — depth is bounded by 32, so operations are O(32) with no
+// balancing; the Patricia path-compression optimization is unnecessary at
+// these key lengths and would complicate erase.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace acdn {
+
+template <typename Value>
+class RadixTrie {
+ public:
+  RadixTrie() : root_(std::make_unique<Node>()) {}
+
+  /// Inserts or replaces the value at `prefix`. Returns true if inserted,
+  /// false if an existing value was replaced.
+  bool insert(const Prefix& prefix, Value value) {
+    Node* node = descend_create(prefix);
+    const bool inserted = !node->value.has_value();
+    node->value = std::move(value);
+    if (inserted) ++size_;
+    return inserted;
+  }
+
+  /// Exact-match lookup: value stored at exactly this prefix, or nullptr.
+  [[nodiscard]] const Value* find(const Prefix& prefix) const {
+    const Node* node = descend(prefix);
+    return node && node->value ? &*node->value : nullptr;
+  }
+
+  [[nodiscard]] Value* find(const Prefix& prefix) {
+    return const_cast<Value*>(std::as_const(*this).find(prefix));
+  }
+
+  /// Longest-prefix match for an address. Returns the matched prefix and a
+  /// pointer to its value, or nullopt if no prefix covers the address.
+  [[nodiscard]] std::optional<std::pair<Prefix, const Value*>> longest_match(
+      Ipv4Address addr) const {
+    const Node* node = root_.get();
+    const Node* best_node = node->value ? node : nullptr;
+    int best_len = 0;
+    int len = 0;
+    const std::uint32_t bits = addr.value();
+    while (node && len < 32) {
+      const int bit = (bits >> (31 - len)) & 1;
+      node = node->child[bit].get();
+      ++len;
+      if (node && node->value) {
+        best_node = node;
+        best_len = len;
+      }
+    }
+    if (!best_node) return std::nullopt;
+    return std::make_pair(Prefix(addr, best_len), &*best_node->value);
+  }
+
+  /// Removes the value at exactly `prefix`. Returns true if a value was
+  /// removed. Prunes now-empty branches.
+  bool erase(const Prefix& prefix) {
+    if (!erase_impl(root_.get(), prefix, 0)) return false;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  /// Visits every (prefix, value) pair in address order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), 0u, 0, fn);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    std::optional<Value> value;
+
+    [[nodiscard]] bool leaf_and_empty() const {
+      return !child[0] && !child[1] && !value;
+    }
+  };
+
+  Node* descend_create(const Prefix& prefix) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int i = 0; i < prefix.length(); ++i) {
+      const int bit = (bits >> (31 - i)) & 1;
+      if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  [[nodiscard]] const Node* descend(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.address().value();
+    for (int i = 0; i < prefix.length() && node; ++i) {
+      const int bit = (bits >> (31 - i)) & 1;
+      node = node->child[bit].get();
+    }
+    return node;
+  }
+
+  // Returns true if the value existed; prunes empty nodes on unwind.
+  bool erase_impl(Node* node, const Prefix& prefix, int depth) {
+    if (depth == prefix.length()) {
+      if (!node->value) return false;
+      node->value.reset();
+      return true;
+    }
+    const int bit = (prefix.address().value() >> (31 - depth)) & 1;
+    Node* child = node->child[bit].get();
+    if (!child) return false;
+    if (!erase_impl(child, prefix, depth + 1)) return false;
+    if (child->leaf_and_empty()) node->child[bit].reset();
+    return true;
+  }
+
+  template <typename Fn>
+  void visit(const Node* node, std::uint32_t bits, int depth, Fn& fn) const {
+    if (!node) return;
+    if (node->value) fn(Prefix(Ipv4Address(bits), depth), *node->value);
+    if (depth == 32) return;
+    visit(node->child[0].get(), bits, depth + 1, fn);
+    visit(node->child[1].get(), bits | (1u << (31 - depth)), depth + 1, fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace acdn

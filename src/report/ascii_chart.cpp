@@ -1,0 +1,88 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace acdn {
+
+std::string render_chart(const Figure& figure, const ChartOptions& options) {
+  require(options.width >= 16 && options.height >= 4,
+          "chart too small to render");
+  const auto& series = figure.series();
+  if (series.empty()) return "(no series)\n";
+
+  // Determine x range.
+  double x_min = options.x_min;
+  double x_max = options.x_max;
+  if (x_max <= x_min) {
+    bool first = true;
+    for (const Series& s : series) {
+      for (const DistPoint& p : s.points) {
+        if (first) {
+          x_min = x_max = p.x;
+          first = false;
+        } else {
+          x_min = std::min(x_min, p.x);
+          x_max = std::max(x_max, p.x);
+        }
+      }
+    }
+    if (x_max <= x_min) x_max = x_min + 1.0;
+  }
+  if (options.log_x) x_min = std::max(x_min, 1e-9);
+
+  auto x_at = [&](int col) {
+    const double t = double(col) / double(options.width - 1);
+    if (options.log_x) {
+      return x_min * std::pow(x_max / x_min, t);
+    }
+    return x_min + t * (x_max - x_min);
+  };
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(options.height),
+      std::string(static_cast<std::size_t>(options.width), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = static_cast<char>('a' + (si % 26));
+    for (int col = 0; col < options.width; ++col) {
+      const double y = sample_series(series[si], x_at(col));
+      if (y < options.y_min || y > options.y_max) continue;
+      const double t =
+          (y - options.y_min) / (options.y_max - options.y_min);
+      const int row = options.height - 1 -
+                      static_cast<int>(std::round(t * (options.height - 1)));
+      grid[static_cast<std::size_t>(std::clamp(row, 0, options.height - 1))]
+          [static_cast<std::size_t>(col)] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  out << figure.title() << "\n";
+  for (int row = 0; row < options.height; ++row) {
+    const double y =
+        options.y_max -
+        (options.y_max - options.y_min) * double(row) / (options.height - 1);
+    char label[16];
+    std::snprintf(label, sizeof label, "%5.2f |", y);
+    out << label << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << "      +" << std::string(static_cast<std::size_t>(options.width), '-')
+      << "\n";
+  char xlab[128];
+  std::snprintf(xlab, sizeof xlab, "       %-10.4g%*s%10.4g  (%s%s)\n", x_min,
+                options.width - 20, "", x_max, figure.x_label().c_str(),
+                options.log_x ? ", log scale" : "");
+  out << xlab;
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "       [" << static_cast<char>('a' + (si % 26)) << "] "
+        << series[si].name << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace acdn

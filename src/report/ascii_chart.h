@@ -1,0 +1,26 @@
+// Terminal line chart for figure series: a quick visual check that a CDF
+// has the right shape without leaving the console.
+#pragma once
+
+#include <string>
+
+#include "report/series.h"
+
+namespace acdn {
+
+struct ChartOptions {
+  int width = 72;    // plot columns
+  int height = 18;   // plot rows
+  bool log_x = false;
+  double x_min = 0.0;
+  double x_max = 0.0;  // <= x_min means auto
+  double y_min = 0.0;
+  double y_max = 1.0;
+};
+
+/// Renders all series of `figure` into one character grid. Each series is
+/// drawn with its own glyph ('a', 'b', ...; legend included).
+[[nodiscard]] std::string render_chart(const Figure& figure,
+                                       const ChartOptions& options);
+
+}  // namespace acdn

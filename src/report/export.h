@@ -1,0 +1,30 @@
+// Raw-log export/import.
+//
+// The simulation's products — passive production logs and joined beacon
+// measurements — exported as CSV so downstream users can analyze them in
+// other tooling, and imported back so recorded runs can be re-analyzed
+// without re-simulating. Round-trips are exact for the integer fields and
+// round-trip-precise for doubles.
+#pragma once
+
+#include <string>
+
+#include "beacon/store.h"
+
+namespace acdn {
+
+/// Writes one row per (client, front-end, day) aggregate.
+void export_passive_log(const PassiveLog& log, const std::string& path);
+
+/// Reads a file written by export_passive_log. Throws acdn::Error on
+/// malformed input.
+[[nodiscard]] PassiveLog import_passive_log(const std::string& path);
+
+/// Writes one row per beacon *target* (wide rows would lose the variable
+/// target count); rows of one beacon share its beacon_id.
+void export_measurements(const MeasurementStore& store,
+                         const std::string& path);
+
+[[nodiscard]] MeasurementStore import_measurements(const std::string& path);
+
+}  // namespace acdn

@@ -1,0 +1,58 @@
+#include "report/series.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "common/csv.h"
+
+namespace acdn {
+
+double sample_series(const Series& series, double x) {
+  double y = 0.0;
+  for (const DistPoint& p : series.points) {
+    if (p.x > x) break;
+    y = p.y;
+  }
+  return y;
+}
+
+namespace {
+
+std::vector<double> union_xs(const std::vector<Series>& series) {
+  std::set<double> xs;
+  for (const Series& s : series) {
+    for (const DistPoint& p : s.points) xs.insert(p.x);
+  }
+  return {xs.begin(), xs.end()};
+}
+
+}  // namespace
+
+void Figure::print_table() const {
+  std::printf("== %s ==\n", title_.c_str());
+  std::printf("%-12s", x_label_.c_str());
+  for (const Series& s : series_) std::printf("  %16s", s.name.c_str());
+  std::printf("\n");
+  for (double x : union_xs(series_)) {
+    std::printf("%-12.4g", x);
+    for (const Series& s : series_) {
+      std::printf("  %16.4f", sample_series(s, x));
+    }
+    std::printf("\n");
+  }
+}
+
+void Figure::write_csv(const std::string& path) const {
+  CsvWriter csv(path);
+  std::vector<std::string> header{x_label_};
+  for (const Series& s : series_) header.push_back(s.name);
+  csv.write_row(header);
+  for (double x : union_xs(series_)) {
+    std::vector<double> row{x};
+    for (const Series& s : series_) row.push_back(sample_series(s, x));
+    csv.write_row(row);
+  }
+}
+
+}  // namespace acdn

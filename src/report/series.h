@@ -1,0 +1,50 @@
+// Figure series: named (x, y) sequences plus CSV/console rendering, used by
+// every bench harness to print the rows the paper's figures plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace acdn {
+
+struct Series {
+  std::string name;
+  std::vector<DistPoint> points;
+};
+
+/// A figure: a set of series sharing an x axis.
+class Figure {
+ public:
+  Figure(std::string title, std::string x_label, std::string y_label)
+      : title_(std::move(title)),
+        x_label_(std::move(x_label)),
+        y_label_(std::move(y_label)) {}
+
+  void add_series(Series series) { series_.push_back(std::move(series)); }
+
+  [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<Series>& series() const { return series_; }
+  [[nodiscard]] const std::string& x_label() const { return x_label_; }
+  [[nodiscard]] const std::string& y_label() const { return y_label_; }
+
+  /// Prints "x  y(series1)  y(series2) ..." rows to stdout.
+  void print_table() const;
+
+  /// Writes the same rows as CSV. Series are interpolated onto the union
+  /// of x positions (step interpolation, like a CDF).
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  std::vector<Series> series_;
+};
+
+/// Step-interpolates a series at `x` (value of the last point with
+/// point.x <= x; 0 before the first point). Matches CDF semantics.
+[[nodiscard]] double sample_series(const Series& series, double x);
+
+}  // namespace acdn

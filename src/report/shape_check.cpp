@@ -1,0 +1,42 @@
+#include "report/shape_check.h"
+
+#include <cstdio>
+
+namespace acdn {
+
+void ShapeReport::check(const std::string& description, double measured,
+                        double lo, double hi) {
+  checks_.push_back(ShapeCheck{description, measured, lo, hi,
+                               measured >= lo && measured <= hi});
+}
+
+void ShapeReport::note(const std::string& description, double measured) {
+  checks_.push_back(ShapeCheck{description, measured, measured, measured,
+                               true});
+}
+
+bool ShapeReport::all_pass() const {
+  for (const ShapeCheck& c : checks_) {
+    if (!c.pass) return false;
+  }
+  return true;
+}
+
+bool ShapeReport::print() const {
+  std::printf("-- shape checks: %s --\n", figure_.c_str());
+  for (const ShapeCheck& c : checks_) {
+    if (c.lo == c.hi && c.pass) {
+      std::printf("  [note] %-58s measured=%.4g\n", c.description.c_str(),
+                  c.measured);
+    } else {
+      std::printf("  [%s] %-58s measured=%.4g  band=[%.4g, %.4g]\n",
+                  c.pass ? "PASS" : "FAIL", c.description.c_str(), c.measured,
+                  c.lo, c.hi);
+    }
+  }
+  const bool ok = all_pass();
+  std::printf("  => %s\n", ok ? "ALL PASS" : "SOME CHECKS FAILED");
+  return ok;
+}
+
+}  // namespace acdn

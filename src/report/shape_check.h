@@ -1,0 +1,48 @@
+// Shape checks: assert that a reproduced figure matches the paper's
+// headline numbers to within a band, and report PASS/FAIL per check.
+//
+// The reproduction cannot (and should not) match absolute values from the
+// authors' testbed; EXPERIMENTS.md records which direction each comparison
+// goes. Bands here are intentionally generous: they encode "who wins and
+// by roughly what factor", not point estimates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acdn {
+
+struct ShapeCheck {
+  std::string description;
+  double measured = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  bool pass = false;
+};
+
+class ShapeReport {
+ public:
+  explicit ShapeReport(std::string figure_name)
+      : figure_(std::move(figure_name)) {}
+
+  /// Records a check that `measured` falls within [lo, hi].
+  void check(const std::string& description, double measured, double lo,
+             double hi);
+
+  /// Records an informational value (always passes, printed for context).
+  void note(const std::string& description, double measured);
+
+  [[nodiscard]] bool all_pass() const;
+  [[nodiscard]] const std::vector<ShapeCheck>& checks() const {
+    return checks_;
+  }
+
+  /// Prints one line per check and a final verdict; returns all_pass().
+  bool print() const;
+
+ private:
+  std::string figure_;
+  std::vector<ShapeCheck> checks_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,224 @@
+#include "report/svg_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace acdn {
+
+namespace {
+
+constexpr const char* kPalette[] = {"#1f77b4", "#d62728", "#2ca02c",
+                                    "#ff7f0e", "#9467bd", "#8c564b",
+                                    "#e377c2", "#7f7f7f"};
+constexpr int kMarginLeft = 62;
+constexpr int kMarginRight = 16;
+constexpr int kMarginTop = 34;
+constexpr int kMarginBottom = 48;
+
+std::string escape_xml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v) {
+  std::ostringstream s;
+  s.precision(6);
+  s << v;
+  return s.str();
+}
+
+/// "Nice" tick positions covering [lo, hi].
+std::vector<double> linear_ticks(double lo, double hi, int target = 6) {
+  std::vector<double> ticks;
+  const double span = hi - lo;
+  if (span <= 0.0) return {lo};
+  const double raw_step = span / target;
+  const double magnitude = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = magnitude;
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (magnitude * mult >= raw_step) {
+      step = magnitude * mult;
+      break;
+    }
+  }
+  const double first = std::ceil(lo / step) * step;
+  for (double t = first; t <= hi + step * 1e-9; t += step) {
+    ticks.push_back(std::abs(t) < step * 1e-9 ? 0.0 : t);
+  }
+  return ticks;
+}
+
+std::vector<double> log_ticks(double lo, double hi) {
+  std::vector<double> ticks;
+  double t = std::pow(10.0, std::floor(std::log10(std::max(lo, 1e-12))));
+  while (t <= hi * 1.0001) {
+    if (t >= lo * 0.9999) ticks.push_back(t);
+    t *= 2.0;  // 1-2-4-8 progression reads well for km/ms axes
+  }
+  return ticks;
+}
+
+}  // namespace
+
+std::string render_svg(const Figure& figure, const SvgOptions& options) {
+  require(options.width_px >= 160 && options.height_px >= 120,
+          "svg canvas too small");
+  const auto& series = figure.series();
+
+  // Axis ranges.
+  double x_min = options.x_min;
+  double x_max = options.x_max;
+  if (x_max <= x_min) {
+    bool first = true;
+    for (const Series& s : series) {
+      for (const DistPoint& p : s.points) {
+        if (first) {
+          x_min = x_max = p.x;
+          first = false;
+        } else {
+          x_min = std::min(x_min, p.x);
+          x_max = std::max(x_max, p.x);
+        }
+      }
+    }
+    if (x_max <= x_min) x_max = x_min + 1.0;
+  }
+  if (options.log_x) x_min = std::max(x_min, 1e-9);
+
+  const double plot_w =
+      double(options.width_px - kMarginLeft - kMarginRight);
+  const double plot_h =
+      double(options.height_px - kMarginTop - kMarginBottom);
+
+  auto x_pos = [&](double x) {
+    double t = 0.0;
+    if (options.log_x) {
+      t = (std::log(std::max(x, x_min)) - std::log(x_min)) /
+          (std::log(x_max) - std::log(x_min));
+    } else {
+      t = (x - x_min) / (x_max - x_min);
+    }
+    return kMarginLeft + std::clamp(t, 0.0, 1.0) * plot_w;
+  };
+  auto y_pos = [&](double y) {
+    const double t =
+        (y - options.y_min) / (options.y_max - options.y_min);
+    return kMarginTop + (1.0 - std::clamp(t, 0.0, 1.0)) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << options.width_px << "\" height=\"" << options.height_px
+      << "\" viewBox=\"0 0 " << options.width_px << " "
+      << options.height_px << "\" font-family=\"sans-serif\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  svg << "<text x=\"" << options.width_px / 2 << "\" y=\"20\" "
+      << "text-anchor=\"middle\" font-size=\"14\">"
+      << escape_xml(figure.title()) << "</text>\n";
+
+  // Gridlines + ticks.
+  const std::vector<double> xt = options.log_x
+                                     ? log_ticks(x_min, x_max)
+                                     : linear_ticks(x_min, x_max);
+  const std::vector<double> yt =
+      linear_ticks(options.y_min, options.y_max, 5);
+  svg << "<g stroke=\"#dddddd\" stroke-width=\"1\">\n";
+  for (double t : xt) {
+    svg << "<line x1=\"" << fmt(x_pos(t)) << "\" y1=\"" << kMarginTop
+        << "\" x2=\"" << fmt(x_pos(t)) << "\" y2=\""
+        << fmt(kMarginTop + plot_h) << "\"/>\n";
+  }
+  for (double t : yt) {
+    svg << "<line x1=\"" << kMarginLeft << "\" y1=\"" << fmt(y_pos(t))
+        << "\" x2=\"" << fmt(kMarginLeft + plot_w) << "\" y2=\""
+        << fmt(y_pos(t)) << "\"/>\n";
+  }
+  svg << "</g>\n";
+  svg << "<g font-size=\"11\" fill=\"#333333\">\n";
+  for (double t : xt) {
+    svg << "<text x=\"" << fmt(x_pos(t)) << "\" y=\""
+        << fmt(kMarginTop + plot_h + 16) << "\" text-anchor=\"middle\">"
+        << fmt(t) << "</text>\n";
+  }
+  for (double t : yt) {
+    svg << "<text x=\"" << kMarginLeft - 6 << "\" y=\""
+        << fmt(y_pos(t) + 4) << "\" text-anchor=\"end\">" << fmt(t)
+        << "</text>\n";
+  }
+  svg << "<text x=\"" << fmt(kMarginLeft + plot_w / 2) << "\" y=\""
+      << options.height_px - 10 << "\" text-anchor=\"middle\">"
+      << escape_xml(figure.x_label())
+      << (options.log_x ? " (log scale)" : "") << "</text>\n";
+  svg << "<text transform=\"translate(14," << fmt(kMarginTop + plot_h / 2)
+      << ") rotate(-90)\" text-anchor=\"middle\">"
+      << escape_xml(figure.y_label()) << "</text>\n";
+  svg << "</g>\n";
+
+  // Axes frame.
+  svg << "<rect x=\"" << kMarginLeft << "\" y=\"" << kMarginTop
+      << "\" width=\"" << fmt(plot_w) << "\" height=\"" << fmt(plot_h)
+      << "\" fill=\"none\" stroke=\"#333333\"/>\n";
+
+  // Series.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char* color = kPalette[si % std::size(kPalette)];
+    std::ostringstream d;
+    bool started = false;
+    double prev_y = 0.0;
+    for (const DistPoint& p : series[si].points) {
+      if (p.x < x_min || p.x > x_max) {
+        // Keep the running value so steps enter the frame correctly.
+        prev_y = p.y;
+        continue;
+      }
+      if (!started) {
+        d << "M" << fmt(x_pos(p.x)) << " " << fmt(y_pos(p.y));
+        started = true;
+      } else if (options.step) {
+        d << " L" << fmt(x_pos(p.x)) << " " << fmt(y_pos(prev_y));
+        d << " L" << fmt(x_pos(p.x)) << " " << fmt(y_pos(p.y));
+      } else {
+        d << " L" << fmt(x_pos(p.x)) << " " << fmt(y_pos(p.y));
+      }
+      prev_y = p.y;
+    }
+    if (started) {
+      svg << "<path d=\"" << d.str() << "\" fill=\"none\" stroke=\""
+          << color << "\" stroke-width=\"1.8\"/>\n";
+    }
+    // Legend entry.
+    const double ly = kMarginTop + 8 + 16.0 * double(si);
+    svg << "<line x1=\"" << kMarginLeft + 8 << "\" y1=\"" << fmt(ly)
+        << "\" x2=\"" << kMarginLeft + 30 << "\" y2=\"" << fmt(ly)
+        << "\" stroke=\"" << color << "\" stroke-width=\"2\"/>\n";
+    svg << "<text x=\"" << kMarginLeft + 36 << "\" y=\"" << fmt(ly + 4)
+        << "\" font-size=\"11\">" << escape_xml(series[si].name)
+        << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void write_svg(const Figure& figure, const std::string& path,
+               const SvgOptions& options) {
+  std::ofstream out(path);
+  if (!out) throw Error("svg: cannot open " + path);
+  out << render_svg(figure, options);
+}
+
+}  // namespace acdn

@@ -1,0 +1,36 @@
+// Self-contained SVG line charts for figure series.
+//
+// Each bench prints tables and ASCII sketches for the terminal; this
+// renderer writes the publication-style picture — axes, ticks, gridlines,
+// step-interpolated series lines, legend — as a standalone .svg with no
+// external dependencies, so EXPERIMENTS.md can link real figures.
+#pragma once
+
+#include <string>
+
+#include "report/series.h"
+
+namespace acdn {
+
+struct SvgOptions {
+  int width_px = 640;
+  int height_px = 420;
+  bool log_x = false;
+  double x_min = 0.0;
+  double x_max = 0.0;  // <= x_min means derive from the data
+  double y_min = 0.0;
+  double y_max = 1.0;
+  /// Draw the series as CDF-style steps (true) or straight segments.
+  bool step = true;
+};
+
+/// Renders the figure to an SVG document string.
+[[nodiscard]] std::string render_svg(const Figure& figure,
+                                     const SvgOptions& options);
+
+/// Renders and writes to `path`. Throws acdn::Error if the file cannot be
+/// written.
+void write_svg(const Figure& figure, const std::string& path,
+               const SvgOptions& options);
+
+}  // namespace acdn

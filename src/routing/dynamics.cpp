@@ -1,0 +1,88 @@
+#include "routing/dynamics.h"
+
+#include "common/error.h"
+
+namespace acdn {
+
+void RouteDynamics::register_unit(RoutingUnit unit,
+                                  std::size_t candidate_count) {
+  require(!started_, "register_unit after advance_to");
+  UnitState state;
+  state.candidates = candidate_count;
+  state.flappy =
+      candidate_count >= 2 && rng_.bernoulli(config_.flappy_unit_fraction);
+  if (units_.emplace(unit, state).second) {
+    order_.push_back(unit);
+  } else {
+    units_[unit] = state;
+  }
+}
+
+void RouteDynamics::advance_to(DayIndex day) {
+  require(day >= day_, "RouteDynamics cannot rewind");
+  if (!started_) {
+    started_ = true;
+    // Day 0 keeps the initial table; only the flap set is drawn.
+    step_one_day(0);
+    if (day == 0) return;
+  }
+  while (day_ < day) {
+    ++day_;
+    step_one_day(day_);
+  }
+}
+
+void RouteDynamics::step_one_day(DayIndex day) {
+  const bool weekend = calendar_.is_weekend(day);
+  const double change_prob =
+      weekend ? config_.weekend_change_prob : config_.weekday_change_prob;
+
+  flaps_today_.clear();
+  for (const RoutingUnit& unit : order_) {
+    UnitState& state = units_[unit];
+    if (state.candidates < 2) continue;
+
+    // Inter-day route change (skipped on day 0: the initial table holds).
+    // Changes move to an adjacent candidate in BGP preference order: a
+    // withdrawn or de-preferred best route falls back to the next-best,
+    // not to an arbitrary alternative.
+    if (day > 0 && rng_.bernoulli(change_prob)) {
+      if (state.selected != 0 && rng_.bernoulli(config_.revert_prob)) {
+        --state.selected;
+      } else if (state.selected + 1 < state.candidates) {
+        ++state.selected;
+      } else if (state.selected != 0) {
+        --state.selected;
+      }
+    }
+
+    // Intra-day flap: part of the day's traffic briefly uses the adjacent
+    // candidate (route ties / per-peer load sharing).
+    const double flap_prob =
+        state.flappy
+            ? (weekend ? config_.flappy_weekend_flap_prob
+                       : config_.flappy_weekday_flap_prob)
+            : config_.stable_flap_prob;
+    if (rng_.bernoulli(flap_prob)) {
+      const std::size_t alt = state.selected + 1 < state.candidates
+                                  ? state.selected + 1
+                                  : state.selected - 1;
+      flaps_today_[unit] = alt;
+    }
+  }
+}
+
+std::size_t RouteDynamics::selected_candidate(const RoutingUnit& unit) const {
+  auto it = units_.find(unit);
+  if (it == units_.end()) return 0;
+  return it->second.selected;
+}
+
+std::optional<std::size_t> RouteDynamics::flap_alternate(
+    const RoutingUnit& unit) const {
+  auto it = flaps_today_.find(unit);
+  if (it == flaps_today_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace acdn

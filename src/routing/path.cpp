@@ -1,0 +1,86 @@
+#include "routing/path.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace acdn {
+
+std::vector<AsId> ForwardingPath::as_path() const {
+  std::vector<AsId> out;
+  out.reserve(segments.size());
+  for (const PathSegment& s : segments) out.push_back(s.as);
+  return out;
+}
+
+MetroId PathUnfolder::choose_handoff(const AsNode& node, MetroId current,
+                                     std::span<const MetroId> options,
+                                     bool cdn_handoff) const {
+  require(!options.empty(), "choose_handoff with no options");
+  if (node.remote_peering_policy && cdn_handoff) {
+    // Cold potato toward a preferred interconnection site when available.
+    for (MetroId pref : node.preferred_handoffs) {
+      if (std::find(options.begin(), options.end(), pref) != options.end()) {
+        return pref;
+      }
+    }
+  }
+  return graph_->nearest_by_igp(node.id, current, options);
+}
+
+ForwardingPath PathUnfolder::unfold(AsId access_as, MetroId client_metro,
+                                    const BgpRouteTable& table,
+                                    std::span<const MetroId> announce_metros,
+                                    std::size_t candidate_index) const {
+  ForwardingPath path;
+  const std::vector<AsId> chain = table.walk(access_as, candidate_index);
+  if (chain.empty()) return path;  // unreachable
+
+  const std::set<MetroId> announce(announce_metros.begin(),
+                                   announce_metros.end());
+
+  MetroId current = client_metro;
+  for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
+    const AsNode& node = graph_->as_node(chain[i]);
+    const AsId next = chain[i + 1];
+    require(node.present_in(current),
+            "path unfolding entered AS " + node.name +
+                " at a metro without a PoP");
+
+    std::vector<MetroId> options = graph_->peering_metros(chain[i], next);
+    if (next == cdn_) {
+      // Handoff into the CDN can happen at any metro where the prefix is
+      // originated and this network is interconnected with the CDN: a
+      // configured session metro that originates it, or any announce metro
+      // where the network has a PoP (the prefix is announced to everyone
+      // interconnected at that peering point, §3.1). The same sessions
+      // serve the anycast and unicast prefixes; only the announce scope
+      // differs.
+      std::erase_if(options,
+                    [&](MetroId m) { return announce.count(m) == 0; });
+      for (MetroId m : announce_metros) {
+        if (node.present_in(m) &&
+            std::find(options.begin(), options.end(), m) == options.end()) {
+          options.push_back(m);
+        }
+      }
+    }
+    if (options.empty()) return path;  // inconsistent table; treat unreachable
+
+    const MetroId handoff =
+        choose_handoff(node, current, options, next == cdn_);
+    const Kilometers km =
+        graph_->intra_as_distance_km(chain[i], current, handoff);
+    path.segments.push_back(PathSegment{chain[i], current, handoff, km});
+    path.total_km += km;
+    current = handoff;
+  }
+
+  path.ingress_metro = current;
+  path.as_hops = static_cast<int>(chain.size()) - 1;
+  path.valid = true;
+  return path;
+}
+
+}  // namespace acdn

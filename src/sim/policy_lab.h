@@ -1,0 +1,78 @@
+// Policy laboratory: compare redirection strategies on one world.
+//
+// Drives a multi-day simulation and, each day, measures the latency every
+// client actually achieves under each strategy — resolving through a real
+// AuthoritativeServer (so TTL caching and per-LDNS/ECS granularity apply),
+// then sampling the RTT of whatever the answer pointed at: the day's
+// anycast route, or a unicast front-end. Optionally retrains a
+// HistoryPredictor each morning on yesterday's beacons, which is how the
+// §6 hybrid policy is meant to be operated.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "dns/authoritative.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+#include "stats/distribution.h"
+
+namespace acdn {
+
+struct PolicyLabConfig {
+  /// Achieved-latency samples per client per day.
+  int samples_per_client_day = 1;
+  /// TTL on authoritative answers.
+  double answer_ttl_seconds = 120.0;
+  /// Whether resolvers forward ECS for their clients.
+  bool resolvers_send_ecs = true;
+};
+
+struct StrategyOutcome {
+  std::string name;
+  /// Query-volume-weighted achieved latencies across clients and days.
+  DistributionBuilder achieved_ms;
+  /// Authoritative-side query count (cache misses) and resolver cache hits.
+  std::size_t authoritative_queries = 0;
+  std::size_t cache_hits = 0;
+  /// Fraction of resolutions answered with a unicast front-end.
+  double unicast_answer_share = 0.0;
+};
+
+class PolicyLab {
+ public:
+  PolicyLab(World& world, const PolicyLabConfig& config)
+      : world_(&world), config_(config) {}
+  explicit PolicyLab(World& world) : PolicyLab(world, PolicyLabConfig{}) {}
+
+  /// Registers a strategy. The policy must outlive the lab.
+  void add_strategy(std::string name, const RedirectionPolicy& policy);
+
+  /// If set, retrained each morning on the previous day's beacon
+  /// measurements (for HybridPolicy-style strategies).
+  void retrain_each_day(HistoryPredictor& predictor) {
+    retrain_ = &predictor;
+  }
+
+  /// Runs `days` simulated days and returns one outcome per strategy.
+  [[nodiscard]] std::vector<StrategyOutcome> run(int days);
+
+ private:
+  struct Strategy {
+    std::string name;
+    const RedirectionPolicy* policy;
+    std::unique_ptr<AuthoritativeServer> server;
+    std::size_t unicast_answers = 0;
+    std::size_t resolutions = 0;
+    DistributionBuilder achieved;
+  };
+
+  World* world_;
+  PolicyLabConfig config_;
+  std::vector<Strategy> strategies_;
+  HistoryPredictor* retrain_ = nullptr;
+};
+
+}  // namespace acdn

@@ -1,0 +1,50 @@
+#include "sim/scenario.h"
+
+#include "common/error.h"
+
+namespace acdn {
+
+ScenarioConfig ScenarioConfig::paper_default() {
+  ScenarioConfig config;
+  config.workload.total_client_24s = 4000;
+  config.workload.base_daily_queries = 40.0;
+  config.schedule.beacon_sampling = 0.02;
+  return config;
+}
+
+ScenarioConfig ScenarioConfig::small_test() {
+  ScenarioConfig config;
+  config.seed = 7;
+  config.topology.tier1_count = 4;
+  config.topology.transits_per_region = 2;
+  config.topology.national_access_per_country = 1;
+  config.deployment.north_america = 6;
+  config.deployment.europe = 5;
+  config.deployment.asia = 3;
+  config.deployment.oceania = 1;
+  config.deployment.south_america = 1;
+  config.deployment.africa = 1;
+  config.deployment.middle_east = 1;
+  config.cdn.extra_peering_metros = 3;
+  config.workload.total_client_24s = 400;
+  config.workload.base_daily_queries = 30.0;
+  config.schedule.beacon_sampling = 0.05;
+  config.dns.public_resolver_sites = 4;
+  return config;
+}
+
+void ScenarioConfig::validate() const {
+  topology.validate();
+  workload.validate();
+  dns.validate();
+  rtt.validate();
+  require(deployment.total() >= 1, "deployment needs at least one site");
+  require(flap_traffic_share > 0.0 && flap_traffic_share < 1.0,
+          "flap_traffic_share must be in (0,1)");
+  require(max_route_alternatives >= 1,
+          "max_route_alternatives must be at least 1");
+  require(simulation_threads >= 1,
+          "simulation_threads must be at least 1");
+}
+
+}  // namespace acdn

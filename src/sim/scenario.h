@@ -1,0 +1,61 @@
+// Scenario configuration: every knob of the synthetic world in one place.
+//
+// paper_default() is tuned so the figure shapes land near the paper's
+// (DESIGN.md §3 lists the targets); small_test() builds a tiny world for
+// fast unit and integration tests. Both are deterministic given `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "beacon/beacon.h"
+#include "cdn/network.h"
+#include "common/sim_clock.h"
+#include "dns/ldns.h"
+#include "geo/geolocation.h"
+#include "latency/rtt_model.h"
+#include "latency/timing_api.h"
+#include "routing/dynamics.h"
+#include "topology/builder.h"
+#include "workload/clients.h"
+#include "workload/schedule.h"
+
+namespace acdn {
+
+struct ScenarioConfig {
+  std::uint64_t seed = 42;
+  /// First simulated day. April 1, 2015 (a Wednesday) matches the paper.
+  Date start_date{2015, 4, 1};
+
+  TopologyConfig topology;
+  DeploymentConfig deployment;
+  CdnNetworkConfig cdn;
+  WorkloadConfig workload;
+  ScheduleConfig schedule;
+  DnsConfig dns;
+  GeolocationConfig geolocation;
+  RttConfig rtt;
+  TimingConfig timing;
+  BeaconConfig beacon;
+  DynamicsConfig dynamics;
+
+  /// Share of a flapping routing unit's daily traffic on the alternate
+  /// route.
+  double flap_traffic_share = 0.35;
+  /// Route-candidate alternatives dynamics may select per unit (beyond
+  /// this, BGP candidates are too poor to be realistic next-best picks).
+  int max_route_alternatives = 3;
+
+  /// Worker threads for the per-client day loop. Every client draws from
+  /// a (seed, day, client)-keyed RNG substream and outputs merge in client
+  /// order, so results are byte-identical for any thread count.
+  int simulation_threads = 1;
+
+  /// Full-scale scenario matching the paper's world.
+  static ScenarioConfig paper_default();
+  /// Small world for fast tests (hundreds of clients, fewer sites).
+  static ScenarioConfig small_test();
+
+  void validate() const;
+};
+
+}  // namespace acdn

@@ -1,0 +1,118 @@
+#include "sim/simulation.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace acdn {
+
+namespace {
+
+/// Keyed seed for a (scenario, day, client) substream: every client draws
+/// from its own generator, so results do not depend on iteration order or
+/// on which thread simulates which client.
+std::uint64_t client_day_seed(std::uint64_t scenario_seed, DayIndex day,
+                              ClientId client) {
+  std::uint64_t x = scenario_seed;
+  x ^= (std::uint64_t(day) + 1) * 0x9e3779b97f4a7c15ull;
+  x ^= (std::uint64_t(client.value) + 1) * 0xc2b2ae3d27d4eb4full;
+  return x;
+}
+
+/// Everything one client contributes to one day; filled concurrently,
+/// merged in client order.
+struct ClientDayOutput {
+  bool active = false;
+  bool flapping = false;
+  std::vector<PassiveLogEntry> passive;
+  std::vector<DnsLogEntry> dns_log;
+  std::vector<HttpLogEntry> http_log;
+};
+
+}  // namespace
+
+void Simulation::run_days(int n) {
+  for (int i = 0; i < n; ++i) run_day();
+}
+
+DayStats Simulation::run_day() {
+  const DayIndex day = next_day_++;
+  World& w = *world_;
+  w.dynamics().advance_to(day);
+
+  const QuerySchedule& schedule = w.schedule();
+  const auto clients = w.clients().clients();
+  std::vector<ClientDayOutput> outputs(clients.size());
+
+  parallel_for(0, clients.size(), w.config().simulation_threads,
+               [&](std::size_t i) {
+    const Client24& client = clients[i];
+    ClientDayOutput& out = outputs[i];
+    if (!schedule.is_active(client, day, w.config().seed)) return;
+    const double expected =
+        schedule.expected_queries_when_active(client, day);
+    if (expected <= 0.0) return;
+
+    const World::DayRoute route = w.anycast_today(client);
+    if (!route.primary.valid) return;  // unreachable (never in practice)
+    out.active = true;
+
+    // --- Passive production logs: aggregate counts per front-end.
+    if (route.alternate) {
+      out.flapping = true;
+      const double alt_queries = expected * route.alternate_share;
+      out.passive.push_back(PassiveLogEntry{
+          client.id, route.primary.front_end, day, expected - alt_queries});
+      out.passive.push_back(PassiveLogEntry{
+          client.id, route.alternate->front_end, day, alt_queries});
+    } else {
+      out.passive.push_back(
+          PassiveLogEntry{client.id, route.primary.front_end, day, expected});
+    }
+
+    // --- Beacon executions on a sampled fraction of page loads.
+    Rng rng(client_day_seed(w.config().seed, day, client.id));
+    const double beacon_mean = expected * schedule.config().beacon_sampling;
+    const int beacons =
+        std::poisson_distribution<int>(beacon_mean)(rng.engine());
+    for (int b = 0; b < beacons; ++b) {
+      // Globally unique, coordinate-derived beacon id: no shared counter.
+      const std::uint64_t beacon_id =
+          (std::uint64_t(day) << 44) | (std::uint64_t(client.id.value) << 12) |
+          std::uint64_t(b & 0xfff);
+      const SimTime when = schedule.sample_query_time(day, rng);
+      const RouteResult& anycast_route =
+          (route.alternate && rng.bernoulli(route.alternate_share))
+              ? *route.alternate
+              : route.primary;
+      w.beacon().run_beacon(beacon_id, client, when, anycast_route, rng,
+                            out.dns_log, out.http_log);
+    }
+  });
+
+  // Merge in client order: byte-identical output for any thread count.
+  std::vector<DnsLogEntry> dns_log;
+  std::vector<HttpLogEntry> http_log;
+  DayStats stats;
+  stats.day = day;
+  for (const ClientDayOutput& out : outputs) {
+    if (!out.active) continue;
+    for (const PassiveLogEntry& e : out.passive) passive_.add(e);
+    stats.passive_entries += out.passive.size();
+    if (out.flapping) ++stats.clients_flapping;
+    stats.beacons += out.dns_log.size() / 4;
+    dns_log.insert(dns_log.end(), out.dns_log.begin(), out.dns_log.end());
+    http_log.insert(http_log.end(), out.http_log.begin(),
+                    out.http_log.end());
+  }
+
+  measurements_.join(dns_log, http_log);
+  Log(LogLevel::kInfo) << "day " << day << " ("
+                       << to_string(w.calendar().weekday(day)) << "): "
+                       << stats.beacons << " beacons, "
+                       << stats.passive_entries << " passive rows";
+  return stats;
+}
+
+}  // namespace acdn

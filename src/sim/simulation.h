@@ -1,0 +1,49 @@
+// Multi-day simulation driver.
+//
+// Each simulated day: interdomain routing evolves (RouteDynamics), every
+// client's production queries land on its current anycast front-end
+// (passive logs, §3.2.1), a sampled fraction of page loads runs the
+// JavaScript beacon (§3.2.2), and at day's end the DNS and HTTP logs are
+// joined into the measurement store — the same pipeline the paper's
+// backend ran.
+#pragma once
+
+#include <vector>
+
+#include "beacon/store.h"
+#include "sim/world.h"
+
+namespace acdn {
+
+struct DayStats {
+  DayIndex day = 0;
+  std::size_t beacons = 0;
+  std::size_t passive_entries = 0;
+  std::size_t clients_flapping = 0;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(World& world) : world_(&world) {}
+
+  /// Runs days [next_day, next_day + n). Days must be run in order.
+  void run_days(int n);
+
+  /// Runs exactly one day and returns its stats.
+  DayStats run_day();
+
+  [[nodiscard]] DayIndex next_day() const { return next_day_; }
+  [[nodiscard]] const MeasurementStore& measurements() const {
+    return measurements_;
+  }
+  [[nodiscard]] const PassiveLog& passive() const { return passive_; }
+  [[nodiscard]] World& world() { return *world_; }
+
+ private:
+  World* world_;
+  DayIndex next_day_ = 0;
+  MeasurementStore measurements_;
+  PassiveLog passive_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,80 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace acdn {
+
+World::World(const ScenarioConfig& config)
+    : config_(config), calendar_(config.start_date) {
+  config_.validate();
+  Rng rng(config_.seed);
+
+  const MetroDatabase& metro_db = MetroDatabase::world();
+  graph_ = std::make_unique<AsGraph>(
+      build_topology(metro_db, config_.topology, rng));
+
+  PrefixAllocator cdn_addresses = PrefixAllocator::cdn_pool();
+  Deployment deployment =
+      Deployment::make_default(metro_db, config_.deployment, cdn_addresses);
+  cdn_ = std::make_unique<CdnNetwork>(*graph_, std::move(deployment),
+                                      config_.cdn, rng);
+  router_ = std::make_unique<CdnRouter>(*graph_, *cdn_);
+
+  PrefixAllocator client_addresses = PrefixAllocator::client_pool();
+  clients_ = std::make_unique<ClientPopulation>(ClientPopulation::generate(
+      *graph_, config_.workload, client_addresses, rng));
+  ldns_ = std::make_unique<LdnsPopulation>(LdnsPopulation::build_and_assign(
+      *clients_, metro_db, config_.dns, rng));
+
+  geolocation_ = std::make_unique<GeolocationModel>(
+      config_.geolocation, rng.fork("geolocation").next_u64());
+  rtt_ = std::make_unique<RttModel>(config_.rtt);
+  timing_ = std::make_unique<TimingModel>(config_.timing);
+  schedule_ = std::make_unique<QuerySchedule>(config_.schedule, calendar_);
+
+  beacon_ = std::make_unique<BeaconSystem>(*router_, metro_db, *clients_,
+                                           *ldns_, *geolocation_, *rtt_,
+                                           *timing_, config_.beacon);
+
+  dynamics_ = std::make_unique<RouteDynamics>(config_.dynamics, calendar_,
+                                              config_.seed);
+  std::set<std::pair<AsId, MetroId>> units;
+  for (const Client24& c : clients_->clients()) {
+    units.emplace(c.access_as, c.metro);
+  }
+  for (const auto& [as, metro] : units) {
+    const std::size_t candidates = std::min<std::size_t>(
+        router_->anycast_candidate_count(as),
+        static_cast<std::size_t>(config_.max_route_alternatives));
+    dynamics_->register_unit(RoutingUnit{as, metro}, candidates);
+  }
+
+  Log(LogLevel::kInfo) << "world: " << graph_->as_count() << " ASes, "
+                       << cdn_->deployment().size() << " front-ends, "
+                       << clients_->size() << " client /24s, "
+                       << ldns_->size() << " resolvers";
+}
+
+const MetroDatabase& World::metros() const { return MetroDatabase::world(); }
+
+World::DayRoute World::anycast_today(const Client24& client) const {
+  const RoutingUnit unit{client.access_as, client.metro};
+  const std::size_t selected = dynamics_->selected_candidate(unit);
+  DayRoute route;
+  route.primary = router_->route_anycast(client.access_as, client.metro,
+                                         selected);
+  if (const auto alt = dynamics_->flap_alternate(unit)) {
+    const RouteResult alternate =
+        router_->route_anycast(client.access_as, client.metro, *alt);
+    if (alternate.valid && alternate.front_end != route.primary.front_end) {
+      route.alternate = alternate;
+      route.alternate_share = config_.flap_traffic_share;
+    }
+  }
+  return route;
+}
+
+}  // namespace acdn

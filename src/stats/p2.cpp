@@ -1,0 +1,102 @@
+#include "stats/p2.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace acdn {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  require(q > 0.0 && q < 1.0, "P2Quantile requires q in (0,1)");
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double sample) {
+  if (count_ < 5) {
+    add_initial(sample);
+  } else {
+    add_steady(sample);
+  }
+  ++count_;
+}
+
+void P2Quantile::add_initial(double sample) {
+  heights_[count_] = sample;
+  if (count_ == 4) {
+    std::sort(heights_.begin(), heights_.end());
+    for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+  }
+}
+
+void P2Quantile::add_steady(double sample) {
+  int k = 0;
+  if (sample < heights_[0]) {
+    heights_[0] = sample;
+    k = 0;
+  } else if (sample >= heights_[4]) {
+    heights_[4] = sample;
+    k = 3;
+  } else {
+    for (int i = 1; i < 5; ++i) {
+      if (sample < heights_[i]) {
+        k = i - 1;
+        break;
+      }
+    }
+  }
+
+  for (int i = k + 1; i < 5; ++i) ++positions_[i];
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1)) {
+      const int dir = d >= 0 ? 1 : -1;
+      const double candidate = parabolic(i, dir);
+      if (heights_[i - 1] < candidate && candidate < heights_[i + 1]) {
+        heights_[i] = candidate;
+      } else {
+        heights_[i] = linear(i, dir);
+      }
+      positions_[i] += dir;
+    }
+  }
+}
+
+double P2Quantile::parabolic(int i, int d) const {
+  const double np = positions_[i + 1];
+  const double nm = positions_[i - 1];
+  const double n = positions_[i];
+  const double qp = heights_[i + 1];
+  const double qm = heights_[i - 1];
+  const double q = heights_[i];
+  return q + d / (np - nm) *
+                 ((n - nm + d) * (qp - q) / (np - n) +
+                  (np - n - d) * (q - qm) / (n - nm));
+}
+
+double P2Quantile::linear(int i, int d) const {
+  return heights_[i] +
+         d * (heights_[i + d] - heights_[i]) /
+             (positions_[i + d] - positions_[i]);
+}
+
+double P2Quantile::value() const {
+  require(count_ > 0, "P2Quantile::value with no samples");
+  if (count_ >= 5) return heights_[2];
+  std::array<double, 5> sorted = heights_;
+  std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+  const double pos = q_ * static_cast<double>(count_ - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, count_ - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace acdn

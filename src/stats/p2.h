@@ -1,0 +1,42 @@
+// P² (piecewise-parabolic) streaming quantile estimator (Jain & Chlamtac,
+// CACM 1985). Estimates a single quantile in O(1) memory without storing
+// samples. Used by the measurement backend to track per-front-end latency
+// percentiles over high-volume streams where storing every sample per
+// (group, front-end) pair would be wasteful.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace acdn {
+
+class P2Quantile {
+ public:
+  /// `q` in (0, 1): the quantile to track (e.g. 0.25 for the paper's
+  /// prediction metric).
+  explicit P2Quantile(double q);
+
+  void add(double sample);
+
+  /// Current estimate. With fewer than 5 samples, returns the exact
+  /// quantile over the samples seen. Requires count() > 0.
+  [[nodiscard]] double value() const;
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double quantile_tracked() const { return q_; }
+
+ private:
+  void add_initial(double sample);
+  void add_steady(double sample);
+  [[nodiscard]] double parabolic(int i, int d) const;
+  [[nodiscard]] double linear(int i, int d) const;
+
+  double q_;
+  std::size_t count_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<int, 5> positions_{};    // actual marker positions (1-based)
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace acdn

@@ -1,0 +1,96 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace acdn {
+
+namespace {
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  const std::size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = q * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+double quantile(std::span<const double> values, double q) {
+  require(!values.empty(), "quantile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return quantile_sorted(sorted, q);
+}
+
+std::vector<double> quantiles(std::span<const double> values,
+                              std::span<const double> qs) {
+  require(!values.empty(), "quantiles of empty sample");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) {
+    require(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+    out.push_back(quantile_sorted(sorted, q));
+  }
+  return out;
+}
+
+double weighted_quantile(std::span<const double> values,
+                         std::span<const double> weights, double q) {
+  require(values.size() == weights.size(),
+          "weighted_quantile size mismatch");
+  require(!values.empty(), "weighted_quantile of empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+
+  double total = 0.0;
+  for (double w : weights) {
+    require(w >= 0.0, "weights must be non-negative");
+    total += w;
+  }
+  require(total > 0.0, "weighted_quantile needs positive total weight");
+
+  const double target = q * total;
+  double cum = 0.0;
+  for (std::size_t idx : order) {
+    cum += weights[idx];
+    if (cum >= target) return values[idx];
+  }
+  return values[order.back()];
+}
+
+double mean(std::span<const double> values) {
+  require(!values.empty(), "mean of empty sample");
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double coefficient_of_variation(std::span<const double> values) {
+  const double m = mean(values);
+  require(m != 0.0, "coefficient of variation undefined for zero mean");
+  return stddev(values) / m;
+}
+
+}  // namespace acdn

@@ -1,0 +1,43 @@
+// Exact quantiles over in-memory samples, unweighted and weighted.
+//
+// The prediction scheme (§6) keys on the 25th-percentile and median latency
+// of a client group's measurements; the evaluation compares 50th/75th
+// percentiles; figure series are CDFs over (optionally query-volume
+// weighted) /24s. All of that funnels through these functions.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace acdn {
+
+/// Quantile q in [0, 1] of `values` with linear interpolation between order
+/// statistics (type-7, the numpy/R default). Requires non-empty input.
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+/// Convenience for several quantiles over one sort of the data.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> values,
+                                            std::span<const double> qs);
+
+/// Weighted quantile: the smallest value v such that the cumulative weight
+/// of samples <= v reaches q * total_weight. Weights must be non-negative
+/// with positive total. values and weights must have equal length.
+[[nodiscard]] double weighted_quantile(std::span<const double> values,
+                                       std::span<const double> weights,
+                                       double q);
+
+[[nodiscard]] inline double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+/// Arithmetic mean; requires non-empty input.
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Coefficient of variation: stddev/mean. The paper picked the 25th
+/// percentile as its prediction metric because its CoV across days was low.
+[[nodiscard]] double coefficient_of_variation(std::span<const double> values);
+
+}  // namespace acdn

@@ -1,0 +1,69 @@
+// Synthetic Internet builder.
+//
+// Generates a plausible AS-level Internet over the metro database:
+//   * a handful of global tier-1 backbones (full peer mesh),
+//   * regional transit providers buying from tier-1s,
+//   * national access (eyeball) ISPs per country plus metro-local ISPs,
+//   * a configurable fraction of access ISPs with "remote peering"
+//     policies — the §5 pathology where traffic is carried to a distant
+//     handoff even though a close interconnect exists.
+//
+// The CDN's own AS is added separately with add_cdn_as once a front-end
+// deployment has chosen its metros.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "topology/as_graph.h"
+
+namespace acdn {
+
+struct TopologyConfig {
+  int tier1_count = 12;
+  int transits_per_region = 5;
+  /// National access ISPs per country (scaled down for tiny countries).
+  int national_access_per_country = 2;
+  /// Metro-local access ISPs per metro.
+  int local_access_per_metro = 1;
+  /// Probability a tier-1 is present in a non-hub metro.
+  double tier1_presence_prob = 0.45;
+  /// Probability a regional transit is present in a region metro.
+  double transit_presence_prob = 0.85;
+  /// Fraction of access ISPs operating a remote-peering (cold potato toward
+  /// a preferred handoff) policy; half of those hand off at a foreign hub.
+  double remote_peering_fraction = 0.10;
+  /// Probability two transits in the same region peer.
+  double transit_peer_prob = 0.5;
+  /// Providers per national access ISP (1..this).
+  int max_providers_per_access = 3;
+
+  void validate() const;
+};
+
+/// Builds the non-CDN Internet. Deterministic in (config, rng state).
+[[nodiscard]] AsGraph build_topology(const MetroDatabase& metros,
+                                     const TopologyConfig& config, Rng& rng);
+
+struct CdnLinkConfig {
+  /// Tier-1 transit providers the CDN buys from (for universal reach).
+  int transit_providers = 2;
+  /// Probability of settlement-free peering with a tier-1 / transit that
+  /// shares a metro with the CDN.
+  double tier1_peer_prob = 0.9;
+  double transit_peer_prob = 0.55;
+  /// Probability of open peering with an access ISP sharing a metro.
+  double access_peer_prob = 0.30;
+  /// Cap on peering metros per transit/tier-1 peering link; sparse
+  /// interconnection is what makes ingress points distant.
+  int max_transit_peering_metros = 6;
+  /// Cap on peering metros per access-ISP link (IXP ports are not free).
+  int max_access_peering_metros = 3;
+};
+
+/// Adds the CDN AS with PoPs at `presence` and interconnects it with the
+/// existing graph per `config`. Returns the CDN's AsId.
+AsId add_cdn_as(AsGraph& graph, std::vector<MetroId> presence,
+                const CdnLinkConfig& config, Rng& rng);
+
+}  // namespace acdn

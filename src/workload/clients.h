@@ -1,0 +1,91 @@
+// Client population generation.
+//
+// Client identity is a /24 prefix (paper §3.2: client IPs are aggregated to
+// /24s "because they tend to be localized"). Each /24 is pinned to a metro
+// (count proportional to population times regional Internet penetration),
+// attached to an access ISP with a PoP there, given a location jittered
+// around the metro center, a fixed last-mile latency draw, and a heavy-
+// tailed daily query volume — the paper weights many results by query
+// volume because per-/24 demand is "heavily skewed" (§3.2).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "latency/rtt_model.h"
+#include "net/allocator.h"
+#include "topology/as_graph.h"
+
+namespace acdn {
+
+struct Client24 {
+  ClientId id;
+  Prefix prefix;  // the /24
+  MetroId metro;
+  AsId access_as;
+  GeoPoint location;
+  Region region = Region::kNorthAmerica;
+  /// Fixed last-mile RTT contribution for this /24.
+  Milliseconds last_mile_ms = 10.0;
+  /// Mean queries per weekday (heavy-tailed across /24s).
+  double daily_queries = 10.0;
+  /// Filled by the DNS layer: the resolver this /24 uses.
+  LdnsId ldns;
+};
+
+struct WorkloadConfig {
+  /// Total client /24s to generate (distributed over metros).
+  int total_client_24s = 4000;
+  /// Pareto shape for per-/24 daily query volume (smaller = more skew).
+  double volume_pareto_alpha = 1.2;
+  /// Scale: median-ish queries per /24 per weekday.
+  double base_daily_queries = 40.0;
+  /// Client placement around the metro center: lognormal distance with
+  /// this median and log-sigma, capped at the max. A /24's "metro" is the
+  /// nearest big city, but much of its population lives in suburbs and
+  /// smaller towns a long way out — which is what puts the paper's median
+  /// client 280 km from the nearest front-end (Figure 2).
+  Kilometers placement_median_km = 110.0;
+  double placement_sigma = 1.0;
+  Kilometers placement_max_km = 1500.0;
+  LastMileMix last_mile;
+
+  void validate() const;
+};
+
+/// Internet penetration multiplier applied to metro population when
+/// apportioning client /24s.
+[[nodiscard]] double region_penetration(Region r);
+
+class ClientPopulation {
+ public:
+  /// Deterministic in (graph, config, rng state). Every generated client is
+  /// attached to an access AS present in its metro.
+  static ClientPopulation generate(const AsGraph& graph,
+                                   const WorkloadConfig& config,
+                                   PrefixAllocator& addresses, Rng& rng);
+
+  [[nodiscard]] std::size_t size() const { return clients_.size(); }
+  [[nodiscard]] std::span<const Client24> clients() const { return clients_; }
+  [[nodiscard]] const Client24& client(ClientId id) const;
+  [[nodiscard]] Client24& client(ClientId id);
+
+  /// Sum of daily_queries over all clients.
+  [[nodiscard]] double total_query_weight() const;
+
+  /// Client owning a /24 prefix, if any (how ECS-keyed systems look
+  /// clients up).
+  [[nodiscard]] std::optional<ClientId> find_by_prefix(
+      const Prefix& prefix) const;
+
+ private:
+  explicit ClientPopulation(std::vector<Client24> clients);
+  std::vector<Client24> clients_;
+  std::unordered_map<Prefix, ClientId> by_prefix_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,59 @@
+#include "workload/schedule.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+namespace acdn {
+
+int QuerySchedule::queries_for_day(const Client24& client, DayIndex day,
+                                   Rng& rng) const {
+  const double mean = expected_queries(client, day);
+  if (mean <= 0.0) return 0;
+  return std::poisson_distribution<int>(mean)(rng.engine());
+}
+
+double QuerySchedule::expected_queries(const Client24& client,
+                                       DayIndex day) const {
+  const double factor =
+      calendar_.is_weekend(day) ? config_.weekend_factor : 1.0;
+  return client.daily_queries * factor;
+}
+
+double QuerySchedule::activity_probability(const Client24& client) const {
+  if (config_.activity_scale <= 0.0) return 1.0;
+  return 1.0 - std::exp(-client.daily_queries / config_.activity_scale);
+}
+
+bool QuerySchedule::is_active(const Client24& client, DayIndex day,
+                              std::uint64_t seed) const {
+  const double p = activity_probability(client);
+  if (p >= 1.0) return true;
+  // Keyed draw: stable under reordering of clients and days.
+  Rng roll(seed ^ (std::uint64_t(client.id.value) * 0x9e3779b97f4a7c15ull) ^
+           (std::uint64_t(day + 1) * 0xc2b2ae3d27d4eb4full));
+  return roll.bernoulli(p);
+}
+
+double QuerySchedule::expected_queries_when_active(const Client24& client,
+                                                   DayIndex day) const {
+  const double p = activity_probability(client);
+  return p > 0.0 ? expected_queries(client, day) / p
+                 : expected_queries(client, day);
+}
+
+SimTime QuerySchedule::sample_query_time(DayIndex day, Rng& rng) const {
+  // Diurnal density 1 + 0.7*cos(2*pi*(h-20)/24), sampled by rejection:
+  // peak at 20:00, trough at 08:00.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double h = rng.uniform(0.0, 24.0);
+    const double density =
+        1.0 + 0.7 * std::cos(2.0 * std::numbers::pi * (h - 20.0) / 24.0);
+    if (rng.uniform(0.0, 1.7) <= density) {
+      return SimTime{day, h * 3600.0};
+    }
+  }
+  return SimTime{day, 12.0 * 3600.0};  // vanishingly unlikely fallback
+}
+
+}  // namespace acdn

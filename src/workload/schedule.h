@@ -1,0 +1,70 @@
+// Query scheduling: how many queries a client /24 issues on a given day and
+// when within the day. Weekday volumes exceed weekend volumes and query
+// times follow a diurnal curve peaking in the evening.
+#pragma once
+
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "workload/clients.h"
+
+namespace acdn {
+
+struct ScheduleConfig {
+  /// Weekend query volume relative to weekdays.
+  double weekend_factor = 0.8;
+  /// Fraction of page loads carrying the measurement beacon (the paper
+  /// instruments "a small fraction" of result pages).
+  double beacon_sampling = 0.05;
+  /// Client /24s are not active every day: a prefix appears in the logs
+  /// on a given day with probability 1 - exp(-volume/activity_scale), so
+  /// heavy prefixes are seen daily while light ones blink in and out —
+  /// part of why most "poor" /24s in Figure 6 are poor on only one
+  /// observed day. Set to 0 to make every client active every day.
+  double activity_scale = 4.0;
+};
+
+class QuerySchedule {
+ public:
+  QuerySchedule(const ScheduleConfig& config, const SimCalendar& calendar)
+      : config_(config), calendar_(calendar) {}
+
+  /// Number of queries `client` issues on `day` (Poisson around its mean,
+  /// scaled for weekends).
+  [[nodiscard]] int queries_for_day(const Client24& client, DayIndex day,
+                                    Rng& rng) const;
+
+  /// Expected (not sampled) query count — used when exact weights matter
+  /// more than integer draws, e.g. passive-log aggregation.
+  [[nodiscard]] double expected_queries(const Client24& client,
+                                        DayIndex day) const;
+
+  /// Whether one query carries the beacon.
+  [[nodiscard]] bool carries_beacon(Rng& rng) const {
+    return rng.bernoulli(config_.beacon_sampling);
+  }
+
+  /// Probability the client is active (appears in logs) on any given day.
+  [[nodiscard]] double activity_probability(const Client24& client) const;
+
+  /// Whether `client` is active on `day`. Deterministic in
+  /// (seed, client, day) regardless of evaluation order.
+  [[nodiscard]] bool is_active(const Client24& client, DayIndex day,
+                               std::uint64_t seed) const;
+
+  /// Queries conditional on being active: scaled so the long-run average
+  /// still equals expected_queries().
+  [[nodiscard]] double expected_queries_when_active(const Client24& client,
+                                                    DayIndex day) const;
+
+  /// A query timestamp within `day`, following the diurnal curve.
+  [[nodiscard]] SimTime sample_query_time(DayIndex day, Rng& rng) const;
+
+  [[nodiscard]] const ScheduleConfig& config() const { return config_; }
+  [[nodiscard]] const SimCalendar& calendar() const { return calendar_; }
+
+ private:
+  ScheduleConfig config_;
+  SimCalendar calendar_;
+};
+
+}  // namespace acdn

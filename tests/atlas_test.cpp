@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "atlas/diagnose.h"
+#include "atlas/probe.h"
+#include "atlas/traceroute.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+class AtlasTest : public ::testing::Test {
+ protected:
+  AtlasTest() : world_(ScenarioConfig::small_test()) {}
+  World world_;
+};
+
+TEST_F(AtlasTest, ProbesArePlacedInAccessIsps) {
+  Rng rng(1);
+  const ProbeSet probes = ProbeSet::place(world_.graph(), 2, rng);
+  EXPECT_GE(probes.size(), world_.metros().size());
+  for (const Probe& p : probes.probes()) {
+    const AsNode& isp = world_.graph().as_node(p.access_as);
+    EXPECT_EQ(isp.type, AsType::kAccess);
+    EXPECT_TRUE(isp.present_in(p.metro));
+  }
+}
+
+TEST_F(AtlasTest, ProbeLookupByIspMetro) {
+  Rng rng(1);
+  const ProbeSet probes = ProbeSet::place(world_.graph(), 1, rng);
+  const Probe& first = probes.probes().front();
+  const auto found = probes.in(first.access_as, first.metro);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.front().id, first.id);
+  EXPECT_TRUE(probes.in(AsId(9999), first.metro).empty());
+}
+
+TEST_F(AtlasTest, TracerouteReachesAFrontEnd) {
+  Rng rng(2);
+  const ProbeSet probes = ProbeSet::place(world_.graph(), 1, rng);
+  const TracerouteEngine engine(world_.router(), world_.rtt());
+  int reached = 0;
+  for (const Probe& p : probes.probes()) {
+    const TracerouteResult trace = engine.trace(p);
+    if (!trace.reached) continue;
+    ++reached;
+    ASSERT_FALSE(trace.hops.empty());
+    // First hop is in the probe's access network; last in the CDN.
+    EXPECT_EQ(trace.hops.front().as, p.access_as);
+    EXPECT_EQ(trace.hops.back().as, world_.cdn().as_id());
+    // Hop RTTs are non-decreasing along the path.
+    for (std::size_t i = 1; i < trace.hops.size(); ++i) {
+      EXPECT_GE(trace.hops[i].rtt_ms + 1e-9, trace.hops[i - 1].rtt_ms);
+    }
+    EXPECT_TRUE(trace.destination.valid());
+  }
+  EXPECT_EQ(reached, static_cast<int>(probes.size()));
+}
+
+TEST_F(AtlasTest, FormatProducesOneLinePerHop) {
+  Rng rng(3);
+  const ProbeSet probes = ProbeSet::place(world_.graph(), 1, rng);
+  const TracerouteEngine engine(world_.router(), world_.rtt());
+  const TracerouteResult trace = engine.trace(probes.probes().front());
+  ASSERT_TRUE(trace.reached);
+  const std::string text = TracerouteEngine::format(trace, world_.graph());
+  const auto lines = std::count(text.begin(), text.end(), '\n');
+  EXPECT_EQ(static_cast<std::size_t>(lines), trace.hops.size());
+}
+
+TEST_F(AtlasTest, DiagnoserClassifiesCleanPathsAsNone) {
+  Rng rng(4);
+  const ProbeSet probes = ProbeSet::place(world_.graph(), 1, rng);
+  const TracerouteEngine engine(world_.router(), world_.rtt());
+  const AnycastDiagnoser diagnoser(world_.router(), world_.graph());
+  int none = 0;
+  for (const Probe& p : probes.probes()) {
+    const TracerouteResult trace = engine.trace(p);
+    if (!trace.reached) continue;
+    const Diagnosis d = diagnoser.diagnose(p, trace);
+    if (d.pathology == AnycastPathology::kNone) ++none;
+    EXPECT_FALSE(d.description.empty());
+  }
+  // Most paths in a healthy world are unremarkable.
+  EXPECT_GT(none, static_cast<int>(probes.size()) / 2);
+}
+
+TEST_F(AtlasTest, DiagnoserFlagsRemotePeering) {
+  // A world with aggressive remote peering must yield at least one
+  // remote-peering diagnosis among poor paths.
+  ScenarioConfig config = ScenarioConfig::small_test();
+  config.topology.remote_peering_fraction = 0.6;
+  World world(config);
+  Rng rng(5);
+  const ProbeSet probes = ProbeSet::place(world.graph(), 2, rng);
+  const TracerouteEngine engine(world.router(), world.rtt());
+  const AnycastDiagnoser diagnoser(world.router(), world.graph());
+  int remote = 0;
+  for (const Probe& p : probes.probes()) {
+    const TracerouteResult trace = engine.trace(p);
+    if (!trace.reached) continue;
+    if (diagnoser.diagnose(p, trace).pathology ==
+        AnycastPathology::kRemotePeering) {
+      ++remote;
+    }
+  }
+  EXPECT_GE(remote, 1);
+}
+
+TEST_F(AtlasTest, UnreachableTraceDiagnosesGracefully) {
+  const AnycastDiagnoser diagnoser(world_.router(), world_.graph());
+  TracerouteResult unreachable;
+  unreachable.reached = false;
+  Probe probe;
+  probe.metro = MetroId(0);
+  probe.access_as = world_.graph().ases_of_type(AsType::kAccess).front();
+  const Diagnosis d = diagnoser.diagnose(probe, unreachable);
+  EXPECT_EQ(d.pathology, AnycastPathology::kNone);
+  EXPECT_EQ(d.description, "destination unreachable");
+}
+
+TEST(AtlasStrings, PathologyNames) {
+  EXPECT_STREQ(to_string(AnycastPathology::kNone), "none");
+  EXPECT_STREQ(to_string(AnycastPathology::kRemotePeering), "remote-peering");
+  EXPECT_STREQ(to_string(AnycastPathology::kTopologyBlindness),
+               "topology-blindness");
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "routing/bgp.h"
+#include "test_fixtures.h"
+
+namespace acdn {
+namespace {
+
+using testfx::kChicago;
+using testfx::kDenver;
+using testfx::kNewYork;
+using testfx::kSeattle;
+
+class BgpTest : public ::testing::Test {
+ protected:
+  BgpTest() : metros_(testfx::tiny_metros()), w_(testfx::tiny_world(metros_)) {}
+
+  MetroDatabase metros_;
+  testfx::TinyWorld w_;
+};
+
+TEST_F(BgpTest, RequiresCdnTypeTarget) {
+  EXPECT_THROW(BgpSimulator(w_.graph, w_.tier1), ConfigError);
+}
+
+TEST_F(BgpTest, AnycastEveryoneHasARoute) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  for (const AsNode& node : w_.graph.all_as()) {
+    if (node.id == w_.cdn) continue;
+    EXPECT_TRUE(table.best(node.id).has_value()) << node.name;
+  }
+}
+
+TEST_F(BgpTest, RelationshipPreferenceBeatsPathLength) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  // access_east peers directly with the CDN and also buys from tier1
+  // (which, as the CDN's provider, has a customer route). The peer route
+  // must win even though both are short.
+  const auto best = table.best(w_.access_east);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->type, RouteType::kPeer);
+  EXPECT_EQ(best->next_hop, w_.cdn);
+  EXPECT_EQ(best->as_path_len, 1);
+}
+
+TEST_F(BgpTest, CustomerRouteViaProviderChain) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  // tier1 is the CDN's provider: customer route, length 1.
+  const auto t1 = table.best(w_.tier1);
+  ASSERT_TRUE(t1.has_value());
+  EXPECT_EQ(t1->type, RouteType::kCustomer);
+  EXPECT_EQ(t1->as_path_len, 1);
+  // transit peers with the CDN directly (peer, len 1) and could also go
+  // via its provider tier1 (provider, len 2); peer wins.
+  const auto tr = table.best(w_.transit);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->type, RouteType::kPeer);
+  // access_west only has its provider (transit).
+  const auto west = table.best(w_.access_west);
+  ASSERT_TRUE(west.has_value());
+  EXPECT_EQ(west->type, RouteType::kProvider);
+  EXPECT_EQ(west->next_hop, w_.transit);
+  EXPECT_EQ(west->as_path_len, 2);
+}
+
+TEST_F(BgpTest, WalkFollowsSelectedChain) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  const std::vector<AsId> path = table.walk(w_.access_west);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_EQ(path[0], w_.access_west);
+  EXPECT_EQ(path[1], w_.transit);
+  EXPECT_EQ(path[2], w_.cdn);
+}
+
+TEST_F(BgpTest, WalkAlternateCandidate) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  // access_east candidates: peer (direct) then provider (via tier1).
+  const auto cands = table.candidates(w_.access_east);
+  ASSERT_GE(cands.size(), 2u);
+  const std::vector<AsId> alt = table.walk(w_.access_east, 1);
+  ASSERT_EQ(alt.size(), 3u);
+  EXPECT_EQ(alt[1], w_.tier1);
+  EXPECT_EQ(alt[2], w_.cdn);
+  // Out-of-range candidate indexes clamp to the worst candidate.
+  EXPECT_EQ(table.walk(w_.access_east, 99), alt);
+}
+
+TEST_F(BgpTest, ValleyFreedom) {
+  // No walk may go down (to a customer) and then up (to a provider), and
+  // at most one peer edge may appear, after which only customer edges.
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  for (const AsNode& node : w_.graph.all_as()) {
+    if (node.id == w_.cdn) continue;
+    for (std::size_t k = 0; k < table.candidates(node.id).size(); ++k) {
+      const std::vector<AsId> path = table.walk(node.id, k);
+      bool descending = false;  // true after a peer or customer-direction edge
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        Neighbor::Kind kind = Neighbor::Kind::kPeer;
+        for (const Neighbor& nb : w_.graph.neighbors(path[i])) {
+          if (nb.as == path[i + 1]) kind = nb.kind;
+        }
+        if (descending) {
+          // Once descending, only customer edges (next hop is our customer).
+          EXPECT_EQ(kind, Neighbor::Kind::kCustomer)
+              << node.name << " candidate " << k;
+        }
+        if (kind != Neighbor::Kind::kProvider) descending = true;
+      }
+    }
+  }
+}
+
+TEST_F(BgpTest, UnicastAnnouncementRestrictsFirstHop) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  // Prefix announced only at Seattle. The transit's session list with the
+  // CDN is {Chicago}, but the transit has a PoP at Seattle, so it can
+  // still pick the prefix up there (§3.1 announce-to-everyone rule).
+  const std::vector<MetroId> seattle_only{kSeattle};
+  const BgpRouteTable table = sim.compute(seattle_only);
+  const auto tr = table.best(w_.transit);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->type, RouteType::kPeer);
+  // Everyone can still reach it via the tier1 provider chain.
+  for (const AsNode& node : w_.graph.all_as()) {
+    if (node.id == w_.cdn) continue;
+    EXPECT_TRUE(table.best(node.id).has_value()) << node.name;
+  }
+}
+
+TEST_F(BgpTest, AnnouncementMustBeAtCdnPops) {
+  // Remove one metro from the CDN's presence and announcing there throws.
+  AsGraph graph(metros_);
+  AsNode cdn;
+  cdn.name = "CDN2";
+  cdn.type = AsType::kCdn;
+  cdn.presence = {kSeattle};
+  AsNode isp;
+  isp.name = "ISP";
+  isp.type = AsType::kAccess;
+  isp.presence = {kSeattle};
+  const AsId cdn_id = graph.add_as(cdn);
+  const AsId isp_id = graph.add_as(isp);
+  graph.add_link({isp_id, cdn_id, Relationship::kPeerToPeer, {kSeattle}});
+  const BgpSimulator sim(graph, cdn_id);
+  const std::vector<MetroId> bad{kNewYork};
+  EXPECT_THROW((void)sim.compute(bad), ConfigError);
+  const std::vector<MetroId> none{};
+  EXPECT_THROW((void)sim.compute(none), ConfigError);
+}
+
+TEST_F(BgpTest, UnreachableWithoutAnyLink) {
+  // A CDN with no interconnection at all: nobody has a route.
+  AsGraph graph(metros_);
+  AsNode cdn;
+  cdn.name = "LonelyCDN";
+  cdn.type = AsType::kCdn;
+  cdn.presence = {kSeattle};
+  AsNode isp;
+  isp.name = "ISP";
+  isp.type = AsType::kAccess;
+  isp.presence = {kDenver};
+  const AsId cdn_id = graph.add_as(cdn);
+  const AsId isp_id = graph.add_as(isp);
+  const BgpSimulator sim(graph, cdn_id);
+  const std::vector<MetroId> seattle{kSeattle};
+  const BgpRouteTable table = sim.compute(seattle);
+  EXPECT_FALSE(table.best(isp_id).has_value());
+  EXPECT_TRUE(table.walk(isp_id).empty());
+}
+
+TEST_F(BgpTest, CandidatesAreSorted) {
+  const BgpSimulator sim(w_.graph, w_.cdn);
+  const BgpRouteTable table = sim.compute_anycast();
+  for (const AsNode& node : w_.graph.all_as()) {
+    const auto cands = table.candidates(node.id);
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+      EXPECT_FALSE(cands[i] < cands[i - 1]) << node.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace acdn

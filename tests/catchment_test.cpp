@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "analysis/catchment.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+class CatchmentTest : public ::testing::Test {
+ protected:
+  CatchmentTest()
+      : world_(ScenarioConfig::small_test()),
+        catchments_(compute_catchments(world_.clients(), world_.router(),
+                                       world_.metros())) {}
+
+  World world_;
+  std::vector<CatchmentSummary> catchments_;
+};
+
+TEST_F(CatchmentTest, OneSummaryPerFrontEnd) {
+  EXPECT_EQ(catchments_.size(), world_.cdn().deployment().size());
+  for (std::size_t i = 0; i < catchments_.size(); ++i) {
+    EXPECT_EQ(catchments_[i].front_end.value, i);
+    EXPECT_FALSE(catchments_[i].name.empty());
+  }
+}
+
+TEST_F(CatchmentTest, ClientsAndSharesAddUp) {
+  std::size_t clients = 0;
+  double share = 0.0;
+  for (const CatchmentSummary& c : catchments_) {
+    clients += c.clients;
+    share += c.query_share;
+    EXPECT_GE(c.query_share, 0.0);
+  }
+  EXPECT_EQ(clients, world_.clients().size());
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST_F(CatchmentTest, DistancesAreOrdered) {
+  for (const CatchmentSummary& c : catchments_) {
+    if (c.clients == 0) continue;
+    EXPECT_GE(c.p90_client_km + 1e-9, c.median_client_km) << c.name;
+  }
+}
+
+TEST_F(CatchmentTest, CountryMixAccountsForAllClients) {
+  for (const CatchmentSummary& c : catchments_) {
+    int total = 0;
+    for (const auto& [country, n] : c.countries) total += n;
+    EXPECT_EQ(static_cast<std::size_t>(total), c.clients) << c.name;
+    EXPECT_GE(c.foreign_clients(), 0);
+    EXPECT_LE(c.foreign_clients(), total);
+  }
+}
+
+TEST_F(CatchmentTest, HealthIndicatorsAreSane) {
+  const CatchmentHealth health = catchment_health(catchments_);
+  EXPECT_GT(health.active_front_ends, 0.0);
+  EXPECT_LE(health.active_front_ends, 1.0);
+  EXPECT_GE(health.volume_within_1000km, 0.0);
+  EXPECT_LE(health.volume_within_1000km, 1.0 + 1e-9);
+  EXPECT_GT(health.busiest_share, 0.0);
+  EXPECT_LE(health.busiest_share, 1.0);
+  // The busiest site carries at least the average share.
+  EXPECT_GE(health.busiest_share, 1.0 / double(catchments_.size()));
+}
+
+TEST(CatchmentHealthEmpty, EmptyInputIsZero) {
+  const CatchmentHealth health = catchment_health({});
+  EXPECT_DOUBLE_EQ(health.active_front_ends, 0.0);
+  EXPECT_DOUBLE_EQ(health.busiest_share, 0.0);
+}
+
+}  // namespace
+}  // namespace acdn

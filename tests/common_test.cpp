@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/csv.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace acdn {
+namespace {
+
+// ------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a(99);
+  Rng fork_before = a.fork("stream");
+  // Consuming from the parent must not change what the fork produces.
+  for (int i = 0; i < 10; ++i) a.next_u64();
+  Rng fork_after = a.fork("stream");
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(fork_before.next_u64(), fork_after.next_u64());
+  }
+}
+
+TEST(Rng, ForkLabelsProduceDistinctStreams) {
+  Rng a(99);
+  Rng f1 = a.fork("one");
+  Rng f2 = a.fork("two");
+  EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(10.0, 20.0);
+    EXPECT_GE(v, 10.0);
+    EXPECT_LT(v, 20.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(1, 4));
+  EXPECT_EQ(seen, (std::set<int>{1, 2, 3, 4}));
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(5);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(7);
+  const double weights[] = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 6000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);  // 3x weight -> more picks
+  // Roughly 1:3.
+  EXPECT_NEAR(double(counts[2]) / counts[1], 3.0, 0.7);
+}
+
+TEST(Rng, WeightedIndexRejectsZeroTotal) {
+  Rng rng(7);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_THROW((void)rng.weighted_index(weights), ConfigError);
+}
+
+TEST(Rng, ZipfFavorsLowRanks) {
+  Rng rng(11);
+  int first = 0, last = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::size_t r = rng.zipf(50, 1.0);
+    ASSERT_LT(r, 50u);
+    if (r == 0) ++first;
+    if (r == 49) ++last;
+  }
+  EXPECT_GT(first, 10 * std::max(1, last));
+}
+
+TEST(Rng, ParetoIsAtLeastScale) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ParetoRejectsBadParameters) {
+  Rng rng(13);
+  EXPECT_THROW((void)rng.pareto(0.0, 1.0), ConfigError);
+  EXPECT_THROW((void)rng.pareto(1.0, -1.0), ConfigError);
+}
+
+// -------------------------------------------------------------- Calendar
+
+TEST(Calendar, April2015StartsOnWednesday) {
+  // The paper's passive data set begins April 1, 2015.
+  EXPECT_EQ(Date({2015, 4, 1}).weekday(), Weekday::kWednesday);
+}
+
+TEST(Calendar, KnownWeekdays) {
+  EXPECT_EQ(Date({1970, 1, 1}).weekday(), Weekday::kThursday);
+  EXPECT_EQ(Date({2000, 1, 1}).weekday(), Weekday::kSaturday);
+  EXPECT_EQ(Date({2015, 10, 28}).weekday(), Weekday::kWednesday);  // IMC'15
+}
+
+TEST(Calendar, PlusDaysCrossesMonthAndYear) {
+  EXPECT_EQ(Date({2015, 4, 30}).plus_days(1), (Date{2015, 5, 1}));
+  EXPECT_EQ(Date({2015, 12, 31}).plus_days(1), (Date{2016, 1, 1}));
+  EXPECT_EQ(Date({2016, 2, 28}).plus_days(1), (Date{2016, 2, 29}));  // leap
+  EXPECT_EQ(Date({2015, 2, 28}).plus_days(1), (Date{2015, 3, 1}));
+}
+
+TEST(Calendar, RoundTripThroughEpochDays) {
+  const Date d{2015, 4, 15};
+  EXPECT_EQ(civil_from_days(days_from_civil(d)), d);
+}
+
+TEST(Calendar, SimCalendarWeekendDetection) {
+  SimCalendar cal;  // starts Wed 2015-04-01
+  EXPECT_FALSE(cal.is_weekend(0));  // Wed
+  EXPECT_FALSE(cal.is_weekend(2));  // Fri
+  EXPECT_TRUE(cal.is_weekend(3));   // Sat
+  EXPECT_TRUE(cal.is_weekend(4));   // Sun
+  EXPECT_FALSE(cal.is_weekend(5));  // Mon
+}
+
+TEST(Calendar, DateFormatting) {
+  EXPECT_EQ(Date({2015, 4, 1}).to_string(), "2015-04-01");
+}
+
+TEST(SimTime, HourOfDay) {
+  EXPECT_DOUBLE_EQ((SimTime{3, 7200.0}).hour_of_day(), 2.0);
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(Csv, WritesRowsAndQuotesSpecials) {
+  const std::string path = ::testing::TempDir() + "acdn_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_header({"a", "b,comma", "c\"quote"});
+    const double row[] = {1.5, -2.0, 0.25};
+    csv.write_row(row);
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "a,\"b,comma\",\"c\"\"quote\"");
+  EXPECT_EQ(line2, "1.5,-2,0.25");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), Error);
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "routing/dynamics.h"
+
+namespace acdn {
+namespace {
+
+RoutingUnit unit(std::uint32_t as, std::uint32_t metro) {
+  return RoutingUnit{AsId(as), MetroId(metro)};
+}
+
+DynamicsConfig calm_config() {
+  DynamicsConfig config;
+  config.weekday_change_prob = 0.0;
+  config.weekend_change_prob = 0.0;
+  config.flappy_unit_fraction = 0.0;
+  config.stable_flap_prob = 0.0;
+  return config;
+}
+
+TEST(RouteDynamics, DayZeroKeepsInitialSelection) {
+  DynamicsConfig config;
+  config.weekday_change_prob = 1.0;  // change every day -- except day 0
+  config.flappy_unit_fraction = 0.0;
+  config.stable_flap_prob = 0.0;
+  RouteDynamics dyn(config, SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 3);
+  dyn.advance_to(0);
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 0u);
+}
+
+TEST(RouteDynamics, NoChangesWhenProbabilitiesAreZero) {
+  RouteDynamics dyn(calm_config(), SimCalendar{}, 1);
+  for (std::uint32_t i = 0; i < 50; ++i) dyn.register_unit(unit(i, 0), 3);
+  for (DayIndex d = 0; d < 10; ++d) {
+    dyn.advance_to(d);
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      EXPECT_EQ(dyn.selected_candidate(unit(i, 0)), 0u);
+      EXPECT_FALSE(dyn.flap_alternate(unit(i, 0)).has_value());
+    }
+  }
+}
+
+TEST(RouteDynamics, SingleCandidateUnitsNeverMove) {
+  DynamicsConfig config;
+  config.weekday_change_prob = 1.0;
+  config.flappy_unit_fraction = 1.0;
+  config.flappy_weekday_flap_prob = 1.0;
+  RouteDynamics dyn(config, SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 1);
+  for (DayIndex d = 0; d < 5; ++d) {
+    dyn.advance_to(d);
+    EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 0u);
+    EXPECT_FALSE(dyn.flap_alternate(unit(1, 1)).has_value());
+  }
+}
+
+TEST(RouteDynamics, ChangesMoveToAdjacentCandidate) {
+  DynamicsConfig config;
+  config.weekday_change_prob = 1.0;
+  config.weekend_change_prob = 1.0;
+  config.revert_prob = 0.0;
+  config.flappy_unit_fraction = 0.0;
+  config.stable_flap_prob = 0.0;
+  RouteDynamics dyn(config, SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 3);
+  dyn.advance_to(1);
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 1u);
+  dyn.advance_to(2);
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 2u);
+  // At the last candidate, a further change steps back.
+  dyn.advance_to(3);
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 1u);
+}
+
+TEST(RouteDynamics, RevertGoesBackTowardPrimary) {
+  DynamicsConfig config;
+  config.weekday_change_prob = 1.0;
+  config.weekend_change_prob = 1.0;
+  config.revert_prob = 1.0;
+  config.flappy_unit_fraction = 0.0;
+  config.stable_flap_prob = 0.0;
+  RouteDynamics dyn(config, SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 3);
+  dyn.advance_to(1);  // 0 -> 1 (at 0, revert does not apply)
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 1u);
+  dyn.advance_to(2);  // revert: back to 0
+  EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 0u);
+}
+
+TEST(RouteDynamics, FlappyUnitsFlapOnWeekdays) {
+  DynamicsConfig config = calm_config();
+  config.flappy_unit_fraction = 1.0;
+  config.flappy_weekday_flap_prob = 1.0;
+  config.flappy_weekend_flap_prob = 0.0;
+  RouteDynamics dyn(config, SimCalendar{}, 1);  // day 0: Wed
+  dyn.register_unit(unit(1, 1), 2);
+  dyn.advance_to(0);
+  const auto alt = dyn.flap_alternate(unit(1, 1));
+  ASSERT_TRUE(alt.has_value());
+  EXPECT_EQ(*alt, 1u);
+  dyn.advance_to(3);  // Saturday
+  EXPECT_FALSE(dyn.flap_alternate(unit(1, 1)).has_value());
+}
+
+TEST(RouteDynamics, CannotRewind) {
+  RouteDynamics dyn(calm_config(), SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 2);
+  dyn.advance_to(5);
+  EXPECT_THROW(dyn.advance_to(3), ConfigError);
+}
+
+TEST(RouteDynamics, RegisterAfterStartThrows) {
+  RouteDynamics dyn(calm_config(), SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 2);
+  dyn.advance_to(0);
+  EXPECT_THROW(dyn.register_unit(unit(2, 2), 2), ConfigError);
+}
+
+TEST(RouteDynamics, UnknownUnitsReportPrimary) {
+  RouteDynamics dyn(calm_config(), SimCalendar{}, 1);
+  dyn.advance_to(0);
+  EXPECT_EQ(dyn.selected_candidate(unit(9, 9)), 0u);
+  EXPECT_FALSE(dyn.flap_alternate(unit(9, 9)).has_value());
+}
+
+TEST(RouteDynamics, DeterministicForSameSeed) {
+  DynamicsConfig config;  // defaults: some churn
+  auto run = [&](std::uint64_t seed) {
+    RouteDynamics dyn(config, SimCalendar{}, seed);
+    for (std::uint32_t i = 0; i < 200; ++i) dyn.register_unit(unit(i, 0), 3);
+    dyn.advance_to(6);
+    std::vector<std::size_t> state;
+    for (std::uint32_t i = 0; i < 200; ++i) {
+      state.push_back(dyn.selected_candidate(unit(i, 0)));
+    }
+    return state;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(RouteDynamics, WeekendQuieterThanWeekdays) {
+  DynamicsConfig config;
+  config.weekday_change_prob = 0.5;
+  config.weekend_change_prob = 0.0;
+  config.revert_prob = 0.0;
+  config.flappy_unit_fraction = 0.0;
+  config.stable_flap_prob = 0.0;
+  RouteDynamics dyn(config, SimCalendar{}, 3);  // Wed start
+  const int n = 500;
+  for (std::uint32_t i = 0; i < n; ++i) dyn.register_unit(unit(i, 0), 2);
+
+  auto moved = [&] {
+    int count = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (dyn.selected_candidate(unit(i, 0)) != 0) ++count;
+    }
+    return count;
+  };
+  dyn.advance_to(2);  // Fri: two weekdays of change (Thu, Fri)
+  const int after_friday = moved();
+  EXPECT_GT(after_friday, n / 4);
+  dyn.advance_to(4);  // through the weekend: nothing new moves
+  EXPECT_EQ(moved(), after_friday);
+}
+
+}  // namespace
+}  // namespace acdn

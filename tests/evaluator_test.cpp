@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "core/hybrid.h"
+#include "sim/world.h"
+#include "test_fixtures.h"
+
+namespace acdn {
+namespace {
+
+using testfx::make_measurement;
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : world_(ScenarioConfig::small_test()) {}
+
+  /// A measurement for a real client of the small world.
+  BeaconMeasurement measurement(std::size_t client_index, DayIndex day,
+                                double anycast_ms,
+                                std::vector<std::pair<std::uint32_t, double>>
+                                    unicast) const {
+    const Client24& c =
+        world_.clients().clients()[client_index];
+    BeaconMeasurement m = make_measurement(c.id.value, c.ldns.value, day,
+                                           anycast_ms, std::move(unicast));
+    return m;
+  }
+
+  PredictorConfig config(Grouping grouping) const {
+    PredictorConfig pc;
+    pc.metric = PredictionMetric::kP25;
+    pc.min_measurements = 2;
+    pc.grouping = grouping;
+    return pc;
+  }
+
+  PredictionEvaluator::Config eval_config() const {
+    PredictionEvaluator::Config ec;
+    ec.min_eval_samples = 2;
+    ec.epsilon_ms = 1.0;
+    return ec;
+  }
+
+  World world_;
+};
+
+TEST_F(EvaluatorTest, ImprovementMeasuredAgainstNextDay) {
+  HistoryPredictor predictor(config(Grouping::kEcsPrefix));
+  // Train day: FE0 clearly beats anycast for client 0.
+  std::vector<BeaconMeasurement> train;
+  train.push_back(measurement(0, 0, 50.0, {{0, 20.0}}));
+  train.push_back(measurement(0, 0, 52.0, {{0, 22.0}}));
+  predictor.train(train);
+
+  // Eval day: the advantage persists (40 vs 25 at both percentiles).
+  std::vector<BeaconMeasurement> eval;
+  eval.push_back(measurement(0, 1, 40.0, {{0, 25.0}}));
+  eval.push_back(measurement(0, 1, 40.0, {{0, 25.0}}));
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns(),
+                                      eval_config());
+  const auto outcomes = evaluator.evaluate(predictor, eval);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].predicted_anycast);
+  EXPECT_DOUBLE_EQ(outcomes[0].improvement_p50, 15.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].improvement_p75, 15.0);
+
+  const EvalSummary summary = evaluator.summarize(outcomes);
+  EXPECT_EQ(summary.evaluated, 1u);
+  EXPECT_DOUBLE_EQ(summary.fraction_improved_p50, 1.0);
+  EXPECT_DOUBLE_EQ(summary.fraction_worse_p50, 0.0);
+}
+
+TEST_F(EvaluatorTest, RegressionWhenAdvantageFlips) {
+  HistoryPredictor predictor(config(Grouping::kEcsPrefix));
+  std::vector<BeaconMeasurement> train;
+  train.push_back(measurement(0, 0, 50.0, {{0, 20.0}}));
+  train.push_back(measurement(0, 0, 52.0, {{0, 22.0}}));
+  predictor.train(train);
+
+  // Next day the predicted front-end got worse than anycast.
+  std::vector<BeaconMeasurement> eval;
+  eval.push_back(measurement(0, 1, 30.0, {{0, 60.0}}));
+  eval.push_back(measurement(0, 1, 30.0, {{0, 60.0}}));
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns(),
+                                      eval_config());
+  const auto outcomes = evaluator.evaluate(predictor, eval);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_DOUBLE_EQ(outcomes[0].improvement_p50, -30.0);
+  const EvalSummary summary = evaluator.summarize(outcomes);
+  EXPECT_DOUBLE_EQ(summary.fraction_worse_p50, 1.0);
+}
+
+TEST_F(EvaluatorTest, AnycastPredictionScoresZero) {
+  HistoryPredictor predictor(config(Grouping::kEcsPrefix));
+  std::vector<BeaconMeasurement> train;
+  train.push_back(measurement(0, 0, 10.0, {{0, 20.0}}));
+  train.push_back(measurement(0, 0, 10.0, {{0, 20.0}}));
+  predictor.train(train);
+
+  std::vector<BeaconMeasurement> eval;
+  eval.push_back(measurement(0, 1, 11.0, {{0, 19.0}}));
+  eval.push_back(measurement(0, 1, 11.0, {{0, 19.0}}));
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns(),
+                                      eval_config());
+  const auto outcomes = evaluator.evaluate(predictor, eval);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].predicted_anycast);
+  EXPECT_DOUBLE_EQ(outcomes[0].improvement_p50, 0.0);
+}
+
+TEST_F(EvaluatorTest, SkipsClientsWithoutEvalSamplesForPrediction) {
+  HistoryPredictor predictor(config(Grouping::kEcsPrefix));
+  std::vector<BeaconMeasurement> train;
+  train.push_back(measurement(0, 0, 50.0, {{0, 20.0}}));
+  train.push_back(measurement(0, 0, 52.0, {{0, 22.0}}));
+  predictor.train(train);
+
+  // Eval day never measures FE0 for this client.
+  std::vector<BeaconMeasurement> eval;
+  eval.push_back(measurement(0, 1, 40.0, {{1, 25.0}}));
+  eval.push_back(measurement(0, 1, 41.0, {{1, 26.0}}));
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns(),
+                                      eval_config());
+  EXPECT_TRUE(evaluator.evaluate(predictor, eval).empty());
+}
+
+TEST_F(EvaluatorTest, LdnsGroupingEvaluatesPerClient) {
+  // Two clients of the same LDNS; pooled training picks FE0. Client A
+  // really is better on FE0; client B is not — the per-/24 evaluation
+  // must expose the penalty.
+  std::size_t a = 0;
+  std::size_t b = 1;
+  const auto clients = world_.clients().clients();
+  const LdnsId ldns = clients[a].ldns;
+  for (std::size_t i = 1; i < clients.size(); ++i) {
+    if (clients[i].ldns == ldns && i != a) {
+      b = i;
+      break;
+    }
+  }
+  if (clients[b].ldns != ldns || b == a) {
+    GTEST_SKIP() << "no two clients share an LDNS in this world";
+  }
+
+  HistoryPredictor predictor(config(Grouping::kLdns));
+  std::vector<BeaconMeasurement> train;
+  train.push_back(measurement(a, 0, 50.0, {{0, 10.0}}));
+  train.push_back(measurement(a, 0, 52.0, {{0, 12.0}}));
+  predictor.train(train);
+
+  std::vector<BeaconMeasurement> eval;
+  eval.push_back(measurement(a, 1, 50.0, {{0, 10.0}}));
+  eval.push_back(measurement(a, 1, 50.0, {{0, 10.0}}));
+  eval.push_back(measurement(b, 1, 15.0, {{0, 90.0}}));
+  eval.push_back(measurement(b, 1, 15.0, {{0, 90.0}}));
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns(),
+                                      eval_config());
+  const auto outcomes = evaluator.evaluate(predictor, eval);
+  ASSERT_EQ(outcomes.size(), 2u);
+  double improved = 0.0, worse = 0.0;
+  for (const EvalOutcome& o : outcomes) {
+    if (o.improvement_p50 > 0) improved += 1;
+    if (o.improvement_p50 < 0) worse += 1;
+  }
+  EXPECT_DOUBLE_EQ(improved, 1.0);
+  EXPECT_DOUBLE_EQ(worse, 1.0);
+}
+
+// ---------------------------------------------------------------- Hybrid
+
+TEST_F(EvaluatorTest, HybridOnlyOverridesAboveThreshold) {
+  HistoryPredictor predictor(config(Grouping::kEcsPrefix));
+  const Client24& big = world_.clients().clients()[0];
+  const Client24& small = world_.clients().clients()[1];
+  std::vector<BeaconMeasurement> train;
+  // big gain: 40ms; small gain: 3ms.
+  for (int i = 0; i < 2; ++i) {
+    train.push_back(make_measurement(big.id.value, big.ldns.value, 0, 60.0,
+                                     {{0, 20.0}}));
+    train.push_back(make_measurement(small.id.value, small.ldns.value, 0,
+                                     23.0, {{0, 20.0}}));
+  }
+  predictor.train(train);
+
+  HybridPolicy::Config hc;
+  hc.min_predicted_gain_ms = 10.0;
+  const HybridPolicy policy(predictor, world_.clients(), hc);
+  EXPECT_EQ(policy.override_count(), 1u);
+
+  const DnsAnswer for_big =
+      policy.resolve(DnsQueryContext{big.ldns, big.prefix, 1});
+  EXPECT_FALSE(for_big.anycast);
+  EXPECT_EQ(for_big.front_end, FrontEndId(0));
+
+  const DnsAnswer for_small =
+      policy.resolve(DnsQueryContext{small.ldns, small.prefix, 1});
+  EXPECT_TRUE(for_small.anycast);
+
+  // Without ECS the ECS-grouped policy cannot identify the client.
+  const DnsAnswer no_ecs = policy.resolve(DnsQueryContext{big.ldns, {}, 1});
+  EXPECT_TRUE(no_ecs.anycast);
+  EXPECT_EQ(policy.name(), "hybrid");
+}
+
+TEST_F(EvaluatorTest, HybridLdnsGroupingUsesResolverKey) {
+  PredictorConfig pc = config(Grouping::kLdns);
+  HistoryPredictor predictor(pc);
+  const Client24& c = world_.clients().clients()[0];
+  std::vector<BeaconMeasurement> train;
+  for (int i = 0; i < 2; ++i) {
+    train.push_back(
+        make_measurement(c.id.value, c.ldns.value, 0, 60.0, {{0, 20.0}}));
+  }
+  predictor.train(train);
+
+  HybridPolicy::Config hc;
+  hc.min_predicted_gain_ms = 10.0;
+  const HybridPolicy policy(predictor, world_.clients(), hc);
+  // LDNS-grouped: no ECS needed.
+  const DnsAnswer answer = policy.resolve(DnsQueryContext{c.ldns, {}, 1});
+  EXPECT_FALSE(answer.anycast);
+}
+
+}  // namespace
+}  // namespace acdn

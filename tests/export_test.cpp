@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "analysis/figures.h"
+#include "report/export.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+#include "test_fixtures.h"
+
+namespace acdn {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Export, PassiveLogRoundTrip) {
+  PassiveLog log;
+  log.add({ClientId(1), FrontEndId(2), 0, 10.5});
+  log.add({ClientId(3), FrontEndId(0), 1, 0.25});
+  log.add({ClientId(1), FrontEndId(2), 1, 99.0});
+
+  const std::string path = temp_path("acdn_passive.csv");
+  export_passive_log(log, path);
+  const PassiveLog restored = import_passive_log(path);
+
+  ASSERT_EQ(restored.days(), log.days());
+  ASSERT_EQ(restored.total(), log.total());
+  for (DayIndex d = 0; d < log.days(); ++d) {
+    const auto original = log.by_day(d);
+    const auto copy = restored.by_day(d);
+    ASSERT_EQ(original.size(), copy.size()) << d;
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(copy[i].client, original[i].client);
+      EXPECT_EQ(copy[i].front_end, original[i].front_end);
+      EXPECT_EQ(copy[i].day, original[i].day);
+      EXPECT_DOUBLE_EQ(copy[i].queries, original[i].queries);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Export, MeasurementsRoundTrip) {
+  MeasurementStore store;
+  store.add(testfx::make_measurement(1, 10, 0, 25.5,
+                                     {{0, 40.0}, {2, 18.25}}));
+  store.add(testfx::make_measurement(2, 11, 1, 12.0, {{1, 30.0}}));
+
+  const std::string path = temp_path("acdn_measurements.csv");
+  export_measurements(store, path);
+  const MeasurementStore restored = import_measurements(path);
+
+  ASSERT_EQ(restored.total(), store.total());
+  ASSERT_EQ(restored.days(), store.days());
+  for (DayIndex d = 0; d < store.days(); ++d) {
+    const auto original = store.by_day(d);
+    const auto copy = restored.by_day(d);
+    ASSERT_EQ(original.size(), copy.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      EXPECT_EQ(copy[i].beacon_id, original[i].beacon_id);
+      EXPECT_EQ(copy[i].client, original[i].client);
+      EXPECT_EQ(copy[i].ldns, original[i].ldns);
+      ASSERT_EQ(copy[i].targets.size(), original[i].targets.size());
+      for (std::size_t t = 0; t < copy[i].targets.size(); ++t) {
+        EXPECT_EQ(copy[i].targets[t].anycast, original[i].targets[t].anycast);
+        EXPECT_EQ(copy[i].targets[t].front_end,
+                  original[i].targets[t].front_end);
+        EXPECT_DOUBLE_EQ(copy[i].targets[t].rtt_ms,
+                         original[i].targets[t].rtt_ms);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Export, SimulatedDayRoundTripsLosslessly) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(1);
+
+  const std::string path = temp_path("acdn_simday.csv");
+  export_measurements(sim.measurements(), path);
+  const MeasurementStore restored = import_measurements(path);
+  EXPECT_EQ(restored.total(), sim.measurements().total());
+
+  // Figure analyses on the restored store match the originals.
+  const auto original = daily_improvement(sim.measurements().by_day(0),
+                                          Fig5Config{});
+  const auto copy = daily_improvement(restored.by_day(0), Fig5Config{});
+  ASSERT_EQ(original.size(), copy.size());
+  for (const auto& [group, value] : original) {
+    EXPECT_DOUBLE_EQ(copy.at(group), value) << group;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Export, ImportRejectsMalformedInput) {
+  const std::string path = temp_path("acdn_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "day,client,front_end,queries\n1,2,notanumber,4\n";
+  }
+  EXPECT_THROW((void)import_passive_log(path), Error);
+  {
+    std::ofstream out(path);
+    out << "wrong,header\n";
+  }
+  EXPECT_THROW((void)import_passive_log(path), Error);
+  EXPECT_THROW((void)import_measurements(path), Error);
+  EXPECT_THROW((void)import_passive_log("/nonexistent/file.csv"), Error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,130 @@
+// Robustness sweeps: deterministic random-input hammering of the parsers
+// and importers. None of these inputs may crash, hang, or corrupt state —
+// malformed input either parses to nullopt or throws acdn::Error.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "net/ipv4.h"
+#include "report/export.h"
+
+namespace acdn {
+namespace {
+
+std::string random_text(Rng& rng, std::size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "0123456789./,abcxyz \t-+eE\"\n";
+  const std::size_t len = rng.uniform_index(max_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng.uniform_index(sizeof kAlphabet - 1)];
+  }
+  return out;
+}
+
+TEST(FuzzRobustness, Ipv4ParseNeverCrashes) {
+  Rng rng(1001);
+  int parsed = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Half the inputs are pure noise; half are near-misses built from
+    // numeric octet-ish pieces, which exercise the boundary checks.
+    std::string text;
+    if (rng.bernoulli(0.5)) {
+      text = random_text(rng, 20);
+    } else {
+      for (int octet = 0; octet < rng.uniform_int(3, 5); ++octet) {
+        if (octet > 0) text += '.';
+        text += std::to_string(rng.uniform_int(-5, 300));
+      }
+    }
+    const auto addr = Ipv4Address::parse(text);
+    if (addr) {
+      ++parsed;
+      // Anything that parses must round-trip.
+      EXPECT_EQ(Ipv4Address::parse(addr->to_string()), addr);
+    }
+  }
+  EXPECT_GT(parsed, 0);
+}
+
+TEST(FuzzRobustness, PrefixParseNeverCrashes) {
+  Rng rng(1002);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string text = random_text(rng, 24);
+    const auto prefix = Prefix::parse(text);
+    if (prefix) {
+      EXPECT_GE(prefix->length(), 0);
+      EXPECT_LE(prefix->length(), 32);
+      EXPECT_EQ(Prefix::parse(prefix->to_string()), prefix);
+    }
+  }
+}
+
+TEST(FuzzRobustness, PrefixParseBoundaryCases) {
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0").has_value());
+  EXPECT_TRUE(Prefix::parse("255.255.255.255/32").has_value());
+  EXPECT_FALSE(Prefix::parse("255.255.255.255/33").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Prefix::parse("1.2.3.4/"));
+  EXPECT_FALSE(Prefix::parse("/24"));
+  EXPECT_FALSE(Prefix::parse("1.2.3.4//24"));
+}
+
+TEST(FuzzRobustness, PassiveImportSurvivesMutations) {
+  // Start from a valid file, then corrupt single lines; every import
+  // either succeeds or throws acdn::Error — never crashes.
+  const std::string path = ::testing::TempDir() + "acdn_fuzz_passive.csv";
+  const std::string valid =
+      "day,client,front_end,queries\n0,1,2,10.5\n1,3,0,0.25\n";
+  Rng rng(1003);
+  int exceptions = 0;
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const std::size_t pos = rng.uniform_index(mutated.size());
+    mutated[pos] =
+        static_cast<char>('!' + rng.uniform_index(90));
+    {
+      std::ofstream out(path);
+      out << mutated;
+    }
+    try {
+      const PassiveLog log = import_passive_log(path);
+      EXPECT_LE(log.total(), 4u);
+    } catch (const Error&) {
+      ++exceptions;
+    }
+  }
+  EXPECT_GT(exceptions, 0);  // corrupting the header or numbers must throw
+  std::remove(path.c_str());
+}
+
+TEST(FuzzRobustness, MeasurementImportSurvivesMutations) {
+  const std::string path = ::testing::TempDir() + "acdn_fuzz_meas.csv";
+  const std::string valid =
+      "beacon_id,day,hour,client,ldns,anycast,front_end,rtt_ms\n"
+      "12,0,1.5,3,4,1,0,25.5\n12,0,1.5,3,4,0,2,18\n";
+  Rng rng(1004);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = valid;
+    const std::size_t pos = rng.uniform_index(mutated.size());
+    mutated[pos] = static_cast<char>('!' + rng.uniform_index(90));
+    {
+      std::ofstream out(path);
+      out << mutated;
+    }
+    try {
+      const MeasurementStore store = import_measurements(path);
+      EXPECT_LE(store.total(), 2u);
+    } catch (const Error&) {
+      // expected for most corruptions
+    }
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.h"
+#include "latency/rtt_model.h"
+#include "latency/timing_api.h"
+#include "stats/quantile.h"
+
+namespace acdn {
+namespace {
+
+TEST(RttModel, BaseRttComposition) {
+  RttConfig config;
+  config.km_per_rtt_ms = 100.0;
+  config.per_as_hop_ms = 0.5;
+  const RttModel model(config);
+  // 1000 km path + 2 hops + 10 ms last mile = 10 + 1 + 10 = 21 ms.
+  EXPECT_DOUBLE_EQ(model.base_rtt(1000.0, 2, 10.0), 21.0);
+  EXPECT_DOUBLE_EQ(model.base_rtt(0.0, 0, 0.0), 0.0);
+}
+
+TEST(RttModel, BaseRttRejectsNegativeDistance) {
+  const RttModel model;
+  EXPECT_THROW((void)model.base_rtt(-1.0, 0, 5.0), ConfigError);
+}
+
+TEST(RttModel, ConfigValidation) {
+  RttConfig bad;
+  bad.km_per_rtt_ms = 0.0;
+  EXPECT_THROW(RttModel{bad}, ConfigError);
+  bad = RttConfig{};
+  bad.congestion_prob = 1.5;
+  EXPECT_THROW(RttModel{bad}, ConfigError);
+  bad = RttConfig{};
+  bad.diurnal_amplitude = 1.0;
+  EXPECT_THROW(RttModel{bad}, ConfigError);
+}
+
+TEST(RttModel, SamplesCenterOnBase) {
+  RttConfig config;
+  config.congestion_prob = 0.0;  // isolate the jitter
+  config.diurnal_amplitude = 0.0;
+  const RttModel model(config);
+  Rng rng(42);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(model.sample(50.0, SimTime{0, 43200.0}, rng));
+  }
+  // Mean-corrected lognormal jitter: the mean should be very near base.
+  EXPECT_NEAR(mean(samples), 50.0, 0.5);
+  EXPECT_GT(stddev(samples), 2.0);
+}
+
+TEST(RttModel, DiurnalPeakRaisesLatency) {
+  RttConfig config;
+  config.congestion_prob = 0.0;
+  config.jitter_sigma = 0.0;
+  config.diurnal_amplitude = 0.10;
+  config.peak_hour = 20.0;
+  const RttModel model(config);
+  Rng rng(1);
+  const double at_peak = model.sample(100.0, SimTime{0, 20 * 3600.0}, rng);
+  const double at_trough = model.sample(100.0, SimTime{0, 8 * 3600.0}, rng);
+  EXPECT_NEAR(at_peak, 110.0, 1e-9);
+  EXPECT_NEAR(at_trough, 90.0, 1e-9);
+}
+
+TEST(RttModel, CongestionCreatesHeavyTail) {
+  RttConfig config;
+  config.jitter_sigma = 0.0;
+  config.diurnal_amplitude = 0.0;
+  config.congestion_prob = 0.5;
+  config.congestion_mean_ms = 100.0;
+  const RttModel model(config);
+  Rng rng(7);
+  int spiked = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (model.sample(20.0, SimTime{0, 0.0}, rng) > 25.0) ++spiked;
+  }
+  EXPECT_NEAR(spiked, 5000 * 0.95, 300);  // ~half spike; most exceed +5ms
+}
+
+TEST(RttModel, LastMileMixRespectsShares) {
+  // All-fiber mix draws low last-mile latencies; all-wireless draws high.
+  LastMileMix fiber{1.0, 0.0, 0.0, 0.0};
+  LastMileMix wireless{0.0, 0.0, 0.0, 1.0};
+  Rng rng(3);
+  std::vector<double> f, w;
+  for (int i = 0; i < 2000; ++i) {
+    f.push_back(RttModel::draw_last_mile(fiber, rng));
+    w.push_back(RttModel::draw_last_mile(wireless, rng));
+  }
+  EXPECT_LT(median(f), 6.0);
+  EXPECT_GT(median(w), 25.0);
+}
+
+// ------------------------------------------------------------ TimingModel
+
+TEST(TimingModel, ResourceTimingIsExact) {
+  const TimingModel model;
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(model.observe(33.25, true, rng), 33.25);
+}
+
+TEST(TimingModel, PrimitiveTimingInflatesAndQuantizes) {
+  TimingConfig config;
+  config.primitive_resolution_ms = 1.0;
+  const TimingModel model(config);
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const double observed = model.observe(30.0, false, rng);
+    EXPECT_GE(observed, 30.0 - 0.5);  // never faster (modulo rounding)
+    EXPECT_DOUBLE_EQ(observed, std::round(observed));  // quantized
+  }
+}
+
+TEST(TimingModel, PrimitiveBiasIsPositiveOnAverage) {
+  const TimingModel model;
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += model.observe(40.0, false, rng);
+  EXPECT_GT(sum / n, 41.0);  // overhead + scheduling delay
+}
+
+TEST(TimingModel, SupportRateMatchesConfig) {
+  TimingConfig config;
+  config.resource_timing_support = 0.75;
+  const TimingModel model(config);
+  Rng rng(11);
+  int supported = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (model.supports_resource_timing(rng)) ++supported;
+  }
+  EXPECT_NEAR(supported, 7500, 200);
+}
+
+}  // namespace
+}  // namespace acdn

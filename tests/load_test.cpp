@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "load/fastroute.h"
+#include "load/load_model.h"
+#include "load/withdrawal.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+class LoadTest : public ::testing::Test {
+ protected:
+  LoadTest()
+      : world_(ScenarioConfig::small_test()),
+        model_(world_.clients(), world_.router()) {}
+
+  World world_;
+  LoadModel model_;
+};
+
+TEST_F(LoadTest, BaselineConservesTraffic) {
+  // Every routable client's volume lands on exactly one front-end.
+  double routable_weight = 0.0;
+  for (const Client24& c : world_.clients().clients()) {
+    if (world_.router().route_anycast(c.access_as, c.metro).valid) {
+      routable_weight += c.daily_queries;
+    }
+  }
+  EXPECT_NEAR(model_.baseline().total_offered(), routable_weight, 1e-6);
+}
+
+TEST_F(LoadTest, BaselineWithinCapacity) {
+  EXPECT_EQ(model_.baseline().overloaded_count(), 0u);
+  for (std::size_t i = 0; i < model_.front_end_count(); ++i) {
+    EXPECT_GT(model_.baseline().capacity[i], 0.0);
+  }
+}
+
+TEST_F(LoadTest, WithdrawalShiftsNotDestroysLoad) {
+  std::vector<bool> withdrawn(model_.front_end_count(), false);
+  withdrawn[0] = true;
+  const LoadMap after = model_.with_withdrawn(withdrawn);
+  EXPECT_DOUBLE_EQ(after.offered[0], 0.0);
+  EXPECT_NEAR(after.total_offered(), model_.baseline().total_offered(),
+              1e-6);
+}
+
+TEST_F(LoadTest, NoWithdrawalMatchesBaseline) {
+  const std::vector<bool> none(model_.front_end_count(), false);
+  const LoadMap same = model_.with_withdrawn(none);
+  for (std::size_t i = 0; i < model_.front_end_count(); ++i) {
+    EXPECT_NEAR(same.offered[i], model_.baseline().offered[i], 1e-6) << i;
+  }
+}
+
+TEST_F(LoadTest, FullWithdrawalDropsEverything) {
+  const std::vector<bool> all(model_.front_end_count(), true);
+  const LoadMap nothing = model_.with_withdrawn(all);
+  EXPECT_DOUBLE_EQ(nothing.total_offered(), 0.0);
+}
+
+TEST_F(LoadTest, MaskSizeValidated) {
+  const std::vector<bool> wrong(model_.front_end_count() + 1, false);
+  EXPECT_THROW((void)model_.with_withdrawn(wrong), ConfigError);
+}
+
+TEST_F(LoadTest, HeadroomValidated) {
+  LoadConfig bad;
+  bad.headroom = 0.5;
+  EXPECT_THROW(LoadModel(world_.clients(), world_.router(), bad),
+               ConfigError);
+}
+
+// ------------------------------------------------------------- Withdrawal
+
+TEST_F(LoadTest, GenerousCapacityStopsTheCascadeImmediately) {
+  LoadConfig generous;
+  generous.headroom = 10.0;
+  const LoadModel roomy(world_.clients(), world_.router(), generous);
+  const WithdrawalSimulator sim(roomy);
+  const CascadeResult result = sim.cascade({FrontEndId(0)});
+  EXPECT_EQ(result.total_withdrawn.size(), 1u);
+  EXPECT_FALSE(result.collapsed);
+  EXPECT_EQ(result.final_load.overloaded_count(), 0u);
+}
+
+TEST_F(LoadTest, TightCapacityCascades) {
+  LoadConfig tight;
+  tight.headroom = 1.02;  // running right at the edge
+  const LoadModel hot(world_.clients(), world_.router(), tight);
+  // Withdraw the most-loaded site.
+  FrontEndId biggest(0);
+  for (std::size_t i = 1; i < hot.front_end_count(); ++i) {
+    if (hot.baseline().offered[i] >
+        hot.baseline().offered[biggest.value]) {
+      biggest = FrontEndId(static_cast<std::uint32_t>(i));
+    }
+  }
+  const WithdrawalSimulator sim(hot);
+  const CascadeResult result = sim.cascade({biggest});
+  EXPECT_GT(result.total_withdrawn.size(), 1u);  // the cascade spread
+  EXPECT_GE(result.rounds_to_stability(), 2);
+}
+
+TEST_F(LoadTest, CascadeRejectsInvalidFrontEnd) {
+  const WithdrawalSimulator sim(model_);
+  EXPECT_THROW((void)sim.cascade({FrontEndId(9999)}), ConfigError);
+}
+
+// --------------------------------------------------------------- FastRoute
+
+TEST_F(LoadTest, PlanIsNoOpWhenHealthy) {
+  const FastRouteController controller(model_);
+  const SheddingPlan plan = controller.plan(model_.baseline());
+  EXPECT_TRUE(plan.stabilized);
+  EXPECT_TRUE(plan.directives.empty());
+  EXPECT_DOUBLE_EQ(plan.moved_share(), 0.0);
+}
+
+TEST_F(LoadTest, SheddingConservesTraffic) {
+  // Overload one site artificially and let the controller spread it.
+  LoadMap start = model_.baseline();
+  start.offered[0] = start.capacity[0] * 2.0;
+  const double total = start.total_offered();
+  const FastRouteController controller(model_);
+  const SheddingPlan plan = controller.plan(start);
+  EXPECT_NEAR(plan.final_load.total_offered(), total, 1e-6);
+  EXPECT_FALSE(plan.directives.empty());
+  // The hot site sheds; it never receives.
+  for (const ShedDirective& d : plan.directives) {
+    EXPECT_GT(d.queries_per_day, 0.0);
+    EXPECT_NE(d.from, d.to);
+  }
+}
+
+TEST_F(LoadTest, SheddingIsGradualPerRound) {
+  LoadMap start = model_.baseline();
+  start.offered[0] = start.capacity[0] * 3.0;
+  SheddingConfig config;
+  config.max_shed_per_round = 0.10;
+  config.max_rounds = 1;  // a single round cannot fix a 3x overload
+  const FastRouteController controller(model_, config);
+  const SheddingPlan plan = controller.plan(start);
+  EXPECT_FALSE(plan.stabilized);
+  // At most 10% of the hot site's load moved in the single round.
+  double moved_from_zero = 0.0;
+  for (const ShedDirective& d : plan.directives) {
+    if (d.from == FrontEndId(0)) moved_from_zero += d.queries_per_day;
+  }
+  EXPECT_LE(moved_from_zero, start.capacity[0] * 3.0 * 0.10 + 1e-9);
+}
+
+TEST_F(LoadTest, SheddingStabilizesModestOverload) {
+  LoadMap start = model_.baseline();
+  start.offered[0] = start.capacity[0] * 1.3;
+  const FastRouteController controller(model_);
+  const SheddingPlan plan = controller.plan(start);
+  EXPECT_TRUE(plan.stabilized);
+  EXPECT_EQ(plan.final_load.overloaded_count(), 0u);
+}
+
+TEST_F(LoadTest, TargetUtilizationValidated) {
+  SheddingConfig bad;
+  bad.target_utilization = 0.0;
+  const FastRouteController controller(model_, bad);
+  EXPECT_THROW((void)controller.plan(model_.baseline()), ConfigError);
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace acdn {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override { set_log_level(previous_); }
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kOff);
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, StreamingBuildsMessagesWithoutCrashing) {
+  set_log_level(LogLevel::kDebug);
+  // Output goes to stderr; the assertions here are about safe usage:
+  // chaining, mixed types, and suppressed levels.
+  Log(LogLevel::kInfo) << "built " << 42 << " things in " << 1.5 << "s";
+  Log(LogLevel::kDebug) << "debug detail";
+  set_log_level(LogLevel::kError);
+  Log(LogLevel::kInfo) << "this must be suppressed cheaply";
+  Log(LogLevel::kError) << "errors still flow";
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  set_log_level(LogLevel::kOff);
+  Log(LogLevel::kError) << "even errors are silent at kOff";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace acdn

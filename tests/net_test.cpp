@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "net/allocator.h"
+#include "net/ipv4.h"
+#include "net/radix_trie.h"
+
+namespace acdn {
+namespace {
+
+// ----------------------------------------------------------------- Ipv4
+
+TEST(Ipv4, FormatAndParseRoundTrip) {
+  const Ipv4Address a(192, 168, 1, 42);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+  EXPECT_EQ(Ipv4Address::parse("192.168.1.42"), a);
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::parse(""));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4Address::parse("256.0.0.1"));
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse("1.2.3.4 "));
+}
+
+TEST(Prefix, NormalizesHostBits) {
+  const Prefix p(Ipv4Address(10, 1, 2, 200), 24);
+  EXPECT_EQ(p.address(), Ipv4Address(10, 1, 2, 0));
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Prefix, Containment) {
+  const Prefix p8(Ipv4Address(10, 0, 0, 0), 8);
+  const Prefix p24(Ipv4Address(10, 1, 2, 0), 24);
+  EXPECT_TRUE(p8.contains(p24));
+  EXPECT_FALSE(p24.contains(p8));
+  EXPECT_TRUE(p24.contains(Ipv4Address(10, 1, 2, 77)));
+  EXPECT_FALSE(p24.contains(Ipv4Address(10, 1, 3, 77)));
+}
+
+TEST(Prefix, ZeroLengthContainsEverything) {
+  const Prefix all(Ipv4Address(0), 0);
+  EXPECT_TRUE(all.contains(Ipv4Address(255, 255, 255, 255)));
+  EXPECT_TRUE(all.contains(Ipv4Address(0)));
+}
+
+TEST(Prefix, Slash24Of) {
+  EXPECT_EQ(Prefix::slash24_of(Ipv4Address(1, 2, 3, 99)),
+            Prefix(Ipv4Address(1, 2, 3, 0), 24));
+}
+
+TEST(Prefix, ParseRoundTrip) {
+  const auto p = Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 12);
+  EXPECT_EQ(p->to_string(), "172.16.0.0/12");
+  EXPECT_FALSE(Prefix::parse("172.16.0.0"));
+  EXPECT_FALSE(Prefix::parse("172.16.0.0/33"));
+  EXPECT_FALSE(Prefix::parse("bogus/8"));
+}
+
+// ------------------------------------------------------------ RadixTrie
+
+TEST(RadixTrie, InsertFindErase) {
+  RadixTrie<std::string> trie;
+  const Prefix p(Ipv4Address(10, 0, 0, 0), 8);
+  EXPECT_TRUE(trie.insert(p, "ten"));
+  EXPECT_FALSE(trie.insert(p, "ten-again"));  // replace
+  ASSERT_NE(trie.find(p), nullptr);
+  EXPECT_EQ(*trie.find(p), "ten-again");
+  EXPECT_EQ(trie.size(), 1u);
+  EXPECT_TRUE(trie.erase(p));
+  EXPECT_FALSE(trie.erase(p));
+  EXPECT_TRUE(trie.empty());
+}
+
+TEST(RadixTrie, LongestMatchPrefersMoreSpecific) {
+  RadixTrie<int> trie;
+  trie.insert(Prefix(Ipv4Address(10, 0, 0, 0), 8), 8);
+  trie.insert(Prefix(Ipv4Address(10, 1, 0, 0), 16), 16);
+  trie.insert(Prefix(Ipv4Address(10, 1, 2, 0), 24), 24);
+
+  auto m = trie.longest_match(Ipv4Address(10, 1, 2, 3));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 24);
+
+  m = trie.longest_match(Ipv4Address(10, 1, 9, 9));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 16);
+
+  m = trie.longest_match(Ipv4Address(10, 200, 0, 1));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 8);
+
+  EXPECT_FALSE(trie.longest_match(Ipv4Address(11, 0, 0, 1)).has_value());
+}
+
+TEST(RadixTrie, DefaultRouteMatchesAll) {
+  RadixTrie<int> trie;
+  trie.insert(Prefix(Ipv4Address(0), 0), 0);
+  const auto m = trie.longest_match(Ipv4Address(203, 0, 113, 5));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(*m->second, 0);
+}
+
+TEST(RadixTrie, ExactFindDoesNotMatchCoveringPrefix) {
+  RadixTrie<int> trie;
+  trie.insert(Prefix(Ipv4Address(10, 0, 0, 0), 8), 8);
+  EXPECT_EQ(trie.find(Prefix(Ipv4Address(10, 1, 0, 0), 16)), nullptr);
+}
+
+TEST(RadixTrie, EraseKeepsSiblings) {
+  RadixTrie<int> trie;
+  const Prefix a(Ipv4Address(10, 0, 0, 0), 9);
+  const Prefix b(Ipv4Address(10, 128, 0, 0), 9);
+  trie.insert(a, 1);
+  trie.insert(b, 2);
+  EXPECT_TRUE(trie.erase(a));
+  EXPECT_EQ(trie.find(a), nullptr);
+  ASSERT_NE(trie.find(b), nullptr);
+  EXPECT_EQ(*trie.find(b), 2);
+}
+
+TEST(RadixTrie, ForEachVisitsInAddressOrder) {
+  RadixTrie<int> trie;
+  trie.insert(Prefix(Ipv4Address(20, 0, 0, 0), 8), 2);
+  trie.insert(Prefix(Ipv4Address(10, 0, 0, 0), 8), 1);
+  trie.insert(Prefix(Ipv4Address(10, 5, 0, 0), 16), 3);
+  std::vector<int> order;
+  trie.for_each([&](const Prefix&, int v) { order.push_back(v); });
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+// Property sweep: insert many /24s, every one must longest-match itself.
+class RadixTrieSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RadixTrieSweep, AllInsertedPrefixesSelfMatch) {
+  const int count = GetParam();
+  RadixTrie<int> trie;
+  PrefixAllocator alloc = PrefixAllocator::client_pool();
+  std::vector<Prefix> prefixes;
+  for (int i = 0; i < count; ++i) {
+    prefixes.push_back(alloc.allocate_slash24());
+    trie.insert(prefixes.back(), i);
+  }
+  EXPECT_EQ(trie.size(), static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const Ipv4Address inside(prefixes[static_cast<std::size_t>(i)]
+                                 .address()
+                                 .value() +
+                             7);
+    const auto m = trie.longest_match(inside);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(*m->second, i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RadixTrieSweep,
+                         ::testing::Values(1, 16, 256, 4096));
+
+// ------------------------------------------------------- PrefixAllocator
+
+TEST(PrefixAllocator, AllocatesDisjointSlash24s) {
+  PrefixAllocator alloc(Prefix(Ipv4Address(192, 168, 0, 0), 16));
+  EXPECT_EQ(alloc.capacity(), 256u);
+  const Prefix first = alloc.allocate_slash24();
+  const Prefix second = alloc.allocate_slash24();
+  EXPECT_EQ(first, Prefix(Ipv4Address(192, 168, 0, 0), 24));
+  EXPECT_EQ(second, Prefix(Ipv4Address(192, 168, 1, 0), 24));
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(first.contains(second));
+}
+
+TEST(PrefixAllocator, ExhaustionThrows) {
+  PrefixAllocator alloc(Prefix(Ipv4Address(192, 168, 0, 0), 23));
+  EXPECT_EQ(alloc.capacity(), 2u);
+  (void)alloc.allocate_slash24();
+  (void)alloc.allocate_slash24();
+  EXPECT_THROW((void)alloc.allocate_slash24(), Error);
+}
+
+TEST(PrefixAllocator, RejectsTooSmallPool) {
+  EXPECT_THROW(PrefixAllocator(Prefix(Ipv4Address(10, 0, 0, 0), 25)),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "core/predictor.h"
+#include "test_fixtures.h"
+
+namespace acdn {
+namespace {
+
+using testfx::make_measurement;
+
+PredictorConfig ecs_config(int min_measurements = 1) {
+  PredictorConfig config;
+  config.metric = PredictionMetric::kP25;
+  config.min_measurements = min_measurements;
+  config.grouping = Grouping::kEcsPrefix;
+  return config;
+}
+
+TEST(Predictor, PicksLowestMetricTarget) {
+  HistoryPredictor predictor(ecs_config());
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 20.0}, {1, 45.0}}));
+  predictor.train(ms);
+  const auto p = predictor.predict(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->anycast);
+  EXPECT_EQ(p->front_end, FrontEndId(0));
+  EXPECT_DOUBLE_EQ(p->predicted_ms, 20.0);
+  ASSERT_TRUE(p->anycast_ms.has_value());
+  EXPECT_DOUBLE_EQ(*p->anycast_ms, 30.0);
+}
+
+TEST(Predictor, PicksAnycastWhenItIsBest) {
+  HistoryPredictor predictor(ecs_config());
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 15.0, {{0, 20.0}}));
+  predictor.train(ms);
+  const auto p = predictor.predict(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->anycast);
+}
+
+TEST(Predictor, MinMeasurementGateExcludesThinTargets) {
+  // FE0 has 1 sample (below gate of 2), anycast has 2: only anycast
+  // qualifies even though FE0's sample is lower.
+  HistoryPredictor predictor(ecs_config(2));
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 5.0}}));
+  ms.push_back(make_measurement(1, 10, 0, 32.0, {}));
+  predictor.train(ms);
+  const auto p = predictor.predict(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->anycast);
+}
+
+TEST(Predictor, NoQualifyingDataMeansNoPrediction) {
+  HistoryPredictor predictor(ecs_config(5));
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 10.0}}));
+  predictor.train(ms);
+  EXPECT_FALSE(predictor.predict(1).has_value());
+  EXPECT_FALSE(predictor.predict(999).has_value());
+}
+
+TEST(Predictor, MetricQuantiles) {
+  EXPECT_DOUBLE_EQ(metric_quantile(PredictionMetric::kP25), 0.25);
+  EXPECT_DOUBLE_EQ(metric_quantile(PredictionMetric::kMedian), 0.50);
+  EXPECT_DOUBLE_EQ(metric_quantile(PredictionMetric::kP75), 0.75);
+  const std::vector<Milliseconds> samples{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(
+      HistoryPredictor::metric_value(samples, PredictionMetric::kP25), 20.0);
+  EXPECT_DOUBLE_EQ(
+      HistoryPredictor::metric_value(samples, PredictionMetric::kMedian),
+      30.0);
+}
+
+TEST(Predictor, P25MetricIgnoresUpperTail) {
+  // Anycast has a clean p25 but an awful tail; FE0 is uniformly mediocre.
+  // The p25 metric must still prefer anycast — exactly why the paper chose
+  // low percentiles.
+  HistoryPredictor predictor(ecs_config(4));
+  std::vector<BeaconMeasurement> ms;
+  const double anycast_samples[] = {10.0, 11.0, 12.0, 500.0};
+  const double fe_samples[] = {25.0, 25.0, 25.0, 25.0};
+  for (int i = 0; i < 4; ++i) {
+    ms.push_back(
+        make_measurement(1, 10, 0, anycast_samples[i], {{0, fe_samples[i]}}));
+  }
+  predictor.train(ms);
+  const auto p = predictor.predict(1);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->anycast);
+}
+
+TEST(Predictor, LdnsGroupingPoolsClients) {
+  PredictorConfig config = ecs_config(3);
+  config.grouping = Grouping::kLdns;
+  HistoryPredictor predictor(config);
+  std::vector<BeaconMeasurement> ms;
+  // Three clients of LDNS 10, one sample each: pooled they pass the gate.
+  for (std::uint32_t c = 1; c <= 3; ++c) {
+    ms.push_back(make_measurement(c, 10, 0, 30.0, {{0, 12.0}}));
+  }
+  predictor.train(ms);
+  EXPECT_FALSE(predictor.predict(1).has_value());  // key is the LDNS id
+  const auto p = predictor.predict(10);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_FALSE(p->anycast);
+  EXPECT_EQ(p->front_end, FrontEndId(0));
+}
+
+TEST(Predictor, RetrainReplacesMapping) {
+  HistoryPredictor predictor(ecs_config());
+  std::vector<BeaconMeasurement> day1;
+  day1.push_back(make_measurement(1, 10, 0, 30.0, {{0, 10.0}}));
+  predictor.train(day1);
+  ASSERT_TRUE(predictor.predict(1).has_value());
+
+  std::vector<BeaconMeasurement> day2;
+  day2.push_back(make_measurement(2, 10, 1, 30.0, {{0, 10.0}}));
+  predictor.train(day2);
+  EXPECT_FALSE(predictor.predict(1).has_value());
+  EXPECT_TRUE(predictor.predict(2).has_value());
+}
+
+TEST(Predictor, ConfigValidation) {
+  PredictorConfig bad;
+  bad.min_measurements = 0;
+  EXPECT_THROW(HistoryPredictor{bad}, ConfigError);
+}
+
+}  // namespace
+}  // namespace acdn

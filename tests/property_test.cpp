@@ -1,0 +1,190 @@
+// Cross-module property sweeps: invariants that must hold for *every*
+// randomly generated world, parameterized over seeds (TEST_P).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "load/load_model.h"
+#include "routing/bgp.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+class WorldProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  WorldProperties() {
+    ScenarioConfig config = ScenarioConfig::small_test();
+    config.seed = GetParam();
+    world_ = std::make_unique<World>(config);
+  }
+
+  std::unique_ptr<World> world_;
+};
+
+TEST_P(WorldProperties, EveryClientHasAValidAnycastRoute) {
+  for (const Client24& c : world_->clients().clients()) {
+    const RouteResult route =
+        world_->router().route_anycast(c.access_as, c.metro);
+    ASSERT_TRUE(route.valid)
+        << world_->graph().as_node(c.access_as).name << " @ "
+        << world_->metros().metro(c.metro).name;
+    EXPECT_TRUE(route.front_end.valid());
+    EXPECT_GE(route.path_km, 0.0);
+    EXPECT_GE(route.backbone_km, 0.0);
+    EXPECT_GE(route.as_hops, 1);
+    EXPECT_LE(route.as_hops, 8);
+  }
+}
+
+TEST_P(WorldProperties, EveryAlternateCandidateAlsoUnfolds) {
+  for (const Client24& c : world_->clients().clients()) {
+    const std::size_t n =
+        world_->router().anycast_candidate_count(c.access_as);
+    for (std::size_t k = 0; k < std::min<std::size_t>(n, 3); ++k) {
+      EXPECT_TRUE(
+          world_->router().route_anycast(c.access_as, c.metro, k).valid)
+          << "candidate " << k;
+    }
+  }
+}
+
+TEST_P(WorldProperties, EveryUnicastPrefixReachableFromEveryClientIsp) {
+  // §3.1's measurement design requires every beacon candidate's unicast
+  // /24 to be reachable from every client.
+  std::set<std::pair<AsId, MetroId>> units;
+  for (const Client24& c : world_->clients().clients()) {
+    units.emplace(c.access_as, c.metro);
+  }
+  const auto& deployment = world_->cdn().deployment();
+  for (const auto& [as, metro] : units) {
+    for (const FrontEndSite& s : deployment.sites()) {
+      const RouteResult route =
+          world_->router().route_unicast(as, metro, s.id);
+      ASSERT_TRUE(route.valid)
+          << world_->graph().as_node(as).name << " -> " << s.name;
+      EXPECT_EQ(route.front_end, s.id);
+    }
+  }
+}
+
+TEST_P(WorldProperties, UnicastIngressesNearTheFrontEnd) {
+  // "forcing traffic to the prefix to ingress near the front-end" (§3.1):
+  // the ingress is the announce metro itself.
+  const auto& deployment = world_->cdn().deployment();
+  int checked = 0;
+  for (const Client24& c : world_->clients().clients()) {
+    if (++checked > 50) break;
+    for (const FrontEndSite& s : deployment.sites()) {
+      const RouteResult route =
+          world_->router().route_unicast(c.access_as, c.metro, s.id);
+      ASSERT_TRUE(route.valid);
+      EXPECT_EQ(route.ingress_metro, s.metro);
+      EXPECT_DOUBLE_EQ(route.backbone_km, 0.0);
+    }
+  }
+}
+
+TEST_P(WorldProperties, AnycastRoutesAreValleyFree) {
+  const BgpSimulator sim(world_->graph(), world_->cdn().as_id());
+  const BgpRouteTable table = sim.compute_anycast();
+  for (const AsNode& node : world_->graph().all_as()) {
+    if (node.id == world_->cdn().as_id()) continue;
+    const auto cands = table.candidates(node.id);
+    for (std::size_t k = 0; k < cands.size(); ++k) {
+      const std::vector<AsId> path = table.walk(node.id, k);
+      bool descending = false;
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        Neighbor::Kind kind = Neighbor::Kind::kPeer;
+        for (const Neighbor& nb : world_->graph().neighbors(path[i])) {
+          if (nb.as == path[i + 1]) kind = nb.kind;
+        }
+        if (descending) {
+          ASSERT_EQ(kind, Neighbor::Kind::kCustomer)
+              << node.name << " candidate " << k;
+        }
+        if (kind != Neighbor::Kind::kProvider) descending = true;
+      }
+    }
+  }
+}
+
+TEST_P(WorldProperties, BeaconJoinIsLossless) {
+  // With fetch loss disabled, every beacon execution's fetches must
+  // survive the DNS/HTTP log join exactly.
+  ScenarioConfig config = ScenarioConfig::small_test();
+  config.seed = GetParam();
+  config.beacon.fetch_loss_prob = 0.0;
+  World world(config);
+  Simulation sim(world);
+  const DayStats stats = sim.run_day();
+  std::size_t joined_targets = 0;
+  for (const BeaconMeasurement& m : sim.measurements().by_day(0)) {
+    joined_targets += m.targets.size();
+  }
+  EXPECT_EQ(sim.measurements().by_day(0).size(), stats.beacons);
+  EXPECT_EQ(joined_targets, stats.beacons * 4);
+}
+
+TEST_P(WorldProperties, FetchLossOnlyShrinksTheJoin) {
+  // With loss enabled (the default), joined measurements never exceed the
+  // executed beacons, and each carries between 0-lost and all targets.
+  World& world = *world_;
+  Simulation sim(world);
+  const DayStats stats = sim.run_day();
+  const auto joined = sim.measurements().by_day(0);
+  EXPECT_LE(joined.size(), stats.beacons);
+  // Loss is rare: the overwhelming majority of beacons survive intact.
+  std::size_t complete = 0;
+  for (const BeaconMeasurement& m : joined) {
+    EXPECT_GE(m.targets.size(), 1u);
+    EXPECT_LE(m.targets.size(), 4u);
+    if (m.targets.size() == 4u) ++complete;
+  }
+  if (!joined.empty()) {
+    EXPECT_GT(double(complete) / double(joined.size()), 0.85);
+  }
+}
+
+TEST_P(WorldProperties, RttsAreBoundedAndPositive) {
+  Rng rng = world_->fork_rng("prop-rtt");
+  int checked = 0;
+  for (const Client24& c : world_->clients().clients()) {
+    if (++checked > 30) break;
+    const auto rtts = world_->beacon().measure_all_candidates(
+        c, SimTime{0, 43200.0}, rng);
+    for (Milliseconds ms : rtts) {
+      EXPECT_GT(ms, 0.5);     // at least some last-mile latency
+      EXPECT_LT(ms, 3000.0);  // and nothing absurd
+    }
+  }
+}
+
+TEST_P(WorldProperties, LoadIsConservedUnderAnyWithdrawal) {
+  const LoadModel model(world_->clients(), world_->router());
+  Rng rng = world_->fork_rng("prop-load");
+  std::vector<bool> withdrawn(model.front_end_count(), false);
+  // Withdraw a random third of the sites.
+  for (std::size_t i = 0; i < withdrawn.size(); ++i) {
+    withdrawn[i] = rng.bernoulli(1.0 / 3.0);
+  }
+  if (std::all_of(withdrawn.begin(), withdrawn.end(),
+                  [](bool w) { return w; })) {
+    withdrawn[0] = false;
+  }
+  const LoadMap after = model.with_withdrawn(withdrawn);
+  EXPECT_NEAR(after.total_offered(), model.baseline().total_offered(), 1e-6);
+  for (std::size_t i = 0; i < withdrawn.size(); ++i) {
+    if (withdrawn[i]) {
+      EXPECT_DOUBLE_EQ(after.offered[i], 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldProperties,
+                         ::testing::Values(1, 7, 23, 99, 1234));
+
+}  // namespace
+}  // namespace acdn

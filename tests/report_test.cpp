@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "report/ascii_chart.h"
+#include "report/series.h"
+#include "report/shape_check.h"
+
+namespace acdn {
+namespace {
+
+Series step_series() {
+  return Series{"s", {{0.0, 0.1}, {10.0, 0.5}, {20.0, 1.0}}};
+}
+
+TEST(Series, StepInterpolation) {
+  const Series s = step_series();
+  EXPECT_DOUBLE_EQ(sample_series(s, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(sample_series(s, 0.0), 0.1);
+  EXPECT_DOUBLE_EQ(sample_series(s, 9.9), 0.1);
+  EXPECT_DOUBLE_EQ(sample_series(s, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(sample_series(s, 100.0), 1.0);
+}
+
+TEST(Figure, CsvExportHasHeaderAndUnionRows) {
+  Figure fig("t", "x", "y");
+  fig.add_series(step_series());
+  fig.add_series(Series{"other", {{5.0, 0.2}}});
+  const std::string path = ::testing::TempDir() + "acdn_fig_test.csv";
+  fig.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,s,other");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 4);  // union of x: 0, 5, 10, 20
+  std::remove(path.c_str());
+}
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  Figure fig("my chart", "ms", "cdf");
+  fig.add_series(step_series());
+  ChartOptions options;
+  options.width = 40;
+  options.height = 8;
+  const std::string chart = render_chart(fig, options);
+  EXPECT_NE(chart.find("my chart"), std::string::npos);
+  EXPECT_NE(chart.find("[a] s"), std::string::npos);
+  EXPECT_NE(chart.find('a'), std::string::npos);
+}
+
+TEST(AsciiChart, LogScaleHandlesWideRanges) {
+  Figure fig("log", "km", "cdf");
+  fig.add_series(Series{"d", {{64.0, 0.2}, {8192.0, 1.0}}});
+  ChartOptions options;
+  options.log_x = true;
+  options.x_min = 64;
+  options.x_max = 8192;
+  EXPECT_FALSE(render_chart(fig, options).empty());
+}
+
+TEST(AsciiChart, RejectsTinyCanvas) {
+  Figure fig("x", "x", "y");
+  fig.add_series(step_series());
+  ChartOptions options;
+  options.width = 4;
+  options.height = 2;
+  EXPECT_THROW((void)render_chart(fig, options), ConfigError);
+}
+
+TEST(ShapeReport, PassAndFailAccounting) {
+  ShapeReport report("test");
+  report.check("in band", 5.0, 0.0, 10.0);
+  report.note("just info", 42.0);
+  EXPECT_TRUE(report.all_pass());
+  report.check("out of band", 50.0, 0.0, 10.0);
+  EXPECT_FALSE(report.all_pass());
+  EXPECT_EQ(report.checks().size(), 3u);
+  EXPECT_FALSE(report.print());
+}
+
+TEST(ShapeReport, BoundaryValuesPass) {
+  ShapeReport report("boundaries");
+  report.check("lower edge", 0.0, 0.0, 1.0);
+  report.check("upper edge", 1.0, 0.0, 1.0);
+  EXPECT_TRUE(report.all_pass());
+}
+
+}  // namespace
+}  // namespace acdn

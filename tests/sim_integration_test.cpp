@@ -1,0 +1,183 @@
+// End-to-end integration tests: a small world simulated over several days,
+// checked for cross-module invariants rather than per-module behavior.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/figures.h"
+#include "common/error.h"
+#include "core/evaluator.h"
+#include "core/predictor.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+class SimIntegration : public ::testing::Test {
+ protected:
+  SimIntegration() : world_(ScenarioConfig::small_test()), sim_(world_) {
+    sim_.run_days(3);
+  }
+
+  World world_;
+  Simulation sim_;
+};
+
+TEST_F(SimIntegration, EveryDayProducesData) {
+  for (DayIndex d = 0; d < 3; ++d) {
+    EXPECT_FALSE(sim_.measurements().by_day(d).empty()) << d;
+    EXPECT_FALSE(sim_.passive().by_day(d).empty()) << d;
+  }
+  EXPECT_EQ(sim_.next_day(), 3);
+}
+
+TEST_F(SimIntegration, PassiveLogsCoverActiveClientsEveryDay) {
+  for (DayIndex d = 0; d < 3; ++d) {
+    std::set<ClientId> seen;
+    for (const PassiveLogEntry& e : sim_.passive().by_day(d)) {
+      seen.insert(e.client);
+      EXPECT_GT(e.queries, 0.0);
+      EXPECT_TRUE(e.front_end.valid());
+    }
+    // Exactly the clients the activity model marks active appear (light
+    // /24s blink in and out of the logs).
+    std::size_t active = 0;
+    for (const Client24& c : world_.clients().clients()) {
+      if (world_.schedule().is_active(c, d, world_.config().seed)) ++active;
+    }
+    EXPECT_EQ(seen.size(), active);
+    EXPECT_GT(seen.size(), world_.clients().size() / 2);
+  }
+}
+
+TEST_F(SimIntegration, BeaconMeasurementsAreWellFormed) {
+  std::size_t with_anycast = 0;
+  std::size_t with_unicast = 0;
+  std::size_t total = 0;
+  for (const BeaconMeasurement& m : sim_.measurements().by_day(0)) {
+    ++total;
+    EXPECT_LE(m.targets.size(), 4u);
+    EXPECT_GE(m.targets.size(), 1u);
+    if (m.anycast_ms()) ++with_anycast;
+    if (m.best_unicast()) ++with_unicast;
+    for (const auto& t : m.targets) {
+      EXPECT_GT(t.rtt_ms, 0.0);
+      EXPECT_LT(t.rtt_ms, 3000.0);
+    }
+    // The joined LDNS matches the client's actual resolver.
+    EXPECT_EQ(world_.clients().client(m.client).ldns, m.ldns);
+    EXPECT_GE(m.hour, 0.0);
+    EXPECT_LT(m.hour, 24.0);
+  }
+  ASSERT_GT(total, 0u);
+  // Fetch loss is rare: nearly every joined beacon has both sides.
+  EXPECT_GT(double(with_anycast) / double(total), 0.95);
+  EXPECT_GT(double(with_unicast) / double(total), 0.95);
+}
+
+TEST_F(SimIntegration, AnycastFrontEndsMatchRoutingOracle) {
+  // The front-end in any passive entry must be producible by the router
+  // for that client's routing unit (some candidate index).
+  const auto day0 = sim_.passive().by_day(0);
+  for (std::size_t i = 0; i < std::min<std::size_t>(day0.size(), 100); ++i) {
+    const PassiveLogEntry& e = day0[i];
+    const Client24& c = world_.clients().client(e.client);
+    bool reachable = false;
+    const std::size_t n =
+        world_.router().anycast_candidate_count(c.access_as);
+    for (std::size_t k = 0; k < n; ++k) {
+      if (world_.router().route_anycast(c.access_as, c.metro, k).front_end ==
+          e.front_end) {
+        reachable = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(reachable) << "client " << e.client.value;
+  }
+}
+
+TEST_F(SimIntegration, AnycastIsNearOptimalForMostRequests) {
+  DistributionBuilder diff = fig3_anycast_minus_best_unicast(
+      sim_.measurements().by_day(0), world_.clients(), std::nullopt);
+  ASSERT_FALSE(diff.empty());
+  // Median request: anycast within a few ms of the best measured unicast.
+  EXPECT_LT(std::abs(diff.quantile(0.5)), 8.0);
+  // But a tail of poor anycast requests exists.
+  EXPECT_GT(1.0 - diff.fraction_at_most(10.0), 0.02);
+}
+
+TEST_F(SimIntegration, PredictionPipelineRunsEndToEnd) {
+  PredictorConfig pc;
+  pc.metric = PredictionMetric::kP25;
+  pc.min_measurements = 5;
+  pc.grouping = Grouping::kEcsPrefix;
+  HistoryPredictor predictor(pc);
+  predictor.train(sim_.measurements().by_day(1));
+  EXPECT_GT(predictor.predictions().size(), 0u);
+
+  const PredictionEvaluator evaluator(world_.clients(), world_.ldns());
+  const auto outcomes =
+      evaluator.evaluate(predictor, sim_.measurements().by_day(2));
+  EXPECT_GT(outcomes.size(), 0u);
+  const EvalSummary summary = evaluator.summarize(outcomes);
+  EXPECT_GE(summary.fraction_improved_p50, 0.0);
+  EXPECT_LE(summary.fraction_improved_p50 + summary.fraction_worse_p50, 1.0);
+}
+
+TEST_F(SimIntegration, WeekLongChurnIsBounded) {
+  Simulation week(world_);  // continues from day 3 world state
+  // Note: run a fresh simulation over a fresh world for exact semantics.
+  World fresh(ScenarioConfig::small_test());
+  Simulation fresh_sim(fresh);
+  fresh_sim.run_days(7);
+  const auto switched = fig7_cumulative_switched(fresh_sim.passive(), 7);
+  ASSERT_EQ(switched.size(), 7u);
+  for (std::size_t i = 1; i < switched.size(); ++i) {
+    EXPECT_GE(switched[i] + 1e-12, switched[i - 1]);  // cumulative
+  }
+  EXPECT_GT(switched.back(), 0.0);   // some churn exists
+  EXPECT_LT(switched.back(), 0.6);   // most clients are stable
+}
+
+TEST(SimDeterminism, SameSeedSameOutput) {
+  auto fingerprint = [](std::uint64_t seed) {
+    ScenarioConfig config = ScenarioConfig::small_test();
+    config.seed = seed;
+    World world(config);
+    Simulation sim(world);
+    sim.run_days(2);
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (DayIndex d = 0; d < 2; ++d) {
+      for (const BeaconMeasurement& m : sim.measurements().by_day(d)) {
+        for (const auto& t : m.targets) {
+          sum += t.rtt_ms;
+          ++count;
+        }
+      }
+    }
+    return std::make_pair(sum, count);
+  };
+  const auto a = fingerprint(7);
+  const auto b = fingerprint(7);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_DOUBLE_EQ(a.first, b.first);
+  const auto c = fingerprint(8);
+  EXPECT_NE(a.first, c.first);
+}
+
+TEST(SimScenario, ValidationCatchesBadKnobs) {
+  ScenarioConfig bad = ScenarioConfig::small_test();
+  bad.flap_traffic_share = 1.5;
+  EXPECT_THROW(World{bad}, ConfigError);
+  bad = ScenarioConfig::small_test();
+  bad.max_route_alternatives = 0;
+  EXPECT_THROW(World{bad}, ConfigError);
+  bad = ScenarioConfig::small_test();
+  bad.workload.total_client_24s = 0;
+  EXPECT_THROW(World{bad}, ConfigError);
+}
+
+}  // namespace
+}  // namespace acdn

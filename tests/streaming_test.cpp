@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "core/streaming.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+#include "test_fixtures.h"
+
+namespace acdn {
+namespace {
+
+using testfx::make_measurement;
+
+PredictorConfig config(int gate = 1) {
+  PredictorConfig pc;
+  pc.metric = PredictionMetric::kP25;
+  pc.min_measurements = gate;
+  pc.grouping = Grouping::kEcsPrefix;
+  return pc;
+}
+
+TEST(StreamingTrainer, MatchesBatchOnSmallExactInput) {
+  // With < 5 samples per target, P2 falls back to exact quantiles, so the
+  // streaming snapshot must match the batch trainer exactly.
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 20.0}, {1, 45.0}}));
+  ms.push_back(make_measurement(1, 10, 0, 34.0, {{0, 24.0}, {1, 41.0}}));
+  ms.push_back(make_measurement(2, 10, 0, 9.0, {{0, 14.0}}));
+
+  HistoryPredictor batch(config(2));
+  batch.train(ms);
+
+  StreamingTrainer stream(config(2));
+  for (const BeaconMeasurement& m : ms) stream.observe(m);
+  const auto snapshot = stream.snapshot();
+
+  ASSERT_EQ(snapshot.size(), batch.predictions().size());
+  for (const auto& [group, expected] : batch.predictions()) {
+    const auto it = snapshot.find(group);
+    ASSERT_NE(it, snapshot.end()) << group;
+    EXPECT_EQ(it->second.anycast, expected.anycast);
+    EXPECT_EQ(it->second.front_end, expected.front_end);
+    EXPECT_NEAR(it->second.predicted_ms, expected.predicted_ms, 1e-9);
+  }
+}
+
+TEST(StreamingTrainer, GateSuppressesThinGroups) {
+  StreamingTrainer stream(config(3));
+  stream.observe(make_measurement(1, 10, 0, 30.0, {{0, 20.0}}));
+  EXPECT_TRUE(stream.snapshot().empty());
+  stream.observe(make_measurement(1, 10, 0, 30.0, {{0, 20.0}}));
+  stream.observe(make_measurement(1, 10, 0, 30.0, {{0, 20.0}}));
+  EXPECT_EQ(stream.snapshot().size(), 1u);
+}
+
+TEST(StreamingTrainer, ResetClearsState) {
+  StreamingTrainer stream(config());
+  stream.observe(make_measurement(1, 10, 0, 30.0, {{0, 20.0}}));
+  EXPECT_GT(stream.target_state_count(), 0u);
+  EXPECT_EQ(stream.observed(), 1u);
+  stream.reset();
+  EXPECT_EQ(stream.target_state_count(), 0u);
+  EXPECT_EQ(stream.observed(), 0u);
+  EXPECT_TRUE(stream.snapshot().empty());
+}
+
+TEST(StreamingTrainer, AnycastGainIsExposed) {
+  StreamingTrainer stream(config());
+  stream.observe(make_measurement(1, 10, 0, 30.0, {{0, 20.0}}));
+  const auto snapshot = stream.snapshot();
+  const Prediction& p = snapshot.at(1);
+  EXPECT_FALSE(p.anycast);
+  ASSERT_TRUE(p.anycast_ms.has_value());
+  EXPECT_NEAR(*p.anycast_ms - p.predicted_ms, 10.0, 1e-9);
+}
+
+TEST(StreamingTrainer, ApproximatesBatchOnRealWorldData) {
+  // On a day of simulated measurements, streaming P25 estimates should
+  // agree with the exact batch predictor for the overwhelming majority of
+  // groups (P2 error can flip near-ties).
+  ScenarioConfig sc = ScenarioConfig::small_test();
+  sc.schedule.beacon_sampling = 0.3;
+  World world(sc);
+  Simulation sim(world);
+  sim.run_days(1);
+  const auto day = sim.measurements().by_day(0);
+
+  HistoryPredictor batch(config(10));
+  batch.train(day);
+  StreamingTrainer stream(config(10));
+  for (const BeaconMeasurement& m : day) stream.observe(m);
+  const auto snapshot = stream.snapshot();
+
+  ASSERT_EQ(snapshot.size(), batch.predictions().size());
+  ASSERT_GT(snapshot.size(), 5u);
+  int agree = 0;
+  double metric_error = 0.0;
+  for (const auto& [group, expected] : batch.predictions()) {
+    const Prediction& got = snapshot.at(group);
+    if (got.anycast == expected.anycast &&
+        (got.anycast || got.front_end == expected.front_end)) {
+      ++agree;
+    }
+    metric_error +=
+        std::abs(got.predicted_ms - expected.predicted_ms);
+  }
+  // P2 estimation error can flip near-ties (anycast vs closest front-end
+  // metrics are often within a millisecond), so demand broad but not
+  // perfect agreement, plus small metric error below.
+  EXPECT_GE(double(agree) / double(snapshot.size()), 0.7);
+  EXPECT_LT(metric_error / double(snapshot.size()), 2.0);  // ms
+}
+
+TEST(StreamingTrainer, LdnsGroupingPools) {
+  PredictorConfig pc = config(3);
+  pc.grouping = Grouping::kLdns;
+  StreamingTrainer stream(pc);
+  for (std::uint32_t c = 1; c <= 3; ++c) {
+    stream.observe(make_measurement(c, 77, 0, 30.0, {{0, 12.0}}));
+  }
+  const auto snapshot = stream.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_TRUE(snapshot.count(77));
+}
+
+}  // namespace
+}  // namespace acdn

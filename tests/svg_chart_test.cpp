@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "report/svg_chart.h"
+
+namespace acdn {
+namespace {
+
+Figure sample_figure() {
+  Figure fig("Figure X: a <test> & check", "latency_ms", "CDF");
+  fig.add_series(Series{"alpha", {{0.0, 0.0}, {10.0, 0.4}, {50.0, 1.0}}});
+  fig.add_series(Series{"beta", {{5.0, 0.2}, {40.0, 0.9}}});
+  return fig;
+}
+
+TEST(SvgChart, ProducesWellFormedDocument) {
+  const std::string svg = render_svg(sample_figure(), SvgOptions{});
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // One path per series.
+  std::size_t paths = 0;
+  for (std::size_t pos = 0;
+       (pos = svg.find("<path", pos)) != std::string::npos; ++pos) {
+    ++paths;
+  }
+  EXPECT_EQ(paths, 2u);
+  // Legend labels present.
+  EXPECT_NE(svg.find(">alpha<"), std::string::npos);
+  EXPECT_NE(svg.find(">beta<"), std::string::npos);
+}
+
+TEST(SvgChart, EscapesXmlSpecials) {
+  const std::string svg = render_svg(sample_figure(), SvgOptions{});
+  EXPECT_NE(svg.find("&lt;test&gt; &amp; check"), std::string::npos);
+  EXPECT_EQ(svg.find("<test>"), std::string::npos);
+}
+
+TEST(SvgChart, LogScaleRendersAndLabels) {
+  Figure fig("log", "km", "CDF");
+  fig.add_series(Series{"d", {{64.0, 0.1}, {1024.0, 0.6}, {8192.0, 1.0}}});
+  SvgOptions options;
+  options.log_x = true;
+  options.x_min = 64;
+  options.x_max = 8192;
+  const std::string svg = render_svg(fig, options);
+  EXPECT_NE(svg.find("(log scale)"), std::string::npos);
+  EXPECT_NE(svg.find("<path"), std::string::npos);
+}
+
+TEST(SvgChart, WritesToDisk) {
+  const std::string path = ::testing::TempDir() + "acdn_chart.svg";
+  write_svg(sample_figure(), path, SvgOptions{});
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_GT(content.size(), 500u);
+  std::remove(path.c_str());
+}
+
+TEST(SvgChart, RejectsTinyCanvasAndBadPath) {
+  SvgOptions tiny;
+  tiny.width_px = 10;
+  tiny.height_px = 10;
+  EXPECT_THROW((void)render_svg(sample_figure(), tiny), ConfigError);
+  EXPECT_THROW(write_svg(sample_figure(), "/nonexistent-dir/x.svg",
+                         SvgOptions{}),
+               Error);
+}
+
+TEST(SvgChart, EmptySeriesStillRendersFrame) {
+  Figure fig("empty", "x", "y");
+  fig.add_series(Series{"nothing", {}});
+  const std::string svg = render_svg(fig, SvgOptions{});
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_EQ(svg.find("<path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acdn

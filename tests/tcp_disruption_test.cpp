@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "analysis/tcp_disruption.h"
+#include "common/error.h"
+#include "stats/quantile.h"
+
+namespace acdn {
+namespace {
+
+TEST(FlowDurations, ProfilesAreOrdered) {
+  Rng rng(1);
+  std::vector<double> web, page, download, video;
+  for (int i = 0; i < 4000; ++i) {
+    web.push_back(sample_flow_duration(FlowProfile::kWebShort, rng));
+    page.push_back(sample_flow_duration(FlowProfile::kWebPage, rng));
+    download.push_back(sample_flow_duration(FlowProfile::kDownload, rng));
+    video.push_back(sample_flow_duration(FlowProfile::kVideoLong, rng));
+  }
+  EXPECT_LT(median(web), median(page));
+  EXPECT_LT(median(page), median(download));
+  EXPECT_LT(median(download), median(video));
+  EXPECT_NEAR(median(web), 0.5, 0.1);
+  EXPECT_NEAR(median(video), 1500.0, 200.0);
+  for (double d : web) EXPECT_GT(d, 0.0);
+}
+
+TEST(Disruption, ZeroChangeRateMeansNoDisruption) {
+  DisruptionConfig config;
+  config.route_changes_per_day = 0.0;
+  config.flows_per_estimate = 5000;
+  Rng rng(2);
+  const DisruptionEstimate e =
+      estimate_disruption(FlowProfile::kVideoLong, config, rng);
+  EXPECT_DOUBLE_EQ(e.disrupted_fraction, 0.0);
+  EXPECT_GT(e.mean_duration_s, 0.0);
+}
+
+TEST(Disruption, MatchesPoissonExpectationForFixedDuration) {
+  // With route changes at rate r, a flow of duration T is disrupted with
+  // probability 1 - exp(-rT). Check against the lognormal-mean flows by
+  // a crude bound: short flows must be (near) never disrupted at modest
+  // rates; disruption grows with the rate.
+  DisruptionConfig low;
+  low.route_changes_per_day = 0.1;
+  low.flows_per_estimate = 50000;
+  DisruptionConfig high = low;
+  high.route_changes_per_day = 20.0;
+
+  Rng rng(3);
+  const auto short_low =
+      estimate_disruption(FlowProfile::kWebShort, low, rng);
+  const auto short_high =
+      estimate_disruption(FlowProfile::kWebShort, high, rng);
+  EXPECT_LT(short_low.disrupted_fraction, 1e-4);
+  EXPECT_GT(short_high.disrupted_fraction, short_low.disrupted_fraction);
+
+  const auto video_low =
+      estimate_disruption(FlowProfile::kVideoLong, low, rng);
+  // Analytic check at the mean duration: 1-exp(-r*mean) within a factor.
+  const double r = low.route_changes_per_day / 86400.0;
+  const double analytic = 1.0 - std::exp(-r * video_low.mean_duration_s);
+  EXPECT_NEAR(video_low.disrupted_fraction, analytic, analytic * 0.6);
+}
+
+TEST(Disruption, SweepCoversAllProfiles) {
+  DisruptionConfig config;
+  config.flows_per_estimate = 2000;
+  Rng rng(4);
+  const auto sweep = disruption_sweep(config, rng);
+  ASSERT_EQ(sweep.size(), 4u);
+  EXPECT_EQ(sweep[0].profile, FlowProfile::kWebShort);
+  EXPECT_EQ(sweep[3].profile, FlowProfile::kVideoLong);
+  // Longer flows are never less disrupted.
+  EXPECT_LE(sweep[0].disrupted_fraction, sweep[3].disrupted_fraction);
+}
+
+TEST(Disruption, ConfigValidation) {
+  DisruptionConfig bad;
+  bad.route_changes_per_day = -1.0;
+  Rng rng(5);
+  EXPECT_THROW(
+      (void)estimate_disruption(FlowProfile::kWebShort, bad, rng),
+      ConfigError);
+  bad = DisruptionConfig{};
+  bad.flows_per_estimate = 0;
+  EXPECT_THROW(
+      (void)estimate_disruption(FlowProfile::kWebShort, bad, rng),
+      ConfigError);
+}
+
+TEST(Disruption, ProfileNames) {
+  EXPECT_STREQ(to_string(FlowProfile::kWebShort), "web-short");
+  EXPECT_STREQ(to_string(FlowProfile::kVideoLong), "video-long");
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,126 @@
+// Shared test fixtures: a tiny hand-built metro database and AS graph with
+// known geography, so routing tests can assert exact paths, plus helpers
+// for building measurement logs by hand.
+#pragma once
+
+#include <vector>
+
+#include "beacon/measurement.h"
+#include "geo/metro.h"
+#include "topology/as_graph.h"
+
+namespace acdn::testfx {
+
+// Four metros on a rough west-to-east line:
+//   Seattle --- Denver --- Chicago --- NewYork
+// with real-ish coordinates so distances are meaningful.
+inline MetroDatabase tiny_metros() {
+  std::vector<Metro> metros;
+  metros.push_back(Metro{MetroId{}, "Seattle", "US",
+                         Region::kNorthAmerica, {47.61, -122.33}, 4.0});
+  metros.push_back(Metro{MetroId{}, "Denver", "US",
+                         Region::kNorthAmerica, {39.74, -104.99}, 2.9});
+  metros.push_back(Metro{MetroId{}, "Chicago", "US",
+                         Region::kNorthAmerica, {41.88, -87.63}, 9.5});
+  metros.push_back(Metro{MetroId{}, "NewYork", "US",
+                         Region::kNorthAmerica, {40.71, -74.01}, 19.5});
+  return MetroDatabase(std::move(metros));
+}
+
+inline constexpr MetroId kSeattle{0};
+inline constexpr MetroId kDenver{1};
+inline constexpr MetroId kChicago{2};
+inline constexpr MetroId kNewYork{3};
+
+/// Identifiers for the tiny AS graph below.
+struct TinyWorld {
+  AsGraph graph;
+  AsId tier1;    // present everywhere, CDN's transit provider
+  AsId transit;  // present everywhere, peers with CDN at Chicago only
+  AsId access_west;   // Seattle+Denver eyeball, customer of transit
+  AsId access_east;   // Chicago+NewYork eyeball, customer of tier1,
+                      // peers with CDN at NewYork
+  AsId cdn;           // PoPs everywhere; front-ends decided by the test
+};
+
+/// Builds:
+///   tier1 (everywhere)  <- provider of transit, access_east buys too
+///   transit (everywhere) <- provider of access_west
+///   cdn: customer of tier1 (all metros); peers with transit at Chicago;
+///        peers with access_east at NewYork.
+inline TinyWorld tiny_world(const MetroDatabase& metros) {
+  TinyWorld w{AsGraph(metros), {}, {}, {}, {}, {}};
+  const std::vector<MetroId> all{kSeattle, kDenver, kChicago, kNewYork};
+
+  AsNode tier1;
+  tier1.asn = 1;
+  tier1.name = "Tier1";
+  tier1.type = AsType::kTier1;
+  tier1.presence = all;
+  tier1.backbone_stretch = 1.0;
+  w.tier1 = w.graph.add_as(tier1);
+
+  AsNode transit;
+  transit.asn = 2;
+  transit.name = "Transit";
+  transit.type = AsType::kTransit;
+  transit.presence = all;
+  transit.backbone_stretch = 1.0;
+  w.transit = w.graph.add_as(transit);
+
+  AsNode west;
+  west.asn = 10;
+  west.name = "AccessWest";
+  west.type = AsType::kAccess;
+  west.presence = {kSeattle, kDenver};
+  west.backbone_stretch = 1.0;
+  w.access_west = w.graph.add_as(west);
+
+  AsNode east;
+  east.asn = 11;
+  east.name = "AccessEast";
+  east.type = AsType::kAccess;
+  east.presence = {kChicago, kNewYork};
+  east.backbone_stretch = 1.0;
+  w.access_east = w.graph.add_as(east);
+
+  AsNode cdn;
+  cdn.asn = 8075;
+  cdn.name = "CDN";
+  cdn.type = AsType::kCdn;
+  cdn.presence = all;
+  cdn.backbone_stretch = 1.0;
+  w.cdn = w.graph.add_as(cdn);
+
+  // Relationships.
+  w.graph.add_link({w.transit, w.tier1, Relationship::kCustomerToProvider,
+                    all});
+  w.graph.add_link({w.access_west, w.transit,
+                    Relationship::kCustomerToProvider, {kSeattle, kDenver}});
+  w.graph.add_link({w.access_east, w.tier1,
+                    Relationship::kCustomerToProvider, {kChicago, kNewYork}});
+  w.graph.add_link({w.cdn, w.tier1, Relationship::kCustomerToProvider, all});
+  w.graph.add_link({w.cdn, w.transit, Relationship::kPeerToPeer, {kChicago}});
+  w.graph.add_link({w.cdn, w.access_east, Relationship::kPeerToPeer,
+                    {kNewYork}});
+  return w;
+}
+
+/// One beacon measurement with an anycast target and unicast targets.
+inline BeaconMeasurement make_measurement(
+    std::uint32_t client, std::uint32_t ldns, DayIndex day,
+    double anycast_ms,
+    std::vector<std::pair<std::uint32_t, double>> unicast) {
+  BeaconMeasurement m;
+  m.beacon_id = client * 1000 + static_cast<std::uint32_t>(day);
+  m.client = ClientId(client);
+  m.ldns = LdnsId(ldns);
+  m.day = day;
+  m.targets.push_back({true, FrontEndId{}, anycast_ms});
+  for (const auto& [fe, ms] : unicast) {
+    m.targets.push_back({false, FrontEndId(fe), ms});
+  }
+  return m;
+}
+
+}  // namespace acdn::testfx

@@ -1,0 +1,41 @@
+// The umbrella header must stay a complete, self-contained include: this
+// TU uses one symbol from every layer through acdn.h alone.
+#include "acdn.h"
+
+#include <gtest/gtest.h>
+
+namespace acdn {
+namespace {
+
+TEST(Umbrella, EveryLayerIsReachable) {
+  // common / geo / net / stats
+  Rng rng(1);
+  EXPECT_LT(haversine_km({0, 0}, {0, 1}), 112.0);
+  EXPECT_EQ(Prefix::slash24_of(Ipv4Address(10, 1, 2, 3)).length(), 24);
+  P2Quantile p2(0.25);
+  p2.add(1.0);
+  EXPECT_DOUBLE_EQ(p2.value(), 1.0);
+
+  // topology / routing / latency / cdn / load / dns / workload / beacon
+  // / analysis / core / atlas / sim / report, via the assembled world.
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_day();
+  EXPECT_GT(sim.measurements().total(), 0u);
+
+  HistoryPredictor predictor{PredictorConfig{}};
+  predictor.train(sim.measurements().by_day(0));
+
+  const LoadModel load(world.clients(), world.router());
+  EXPECT_EQ(load.baseline().overloaded_count(), 0u);
+
+  Figure figure("t", "x", "y");
+  figure.add_series(Series{"s", {{0.0, 1.0}}});
+  EXPECT_FALSE(render_svg(figure, SvgOptions{}).empty());
+
+  const ProbeSet probes = ProbeSet::place(world.graph(), 1, rng);
+  EXPECT_GT(probes.size(), 0u);
+}
+
+}  // namespace
+}  // namespace acdn

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/error.h"
+#include "sim/scenario.h"
+#include "topology/builder.h"
+#include "workload/clients.h"
+#include "workload/schedule.h"
+
+namespace acdn {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  WorkloadTest() {
+    Rng rng(12);
+    graph_ = std::make_unique<AsGraph>(
+        build_topology(MetroDatabase::world(), TopologyConfig{}, rng));
+    config_.total_client_24s = 1500;
+    PrefixAllocator addresses = PrefixAllocator::client_pool();
+    Rng gen(13);
+    clients_ = std::make_unique<ClientPopulation>(
+        ClientPopulation::generate(*graph_, config_, addresses, gen));
+  }
+
+  std::unique_ptr<AsGraph> graph_;
+  WorkloadConfig config_;
+  std::unique_ptr<ClientPopulation> clients_;
+};
+
+TEST_F(WorkloadTest, ExactTotal) {
+  EXPECT_EQ(clients_->size(),
+            static_cast<std::size_t>(config_.total_client_24s));
+}
+
+TEST_F(WorkloadTest, ClientsAttachedToIspsPresentInTheirMetro) {
+  for (const Client24& c : clients_->clients()) {
+    EXPECT_TRUE(graph_->as_node(c.access_as).present_in(c.metro));
+    EXPECT_EQ(graph_->as_node(c.access_as).type, AsType::kAccess);
+  }
+}
+
+TEST_F(WorkloadTest, PrefixesAreUniqueAndResolvable) {
+  for (const Client24& c : clients_->clients()) {
+    EXPECT_EQ(c.prefix.length(), 24);
+    const auto found = clients_->find_by_prefix(c.prefix);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(*found, c.id);
+  }
+  EXPECT_FALSE(clients_->find_by_prefix(Prefix(Ipv4Address(8, 8, 8, 0), 24))
+                   .has_value());
+}
+
+TEST_F(WorkloadTest, PopulationWeightedApportioning) {
+  // Tokyo (37M, Asia at 0.5 penetration) must host more client /24s than
+  // Auckland (1.7M at 0.9 penetration).
+  std::map<MetroId, int> counts;
+  for (const Client24& c : clients_->clients()) ++counts[c.metro];
+  const auto& metros = MetroDatabase::world();
+  EXPECT_GT(counts[metros.find_by_name("Tokyo").value()],
+            counts[metros.find_by_name("Auckland").value()]);
+}
+
+TEST_F(WorkloadTest, ClientsAreNearTheirMetro) {
+  const auto& metros = MetroDatabase::world();
+  for (const Client24& c : clients_->clients()) {
+    const Kilometers d =
+        haversine_km(c.location, metros.metro(c.metro).location);
+    EXPECT_LE(d, config_.placement_max_km * 1.01);
+  }
+}
+
+TEST_F(WorkloadTest, QueryVolumeIsHeavyTailed) {
+  std::vector<double> volumes;
+  for (const Client24& c : clients_->clients()) {
+    volumes.push_back(c.daily_queries);
+    EXPECT_GT(c.daily_queries, 0.0);
+  }
+  std::sort(volumes.rbegin(), volumes.rend());
+  double top_decile = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < volumes.size(); ++i) {
+    total += volumes[i];
+    if (i < volumes.size() / 10) top_decile += volumes[i];
+  }
+  // Heavily skewed: top 10% of /24s carry a large share of queries.
+  EXPECT_GT(top_decile / total, 0.35);
+  EXPECT_NEAR(clients_->total_query_weight(), total, 1e-6);
+}
+
+TEST_F(WorkloadTest, DeterministicGeneration) {
+  PrefixAllocator a1 = PrefixAllocator::client_pool();
+  Rng g1(13);
+  const ClientPopulation again =
+      ClientPopulation::generate(*graph_, config_, a1, g1);
+  ASSERT_EQ(again.size(), clients_->size());
+  for (std::size_t i = 0; i < again.size(); ++i) {
+    const ClientId id(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(again.client(id).prefix, clients_->client(id).prefix);
+    EXPECT_EQ(again.client(id).metro, clients_->client(id).metro);
+    EXPECT_DOUBLE_EQ(again.client(id).daily_queries,
+                     clients_->client(id).daily_queries);
+  }
+}
+
+TEST_F(WorkloadTest, ConfigValidation) {
+  WorkloadConfig bad;
+  bad.total_client_24s = 0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = WorkloadConfig{};
+  bad.volume_pareto_alpha = 1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+  bad = WorkloadConfig{};
+  bad.placement_max_km = 1.0;
+  EXPECT_THROW(bad.validate(), ConfigError);
+}
+
+// ---------------------------------------------------------------- Schedule
+
+TEST(Schedule, WeekendFactorReducesVolume) {
+  const ScheduleConfig config;
+  const QuerySchedule schedule(config, SimCalendar{});  // Wed start
+  Client24 c;
+  c.daily_queries = 100.0;
+  EXPECT_DOUBLE_EQ(schedule.expected_queries(c, 0), 100.0);        // Wed
+  EXPECT_DOUBLE_EQ(schedule.expected_queries(c, 3),
+                   100.0 * config.weekend_factor);                 // Sat
+}
+
+TEST(Schedule, PoissonDrawsCenterOnExpectation) {
+  const QuerySchedule schedule(ScheduleConfig{}, SimCalendar{});
+  Client24 c;
+  c.daily_queries = 40.0;
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += schedule.queries_for_day(c, 0, rng);
+  EXPECT_NEAR(sum / n, 40.0, 1.0);
+}
+
+TEST(Schedule, QueryTimesFollowDiurnalCurve) {
+  const QuerySchedule schedule(ScheduleConfig{}, SimCalendar{});
+  Rng rng(6);
+  int evening = 0, morning = 0;
+  for (int i = 0; i < 8000; ++i) {
+    const SimTime t = schedule.sample_query_time(2, rng);
+    EXPECT_EQ(t.day, 2);
+    EXPECT_GE(t.seconds, 0.0);
+    EXPECT_LT(t.seconds, 86400.0);
+    const double h = t.hour_of_day();
+    if (h >= 18.0 && h < 22.0) ++evening;
+    if (h >= 6.0 && h < 10.0) ++morning;
+  }
+  EXPECT_GT(evening, morning * 2);  // peak at 20:00, trough at 08:00
+}
+
+TEST(Schedule, ActivityScalesWithVolume) {
+  const QuerySchedule schedule(ScheduleConfig{}, SimCalendar{});
+  Client24 light;
+  light.id = ClientId(1);
+  light.daily_queries = 1.0;
+  Client24 heavy;
+  heavy.id = ClientId(2);
+  heavy.daily_queries = 400.0;
+  EXPECT_LT(schedule.activity_probability(light), 0.5);
+  EXPECT_GT(schedule.activity_probability(heavy), 0.99);
+
+  int light_days = 0;
+  for (DayIndex d = 0; d < 200; ++d) {
+    if (schedule.is_active(light, d, 42)) ++light_days;
+    EXPECT_TRUE(schedule.is_active(heavy, d, 42));
+  }
+  EXPECT_GT(light_days, 10);
+  EXPECT_LT(light_days, 120);
+}
+
+TEST(Schedule, ActivityIsDeterministicPerClientDay) {
+  const QuerySchedule schedule(ScheduleConfig{}, SimCalendar{});
+  Client24 c;
+  c.id = ClientId(7);
+  c.daily_queries = 2.0;
+  for (DayIndex d = 0; d < 30; ++d) {
+    EXPECT_EQ(schedule.is_active(c, d, 99), schedule.is_active(c, d, 99));
+  }
+}
+
+TEST(Schedule, ActivityDisabledMeansAlwaysActive) {
+  ScheduleConfig config;
+  config.activity_scale = 0.0;
+  const QuerySchedule schedule(config, SimCalendar{});
+  Client24 c;
+  c.id = ClientId(1);
+  c.daily_queries = 0.01;
+  EXPECT_DOUBLE_EQ(schedule.activity_probability(c), 1.0);
+  EXPECT_TRUE(schedule.is_active(c, 3, 1));
+}
+
+TEST(Schedule, ActiveDayVolumeCompensatesForInactivity) {
+  const QuerySchedule schedule(ScheduleConfig{}, SimCalendar{});
+  Client24 c;
+  c.id = ClientId(1);
+  c.daily_queries = 2.0;
+  const double p = schedule.activity_probability(c);
+  // Long-run volume: p * conditional = unconditional expectation.
+  EXPECT_NEAR(p * schedule.expected_queries_when_active(c, 0),
+              schedule.expected_queries(c, 0), 1e-9);
+  EXPECT_GT(schedule.expected_queries_when_active(c, 0),
+            schedule.expected_queries(c, 0));
+}
+
+TEST(Schedule, BeaconSamplingRate) {
+  ScheduleConfig config;
+  config.beacon_sampling = 0.25;
+  const QuerySchedule schedule(config, SimCalendar{});
+  Rng rng(8);
+  int carried = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (schedule.carries_beacon(rng)) ++carried;
+  }
+  EXPECT_NEAR(carried, 2500, 150);
+}
+
+}  // namespace
+}  // namespace acdn
