@@ -3,7 +3,13 @@
 // library can handle.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
 #include "cdn/router.h"
+#include "common/executor.h"
 #include "common/rng.h"
 #include "net/radix_trie.h"
 #include "routing/bgp.h"
@@ -110,6 +116,70 @@ void BM_BeaconRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BeaconRun);
+
+// ------------------------------------------------------ executor scaling
+//
+// Day-loop-shaped kernel: ~1k independent items, tens of microseconds of
+// total work. At this size per-call thread spawning is mostly overhead —
+// the shape the persistent pool exists for. Compare BM_DayLoopSpawn vs
+// BM_DayLoopPool at the same thread count.
+
+std::uint64_t mix_item(std::size_t i) {
+  std::uint64_t x = 0x9e3779b97f4a7c15ull ^ (i + 1);
+  for (int r = 0; r < 8; ++r) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 29;
+  }
+  return x;
+}
+
+constexpr std::size_t kDayLoopItems = 1024;
+
+/// The pre-executor parallel_for: spawn + join `threads` OS threads per
+/// call. Kept verbatim as the baseline the pool is measured against.
+void spawn_parallel_for(std::size_t begin, std::size_t end, int threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (threads <= 1 || n == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  const auto workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      for (std::size_t i = begin + w; i < end; i += workers) fn(i);
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+void BM_DayLoopSpawn(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> out(kDayLoopItems);
+  for (auto _ : state) {
+    spawn_parallel_for(0, kDayLoopItems, threads,
+                       [&](std::size_t i) { out[i] = mix_item(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DayLoopSpawn)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DayLoopPool(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::vector<std::uint64_t> out(kDayLoopItems);
+  Executor& pool = Executor::global();
+  for (auto _ : state) {
+    pool.parallel_for(0, kDayLoopItems, threads,
+                      [&](std::size_t i) { out[i] = mix_item(i); });
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DayLoopPool)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_WorldConstruction(benchmark::State& state) {
   for (auto _ : state) {

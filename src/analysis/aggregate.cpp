@@ -1,5 +1,9 @@
 #include "analysis/aggregate.h"
 
+#include <algorithm>
+
+#include "common/executor.h"
+
 namespace acdn {
 
 const char* to_string(Grouping g) {
@@ -21,15 +25,35 @@ std::uint32_t DayAggregates::group_key(const BeaconMeasurement& m,
 }
 
 DayAggregates DayAggregates::build(
-    std::span<const BeaconMeasurement> measurements, Grouping grouping) {
+    std::span<const BeaconMeasurement> measurements, Grouping grouping,
+    int threads) {
   DayAggregates out;
   out.grouping_ = grouping;
-  for (const BeaconMeasurement& m : measurements) {
-    GroupSamples& group = out.groups_[group_key(m, grouping)];
-    for (const BeaconMeasurement::Target& t : m.targets) {
-      const TargetKey key{t.anycast,
-                          t.anycast ? FrontEndId{} : t.front_end};
-      group.by_target[key].push_back(t.rtt_ms);
+
+  // Shard by group key: every group's measurements land in exactly one
+  // shard, scanned in measurement order, so per-group sample order — and
+  // the merged map — are independent of the shard count.
+  const std::size_t shard_count =
+      static_cast<std::size_t>(std::clamp(threads, 1, 16));
+  std::vector<std::map<std::uint32_t, GroupSamples>> shards(shard_count);
+  Executor::global().parallel_for(
+      0, shard_count, threads, [&](std::size_t s) {
+        auto& local = shards[s];
+        for (const BeaconMeasurement& m : measurements) {
+          const std::uint32_t key = group_key(m, grouping);
+          if (key % shard_count != s) continue;
+          GroupSamples& group = local[key];
+          for (const BeaconMeasurement::Target& t : m.targets) {
+            const TargetKey target{t.anycast,
+                                   t.anycast ? FrontEndId{} : t.front_end};
+            group.by_target[target].push_back(t.rtt_ms);
+          }
+        }
+      });
+
+  for (auto& shard : shards) {
+    for (auto& [key, group] : shard) {
+      out.groups_.emplace(key, std::move(group));
     }
   }
   return out;

@@ -46,9 +46,13 @@ struct GroupSamples {
 /// All groups for one day.
 class DayAggregates {
  public:
-  /// Buckets `measurements` (one day's worth) by group and target.
+  /// Buckets `measurements` (one day's worth) by group and target. With
+  /// threads > 1 the bucketing is sharded by group key across the
+  /// executor pool and the shard maps merge back in ascending key order;
+  /// each group's samples are appended in measurement order either way,
+  /// so the result is identical for any thread count.
   static DayAggregates build(std::span<const BeaconMeasurement> measurements,
-                             Grouping grouping);
+                             Grouping grouping, int threads = 1);
 
   [[nodiscard]] Grouping grouping() const { return grouping_; }
   [[nodiscard]] const std::map<std::uint32_t, GroupSamples>& groups() const {

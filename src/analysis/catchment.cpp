@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/executor.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -20,37 +21,81 @@ int CatchmentSummary::foreign_clients() const {
   return total - largest;
 }
 
+namespace {
+
+/// Partial catchment accumulation over one deterministic chunk of the
+/// client range.
+struct CatchmentShard {
+  std::vector<CatchmentSummary> out;            // counts and sums only
+  std::vector<std::vector<double>> distances;   // per front-end, in
+                                                // client order
+  double total_volume = 0.0;
+};
+
+}  // namespace
+
 std::vector<CatchmentSummary> compute_catchments(
     const ClientPopulation& clients, const CdnRouter& router,
-    const MetroDatabase& metros) {
+    const MetroDatabase& metros, int threads) {
   const Deployment& deployment = router.cdn().deployment();
-  std::vector<CatchmentSummary> out(deployment.size());
-  std::vector<std::vector<double>> distances(deployment.size());
-  double total_volume = 0.0;
+  const auto all = clients.clients();
 
+  // Route resolution is the expensive part; chunks of clients accumulate
+  // into private shards that fold in ascending chunk order, so every sum
+  // and every distance vector matches the single-threaded pass bit for
+  // bit regardless of thread count.
+  CatchmentShard total = Executor::global().parallel_reduce(
+      0, all.size(), threads, kReduceGrain, CatchmentShard{},
+      [&](CatchmentShard& shard, std::size_t i) {
+        if (shard.out.empty()) {
+          shard.out.resize(deployment.size());
+          shard.distances.resize(deployment.size());
+        }
+        const Client24& c = all[i];
+        const RouteResult route = router.route_anycast(c.access_as, c.metro);
+        if (!route.valid) return;
+        CatchmentSummary& summary = shard.out[route.front_end.value];
+        ++summary.clients;
+        summary.query_share += c.daily_queries;  // normalized below
+        shard.total_volume += c.daily_queries;
+        ++summary.countries[metros.metro(c.metro).country];
+        shard.distances[route.front_end.value].push_back(haversine_km(
+            c.location,
+            metros.metro(deployment.site(route.front_end).metro).location));
+      },
+      [](CatchmentShard& acc, CatchmentShard&& shard) {
+        if (shard.out.empty()) return;
+        if (acc.out.empty()) {
+          acc = std::move(shard);
+          return;
+        }
+        for (std::size_t fe = 0; fe < acc.out.size(); ++fe) {
+          acc.out[fe].clients += shard.out[fe].clients;
+          acc.out[fe].query_share += shard.out[fe].query_share;
+          for (const auto& [country, n] : shard.out[fe].countries) {
+            acc.out[fe].countries[country] += n;
+          }
+          acc.distances[fe].insert(acc.distances[fe].end(),
+                                   shard.distances[fe].begin(),
+                                   shard.distances[fe].end());
+        }
+        acc.total_volume += shard.total_volume;
+      });
+  if (total.out.empty()) {
+    total.out.resize(deployment.size());
+    total.distances.resize(deployment.size());
+  }
+
+  std::vector<CatchmentSummary> out = std::move(total.out);
   for (const FrontEndSite& s : deployment.sites()) {
     out[s.id.value].front_end = s.id;
     out[s.id.value].name = s.name;
   }
-
-  for (const Client24& c : clients.clients()) {
-    const RouteResult route = router.route_anycast(c.access_as, c.metro);
-    if (!route.valid) continue;
-    CatchmentSummary& summary = out[route.front_end.value];
-    ++summary.clients;
-    summary.query_share += c.daily_queries;  // normalized below
-    total_volume += c.daily_queries;
-    ++summary.countries[metros.metro(c.metro).country];
-    distances[route.front_end.value].push_back(haversine_km(
-        c.location,
-        metros.metro(deployment.site(route.front_end).metro).location));
-  }
-
   for (std::size_t i = 0; i < out.size(); ++i) {
-    if (total_volume > 0.0) out[i].query_share /= total_volume;
-    if (!distances[i].empty()) {
-      out[i].median_client_km = quantile(distances[i], 0.5);
-      out[i].p90_client_km = quantile(distances[i], 0.9);
+    if (total.total_volume > 0.0) out[i].query_share /= total.total_volume;
+    if (!total.distances[i].empty()) {
+      out[i].median_client_km = quantile(total.distances[i], 0.5);
+      out[i].p90_client_km = quantile(total.distances[i], 0.9);
     }
   }
   return out;

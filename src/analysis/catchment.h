@@ -30,10 +30,13 @@ struct CatchmentSummary {
   [[nodiscard]] int foreign_clients() const;
 };
 
-/// Catchments under the primary anycast routes (candidate 0).
+/// Catchments under the primary anycast routes (candidate 0). The
+/// per-client route resolutions run on the executor pool; partial
+/// accumulators combine in deterministic chunk order, so the summaries
+/// are bit-identical for any thread count.
 [[nodiscard]] std::vector<CatchmentSummary> compute_catchments(
     const ClientPopulation& clients, const CdnRouter& router,
-    const MetroDatabase& metros);
+    const MetroDatabase& metros, int threads = 1);
 
 /// Global catchment health indicators.
 struct CatchmentHealth {

@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/executor.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -32,11 +33,27 @@ struct ClientDays {
 };
 
 std::map<ClientId, ClientDays> passive_by_client(const PassiveLog& log,
-                                                 int days) {
+                                                 int days, int threads) {
+  // Sharded by client id: each shard scans the log in (day, entry) order
+  // for its own clients, so per-client contents — and the merged map —
+  // are independent of the shard count.
+  const std::size_t shard_count =
+      static_cast<std::size_t>(std::clamp(threads, 1, 16));
+  std::vector<std::map<ClientId, ClientDays>> shards(shard_count);
+  Executor::global().parallel_for(
+      0, shard_count, threads, [&](std::size_t s) {
+        auto& local = shards[s];
+        for (DayIndex d = 0; d < days; ++d) {
+          for (const PassiveLogEntry& e : log.by_day(d)) {
+            if (e.client.value % shard_count != s) continue;
+            local[e.client].days[d][e.front_end] += e.queries;
+          }
+        }
+      });
   std::map<ClientId, ClientDays> out;
-  for (DayIndex d = 0; d < days; ++d) {
-    for (const PassiveLogEntry& e : log.by_day(d)) {
-      out[e.client].days[d][e.front_end] += e.queries;
+  for (auto& shard : shards) {
+    for (auto& [client, view] : shard) {
+      out.emplace(client, std::move(view));
     }
   }
   return out;
@@ -53,134 +70,193 @@ Kilometers client_fe_distance(const Client24& client, FrontEndId fe,
 
 std::vector<DistributionBuilder> fig1_min_latency_by_pool_size(
     std::span<const std::vector<Milliseconds>> per_client,
-    std::span<const int> ns) {
-  std::vector<DistributionBuilder> out(ns.size());
-  for (const std::vector<Milliseconds>& lat : per_client) {
-    if (lat.empty()) continue;
-    for (std::size_t i = 0; i < ns.size(); ++i) {
-      const auto n = static_cast<std::size_t>(std::max(1, ns[i]));
-      const auto end = std::min(n, lat.size());
-      const Milliseconds best =
-          *std::min_element(lat.begin(), lat.begin() + static_cast<long>(end));
-      out[i].add(best);
-    }
-  }
-  return out;
+    std::span<const int> ns, int threads) {
+  return Executor::global().parallel_reduce(
+      0, per_client.size(), threads, kReduceGrain,
+      std::vector<DistributionBuilder>(ns.size()),
+      [&](std::vector<DistributionBuilder>& shard, std::size_t c) {
+        if (shard.empty()) shard.resize(ns.size());
+        const std::vector<Milliseconds>& lat = per_client[c];
+        if (lat.empty()) return;
+        for (std::size_t i = 0; i < ns.size(); ++i) {
+          const auto n = static_cast<std::size_t>(std::max(1, ns[i]));
+          const auto end = std::min(n, lat.size());
+          const Milliseconds best = *std::min_element(
+              lat.begin(), lat.begin() + static_cast<long>(end));
+          shard[i].add(best);
+        }
+      },
+      [](std::vector<DistributionBuilder>& acc,
+         std::vector<DistributionBuilder>&& shard) {
+        if (shard.empty()) return;
+        for (std::size_t i = 0; i < acc.size(); ++i) {
+          acc[i].merge(std::move(shard[i]));
+        }
+      });
 }
 
 std::vector<DistributionBuilder> fig2_nth_closest_distances(
     const ClientPopulation& clients, const Deployment& deployment,
-    const MetroDatabase& metros, int n) {
+    const MetroDatabase& metros, int n, int threads) {
   require(n >= 1, "fig2 needs at least one rank");
-  std::vector<DistributionBuilder> out(static_cast<std::size_t>(n));
-  for (const Client24& c : clients.clients()) {
-    const auto nearest = deployment.nearest_sites(
-        metros, c.location, static_cast<std::size_t>(n));
-    for (std::size_t i = 0; i < nearest.size(); ++i) {
-      out[i].add(haversine_km(
-                     c.location,
-                     metros.metro(deployment.site(nearest[i]).metro).location),
-                 c.daily_queries);
-    }
-  }
-  return out;
+  const auto all = clients.clients();
+  return Executor::global().parallel_reduce(
+      0, all.size(), threads, kReduceGrain,
+      std::vector<DistributionBuilder>(static_cast<std::size_t>(n)),
+      [&](std::vector<DistributionBuilder>& shard, std::size_t i) {
+        if (shard.empty()) shard.resize(static_cast<std::size_t>(n));
+        const Client24& c = all[i];
+        const auto nearest = deployment.nearest_sites(
+            metros, c.location, static_cast<std::size_t>(n));
+        for (std::size_t r = 0; r < nearest.size(); ++r) {
+          shard[r].add(
+              haversine_km(
+                  c.location,
+                  metros.metro(deployment.site(nearest[r]).metro).location),
+              c.daily_queries);
+        }
+      },
+      [](std::vector<DistributionBuilder>& acc,
+         std::vector<DistributionBuilder>&& shard) {
+        if (shard.empty()) return;
+        for (std::size_t r = 0; r < acc.size(); ++r) {
+          acc[r].merge(std::move(shard[r]));
+        }
+      });
 }
 
 DistributionBuilder fig3_anycast_minus_best_unicast(
     std::span<const BeaconMeasurement> measurements,
-    const ClientPopulation& clients, std::optional<Region> region) {
-  DistributionBuilder builder;
-  for (const BeaconMeasurement& m : measurements) {
-    if (region && clients.client(m.client).region != *region) continue;
-    const auto anycast = m.anycast_ms();
-    const auto best = m.best_unicast();
-    if (!anycast || !best) continue;
-    builder.add(*anycast - best->rtt_ms);
-  }
-  return builder;
+    const ClientPopulation& clients, std::optional<Region> region,
+    int threads) {
+  return Executor::global().parallel_reduce(
+      0, measurements.size(), threads, kReduceGrain, DistributionBuilder{},
+      [&](DistributionBuilder& shard, std::size_t i) {
+        const BeaconMeasurement& m = measurements[i];
+        if (region && clients.client(m.client).region != *region) return;
+        const auto anycast = m.anycast_ms();
+        const auto best = m.best_unicast();
+        if (!anycast || !best) return;
+        shard.add(*anycast - best->rtt_ms);
+      },
+      [](DistributionBuilder& acc, DistributionBuilder&& shard) {
+        acc.merge(std::move(shard));
+      });
 }
 
 Fig4Distances fig4_distances(const PassiveLog& log, DayIndex day,
                              const ClientPopulation& clients,
                              const Deployment& deployment,
                              const MetroDatabase& metros,
-                             const GeolocationModel* geolocation) {
-  Fig4Distances out;
+                             const GeolocationModel* geolocation,
+                             int threads) {
   // Dominant front-end per client that day.
   std::map<ClientId, std::map<FrontEndId, double>> per_client;
   for (const PassiveLogEntry& e : log.by_day(day)) {
     per_client[e.client][e.front_end] += e.queries;
   }
-  for (const auto& [client_id, fes] : per_client) {
-    const Client24& client = clients.client(client_id);
-    FrontEndId dominant = fes.begin()->first;
-    double best_q = fes.begin()->second;
-    for (const auto& [fe, q] : fes) {
-      if (q > best_q) {
-        dominant = fe;
-        best_q = q;
-      }
-    }
-    // The analysis only knows where the geolocation database puts the
-    // client, not where it really is.
-    const GeoPoint where =
-        geolocation
-            ? geolocation->estimate(client.location,
-                                    client.prefix.address().value())
-            : client.location;
-    auto fe_distance = [&](FrontEndId fe) {
-      return haversine_km(
-          where, metros.metro(deployment.site(fe).metro).location);
-    };
-    const Kilometers to_fe = fe_distance(dominant);
-    const auto closest = deployment.nearest_sites(metros, where, 1);
-    require(!closest.empty(), "deployment has no sites");
-    const Kilometers to_closest = fe_distance(closest.front());
+  std::vector<const std::pair<const ClientId, std::map<FrontEndId, double>>*>
+      entries;
+  entries.reserve(per_client.size());
+  for (const auto& entry : per_client) entries.push_back(&entry);
 
-    out.to_front_end.add(to_fe);
-    out.to_front_end_weighted.add(to_fe, client.daily_queries);
-    out.past_closest.add(to_fe - to_closest);
-    out.past_closest_weighted.add(to_fe - to_closest, client.daily_queries);
-  }
-  return out;
+  return Executor::global().parallel_reduce(
+      0, entries.size(), threads, kReduceGrain, Fig4Distances{},
+      [&](Fig4Distances& shard, std::size_t i) {
+        const Client24& client = clients.client(entries[i]->first);
+        const auto& fes = entries[i]->second;
+        FrontEndId dominant = fes.begin()->first;
+        double best_q = fes.begin()->second;
+        for (const auto& [fe, q] : fes) {
+          if (q > best_q) {
+            dominant = fe;
+            best_q = q;
+          }
+        }
+        // The analysis only knows where the geolocation database puts the
+        // client, not where it really is.
+        const GeoPoint where =
+            geolocation
+                ? geolocation->estimate(client.location,
+                                        client.prefix.address().value())
+                : client.location;
+        auto fe_distance = [&](FrontEndId fe) {
+          return haversine_km(
+              where, metros.metro(deployment.site(fe).metro).location);
+        };
+        const Kilometers to_fe = fe_distance(dominant);
+        const auto closest = deployment.nearest_sites(metros, where, 1);
+        require(!closest.empty(), "deployment has no sites");
+        const Kilometers to_closest = fe_distance(closest.front());
+
+        shard.to_front_end.add(to_fe);
+        shard.to_front_end_weighted.add(to_fe, client.daily_queries);
+        shard.past_closest.add(to_fe - to_closest);
+        shard.past_closest_weighted.add(to_fe - to_closest,
+                                        client.daily_queries);
+      },
+      [](Fig4Distances& acc, Fig4Distances&& shard) {
+        acc.to_front_end.merge(std::move(shard.to_front_end));
+        acc.to_front_end_weighted.merge(
+            std::move(shard.to_front_end_weighted));
+        acc.past_closest.merge(std::move(shard.past_closest));
+        acc.past_closest_weighted.merge(
+            std::move(shard.past_closest_weighted));
+      });
 }
 
 std::map<std::uint32_t, Milliseconds> daily_improvement(
     std::span<const BeaconMeasurement> measurements,
-    const Fig5Config& config) {
-  std::map<std::uint32_t, Milliseconds> out;
+    const Fig5Config& config, int threads) {
   const DayAggregates agg =
-      DayAggregates::build(measurements, Grouping::kEcsPrefix);
-  for (const auto& [group, samples] : agg.groups()) {
-    const TargetKey anycast_key{true, FrontEndId{}};
-    auto anycast_it = samples.by_target.find(anycast_key);
-    if (anycast_it == samples.by_target.end() ||
-        static_cast<int>(anycast_it->second.size()) <
-            config.min_samples_per_target) {
-      continue;
-    }
-    const Milliseconds anycast_median = median(anycast_it->second);
+      DayAggregates::build(measurements, Grouping::kEcsPrefix, threads);
 
-    std::optional<Milliseconds> best_unicast;
-    for (const auto& [key, rtts] : samples.by_target) {
-      if (key.anycast) continue;
-      if (static_cast<int>(rtts.size()) < config.min_samples_per_target) {
-        continue;
-      }
-      const Milliseconds med = median(rtts);
-      if (!best_unicast || med < *best_unicast) best_unicast = med;
-    }
-    if (!best_unicast) continue;
-    out[group] = anycast_median - *best_unicast;
+  // Score every group independently on the pool; collect qualifying
+  // groups back in ascending key order.
+  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
+  groups.reserve(agg.groups().size());
+  for (const auto& entry : agg.groups()) groups.push_back(&entry);
+  std::vector<std::optional<Milliseconds>> scored(groups.size());
+
+  Executor::global().parallel_for(
+      0, groups.size(), threads, [&](std::size_t i) {
+        const GroupSamples& samples = groups[i]->second;
+        const TargetKey anycast_key{true, FrontEndId{}};
+        auto anycast_it = samples.by_target.find(anycast_key);
+        if (anycast_it == samples.by_target.end() ||
+            static_cast<int>(anycast_it->second.size()) <
+                config.min_samples_per_target) {
+          return;
+        }
+        const Milliseconds anycast_median = median(anycast_it->second);
+
+        std::optional<Milliseconds> best_unicast;
+        for (const auto& [key, rtts] : samples.by_target) {
+          if (key.anycast) continue;
+          if (static_cast<int>(rtts.size()) < config.min_samples_per_target) {
+            continue;
+          }
+          const Milliseconds med = median(rtts);
+          if (!best_unicast || med < *best_unicast) best_unicast = med;
+        }
+        if (!best_unicast) return;
+        scored[i] = anycast_median - *best_unicast;
+      });
+
+  std::map<std::uint32_t, Milliseconds> out;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (scored[i]) out.emplace_hint(out.end(), groups[i]->first, *scored[i]);
   }
   return out;
 }
 
 std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
-                                           const Fig5Config& config) {
+                                           const Fig5Config& config,
+                                           int threads) {
   std::vector<Fig5Day> out;
   for (DayIndex d = 0; d < store.days(); ++d) {
-    const auto improvements = daily_improvement(store.by_day(d), config);
+    const auto improvements =
+        daily_improvement(store.by_day(d), config, threads);
     Fig5Day day;
     day.day = d;
     day.fraction_above.assign(config.thresholds.size(), 0.0);
@@ -205,12 +281,12 @@ std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
 }
 
 Fig6Duration fig6_poor_duration(const MeasurementStore& store,
-                                const Fig5Config& config) {
+                                const Fig5Config& config, int threads) {
   // Per /24: the set of days it was poor.
   std::map<std::uint32_t, std::vector<DayIndex>> poor_days;
   for (DayIndex d = 0; d < store.days(); ++d) {
     for (const auto& [group, improvement] :
-         daily_improvement(store.by_day(d), config)) {
+         daily_improvement(store.by_day(d), config, threads)) {
       if (improvement > config.epsilon_ms) poor_days[group].push_back(d);
     }
   }
@@ -230,27 +306,41 @@ Fig6Duration fig6_poor_duration(const MeasurementStore& store,
 }
 
 std::vector<double> fig7_cumulative_switched(const PassiveLog& log,
-                                             int days) {
-  const auto per_client = passive_by_client(log, days);
+                                             int days, int threads) {
+  const auto per_client = passive_by_client(log, days, threads);
   if (per_client.empty()) return std::vector<double>(std::max(0, days), 0.0);
 
-  std::vector<double> switched(static_cast<std::size_t>(days), 0.0);
-  for (const auto& [client, view] : per_client) {
-    std::set<FrontEndId> seen;
-    std::optional<DayIndex> first_switch;
-    for (const auto& [day, fes] : view.days) {
-      for (const auto& [fe, q] : fes) seen.insert(fe);
-      if (seen.size() > 1) {
-        first_switch = day;
-        break;
-      }
-    }
-    if (first_switch) {
-      for (DayIndex d = *first_switch; d < days; ++d) {
-        switched[static_cast<std::size_t>(d)] += 1.0;
-      }
-    }
-  }
+  std::vector<const std::pair<const ClientId, ClientDays>*> entries;
+  entries.reserve(per_client.size());
+  for (const auto& entry : per_client) entries.push_back(&entry);
+
+  // Per-day increments are counts of clients (exact small integers), so
+  // the elementwise shard sums are order-insensitive and bit-exact.
+  std::vector<double> switched = Executor::global().parallel_reduce(
+      0, entries.size(), threads, kReduceGrain,
+      std::vector<double>(static_cast<std::size_t>(days), 0.0),
+      [&](std::vector<double>& shard, std::size_t i) {
+        if (shard.empty()) shard.assign(static_cast<std::size_t>(days), 0.0);
+        const ClientDays& view = entries[i]->second;
+        std::set<FrontEndId> seen;
+        std::optional<DayIndex> first_switch;
+        for (const auto& [day, fes] : view.days) {
+          for (const auto& [fe, q] : fes) seen.insert(fe);
+          if (seen.size() > 1) {
+            first_switch = day;
+            break;
+          }
+        }
+        if (first_switch) {
+          for (DayIndex d = *first_switch; d < days; ++d) {
+            shard[static_cast<std::size_t>(d)] += 1.0;
+          }
+        }
+      },
+      [](std::vector<double>& acc, std::vector<double>&& shard) {
+        if (shard.empty()) return;
+        for (std::size_t d = 0; d < acc.size(); ++d) acc[d] += shard[d];
+      });
   for (double& s : switched) s /= static_cast<double>(per_client.size());
   return switched;
 }
@@ -258,34 +348,43 @@ std::vector<double> fig7_cumulative_switched(const PassiveLog& log,
 DistributionBuilder fig8_switch_distance(const PassiveLog& log, int days,
                                          const ClientPopulation& clients,
                                          const Deployment& deployment,
-                                         const MetroDatabase& metros) {
-  DistributionBuilder out;
-  const auto per_client = passive_by_client(log, days);
-  for (const auto& [client_id, view] : per_client) {
-    const Client24& client = clients.client(client_id);
-    auto distance = [&](FrontEndId fe) {
-      return client_fe_distance(client, fe, deployment, metros);
-    };
+                                         const MetroDatabase& metros,
+                                         int threads) {
+  const auto per_client = passive_by_client(log, days, threads);
+  std::vector<const std::pair<const ClientId, ClientDays>*> entries;
+  entries.reserve(per_client.size());
+  for (const auto& entry : per_client) entries.push_back(&entry);
 
-    std::optional<FrontEndId> previous;
-    for (const auto& [day, fes] : view.days) {
-      // Intra-day: more than one front-end seen the same day.
-      if (fes.size() > 1) {
-        // Record the change between the two most-used front-ends.
-        std::vector<std::pair<double, FrontEndId>> ranked;
-        for (const auto& [fe, q] : fes) ranked.emplace_back(q, fe);
-        std::sort(ranked.rbegin(), ranked.rend());
-        out.add(std::abs(distance(ranked[0].second) -
-                         distance(ranked[1].second)));
-      }
-      const FrontEndId today = view.dominant(day);
-      if (previous && *previous != today) {
-        out.add(std::abs(distance(today) - distance(*previous)));
-      }
-      previous = today;
-    }
-  }
-  return out;
+  return Executor::global().parallel_reduce(
+      0, entries.size(), threads, kReduceGrain, DistributionBuilder{},
+      [&](DistributionBuilder& shard, std::size_t i) {
+        const Client24& client = clients.client(entries[i]->first);
+        const ClientDays& view = entries[i]->second;
+        auto distance = [&](FrontEndId fe) {
+          return client_fe_distance(client, fe, deployment, metros);
+        };
+
+        std::optional<FrontEndId> previous;
+        for (const auto& [day, fes] : view.days) {
+          // Intra-day: more than one front-end seen the same day.
+          if (fes.size() > 1) {
+            // Record the change between the two most-used front-ends.
+            std::vector<std::pair<double, FrontEndId>> ranked;
+            for (const auto& [fe, q] : fes) ranked.emplace_back(q, fe);
+            std::sort(ranked.rbegin(), ranked.rend());
+            shard.add(std::abs(distance(ranked[0].second) -
+                               distance(ranked[1].second)));
+          }
+          const FrontEndId today = view.dominant(day);
+          if (previous && *previous != today) {
+            shard.add(std::abs(distance(today) - distance(*previous)));
+          }
+          previous = today;
+        }
+      },
+      [](DistributionBuilder& acc, DistributionBuilder&& shard) {
+        acc.merge(std::move(shard));
+      });
 }
 
 }  // namespace acdn

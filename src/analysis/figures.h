@@ -26,7 +26,7 @@ namespace acdn {
 /// BeaconSystem::measure_all_candidates).
 [[nodiscard]] std::vector<DistributionBuilder> fig1_min_latency_by_pool_size(
     std::span<const std::vector<Milliseconds>> per_client,
-    std::span<const int> ns);
+    std::span<const int> ns, int threads = 1);
 
 // ---------------------------------------------------------------- Figure 2
 /// Query-weighted distributions of the distance from each client to its
@@ -34,7 +34,7 @@ namespace acdn {
 /// the (i+1)-th closest.
 [[nodiscard]] std::vector<DistributionBuilder> fig2_nth_closest_distances(
     const ClientPopulation& clients, const Deployment& deployment,
-    const MetroDatabase& metros, int n);
+    const MetroDatabase& metros, int n, int threads = 1);
 
 // ---------------------------------------------------------------- Figure 3
 /// CCDF input: per beacon execution, anycast latency minus the best of the
@@ -42,7 +42,8 @@ namespace acdn {
 /// clients in `region`.
 [[nodiscard]] DistributionBuilder fig3_anycast_minus_best_unicast(
     std::span<const BeaconMeasurement> measurements,
-    const ClientPopulation& clients, std::optional<Region> region);
+    const ClientPopulation& clients, std::optional<Region> region,
+    int threads = 1);
 
 // ---------------------------------------------------------------- Figure 4
 struct Fig4Distances {
@@ -60,7 +61,7 @@ struct Fig4Distances {
 [[nodiscard]] Fig4Distances fig4_distances(
     const PassiveLog& log, DayIndex day, const ClientPopulation& clients,
     const Deployment& deployment, const MetroDatabase& metros,
-    const GeolocationModel* geolocation = nullptr);
+    const GeolocationModel* geolocation = nullptr, int threads = 1);
 
 // ---------------------------------------------------------------- Figure 5
 struct Fig5Config {
@@ -76,7 +77,8 @@ struct Fig5Config {
 /// latency minus the best per-front-end median. Only groups where anycast
 /// and at least one unicast target pass the sample gate appear.
 [[nodiscard]] std::map<std::uint32_t, Milliseconds> daily_improvement(
-    std::span<const BeaconMeasurement> measurements, const Fig5Config& config);
+    std::span<const BeaconMeasurement> measurements, const Fig5Config& config,
+    int threads = 1);
 
 struct Fig5Day {
   DayIndex day = 0;
@@ -86,7 +88,8 @@ struct Fig5Day {
 };
 
 [[nodiscard]] std::vector<Fig5Day> fig5_daily_prevalence(
-    const MeasurementStore& store, const Fig5Config& config);
+    const MeasurementStore& store, const Fig5Config& config,
+    int threads = 1);
 
 // ---------------------------------------------------------------- Figure 6
 struct Fig6Duration {
@@ -99,20 +102,22 @@ struct Fig6Duration {
 /// poor on at least one day enter the distributions, matching the figure's
 /// population ("client /24s categorized as having poor-performing paths").
 [[nodiscard]] Fig6Duration fig6_poor_duration(const MeasurementStore& store,
-                                              const Fig5Config& config);
+                                              const Fig5Config& config,
+                                              int threads = 1);
 
 // ---------------------------------------------------------------- Figure 7
 /// Cumulative fraction of clients that have landed on more than one
 /// front-end by the end of each day (passive logs; intra-day switches
 /// count on their day).
 [[nodiscard]] std::vector<double> fig7_cumulative_switched(
-    const PassiveLog& log, int days);
+    const PassiveLog& log, int days, int threads = 1);
 
 // ---------------------------------------------------------------- Figure 8
 /// |change in client-to-front-end distance| per front-end switch event
 /// (both across consecutive days and within a day).
 [[nodiscard]] DistributionBuilder fig8_switch_distance(
     const PassiveLog& log, int days, const ClientPopulation& clients,
-    const Deployment& deployment, const MetroDatabase& metros);
+    const Deployment& deployment, const MetroDatabase& metros,
+    int threads = 1);
 
 }  // namespace acdn

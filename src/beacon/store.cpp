@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_map>
 
 #include "common/error.h"
+#include "common/executor.h"
 
 namespace acdn {
 
@@ -32,28 +34,57 @@ std::optional<BeaconMeasurement::Target> BeaconMeasurement::best_unicast()
 }
 
 void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
-                            std::span<const HttpLogEntry> http_log) {
-  std::map<std::uint64_t, const DnsLogEntry*> dns_by_url;
-  for (const DnsLogEntry& e : dns_log) dns_by_url[e.url_id] = &e;
+                            std::span<const HttpLogEntry> http_log,
+                            int threads) {
+  // Shard the hash join by beacon id (url_id / 4): a beacon's DNS and
+  // HTTP rows always share a shard, so shards join independently. Every
+  // shard's output is sorted by beacon id (std::map), and the final merge
+  // re-sorts the concatenation, so the stored order — and therefore every
+  // downstream analysis — is identical for any shard or thread count, and
+  // matches the old single-threaded join exactly.
+  const int shard_count = std::clamp(threads, 1, 16);
+  std::vector<std::vector<BeaconMeasurement>> shards(
+      static_cast<std::size_t>(shard_count));
 
-  // Group HTTP rows by beacon id (url_id / 4) after matching DNS rows.
-  std::map<std::uint64_t, BeaconMeasurement> grouped;
-  for (const HttpLogEntry& h : http_log) {
-    auto it = dns_by_url.find(h.url_id);
-    if (it == dns_by_url.end()) continue;  // unjoined fetch: drop
-    const std::uint64_t beacon_id = h.url_id / 4;
-    BeaconMeasurement& m = grouped[beacon_id];
-    if (m.targets.empty()) {
-      m.beacon_id = beacon_id;
-      m.client = h.client;
-      m.ldns = it->second->ldns;
-      m.day = h.day;
-      m.hour = h.hour;
-    }
-    m.targets.push_back(
-        BeaconMeasurement::Target{h.anycast, h.front_end, h.rtt_ms});
+  Executor::global().parallel_for(
+      0, shards.size(), shard_count, [&](std::size_t s) {
+        std::unordered_map<std::uint64_t, const DnsLogEntry*> dns_by_url;
+        for (const DnsLogEntry& e : dns_log) {
+          if ((e.url_id / 4) % shards.size() != s) continue;
+          dns_by_url[e.url_id] = &e;  // last row wins, as before
+        }
+        std::map<std::uint64_t, BeaconMeasurement> grouped;
+        for (const HttpLogEntry& h : http_log) {
+          const std::uint64_t beacon_id = h.url_id / 4;
+          if (beacon_id % shards.size() != s) continue;
+          auto it = dns_by_url.find(h.url_id);
+          if (it == dns_by_url.end()) continue;  // unjoined fetch: drop
+          BeaconMeasurement& m = grouped[beacon_id];
+          if (m.targets.empty()) {
+            m.beacon_id = beacon_id;
+            m.client = h.client;
+            m.ldns = it->second->ldns;
+            m.day = h.day;
+            m.hour = h.hour;
+          }
+          m.targets.push_back(
+              BeaconMeasurement::Target{h.anycast, h.front_end, h.rtt_ms});
+        }
+        auto& out = shards[s];
+        out.reserve(grouped.size());
+        for (auto& [id, m] : grouped) out.push_back(std::move(m));
+      });
+
+  std::vector<BeaconMeasurement> merged;
+  for (auto& shard : shards) {
+    merged.insert(merged.end(), std::make_move_iterator(shard.begin()),
+                  std::make_move_iterator(shard.end()));
   }
-  for (auto& [id, m] : grouped) add(std::move(m));
+  std::sort(merged.begin(), merged.end(),
+            [](const BeaconMeasurement& a, const BeaconMeasurement& b) {
+              return a.beacon_id < b.beacon_id;
+            });
+  for (BeaconMeasurement& m : merged) add(std::move(m));
 }
 
 void MeasurementStore::add(BeaconMeasurement measurement) {

@@ -14,9 +14,13 @@ class MeasurementStore {
  public:
   /// Joins the two server-side logs on url_id. Fetches lacking a DNS-side
   /// row (or vice versa) are dropped, as in any log join. Appends the
-  /// joined measurements to the store.
+  /// joined measurements to the store. With threads > 1 the hash join is
+  /// sharded by beacon id (url_id / 4, so a beacon's four fetches land in
+  /// one shard) across the executor pool; the shard outputs merge back in
+  /// ascending beacon id, so the stored sequence is identical for any
+  /// thread and shard count.
   void join(std::span<const DnsLogEntry> dns_log,
-            std::span<const HttpLogEntry> http_log);
+            std::span<const HttpLogEntry> http_log, int threads = 1);
 
   void add(BeaconMeasurement measurement);
 

@@ -1,0 +1,246 @@
+#include "common/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+
+namespace acdn {
+
+namespace {
+
+/// Upper bound on chunks per batch: enough for stealing to balance a
+/// heavy-tailed range across every core, few enough that per-chunk queue
+/// traffic stays negligible.
+constexpr std::size_t kMaxChunksPerBatch = 64;
+
+}  // namespace
+
+/// One submitted range. Lives on the submitting thread's stack for the
+/// duration of run_chunked. The completion count is guarded by `m` (not
+/// an atomic): the finishing executor decrements and notifies while
+/// holding `m`, so the submitter cannot observe zero, return, and destroy
+/// the batch while a worker still touches it.
+struct Executor::Batch {
+  const ChunkFn* fn = nullptr;
+  /// Set on first failure; later chunks of the batch are skipped.
+  std::atomic<bool> failed{false};
+  /// Worker indices [stripe_base, stripe_base + stripe_size) mod pool
+  /// size may execute this batch; the submitter always may. Tasks are
+  /// only ever pushed to stripe members' deques.
+  std::size_t stripe_base = 0;
+  std::size_t stripe_size = 0;
+
+  std::mutex m;
+  std::condition_variable done;
+  std::size_t pending = 0;                  // guarded by m
+  std::exception_ptr error;                 // guarded by m
+  std::size_t error_chunk =                 // guarded by m
+      std::numeric_limits<std::size_t>::max();
+
+  [[nodiscard]] bool allows(std::size_t worker_index,
+                            std::size_t pool_size) const {
+    return (worker_index + pool_size - stripe_base) % pool_size <
+           stripe_size;
+  }
+};
+
+struct Executor::Task {
+  Batch* batch = nullptr;
+  std::size_t chunk = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct Executor::Worker {
+  std::mutex m;
+  std::deque<Task> tasks;  // guarded by m; holds only tasks this worker
+                           // is allowed to run (stripe invariant)
+  std::condition_variable wake;
+  bool stop = false;       // guarded by m
+};
+
+Executor::Executor(int threads) {
+  const std::size_t n = static_cast<std::size_t>(std::max(1, threads));
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Executor::~Executor() {
+  // All run_chunked calls are blocking, so no batch is outstanding here;
+  // the deques are empty and workers are either asleep or between tasks.
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->m);
+    w->stop = true;
+    w->wake.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+}
+
+Executor& Executor::global() {
+  static Executor pool(default_thread_count());
+  return pool;
+}
+
+Executor::ChunkPlan Executor::plan_chunks(std::size_t n,
+                                          std::size_t grain) {
+  ChunkPlan plan;
+  if (n == 0) return plan;
+  const std::size_t floor = std::max<std::size_t>(1, grain);
+  plan.chunk_size =
+      std::max(floor, (n + kMaxChunksPerBatch - 1) / kMaxChunksPerBatch);
+  plan.chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  return plan;
+}
+
+bool Executor::try_pop_own(std::size_t index, Task& out) {
+  Worker& w = *workers_[index];
+  std::lock_guard<std::mutex> lk(w.m);
+  if (w.tasks.empty()) return false;
+  // Newest first: LIFO on the own deque keeps the working set warm.
+  out = w.tasks.back();
+  w.tasks.pop_back();
+  return true;
+}
+
+bool Executor::try_steal(std::size_t index, Task& out) {
+  const std::size_t n = workers_.size();
+  for (std::size_t hop = 1; hop < n; ++hop) {
+    Worker& victim = *workers_[(index + hop) % n];
+    std::lock_guard<std::mutex> lk(victim.m);
+    // Oldest first: FIFO steals take the largest untouched stretch of the
+    // victim's range. Only tasks whose stripe admits this worker.
+    for (auto it = victim.tasks.begin(); it != victim.tasks.end(); ++it) {
+      if (!it->batch->allows(index, n)) continue;
+      out = *it;
+      victim.tasks.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Executor::try_take_for_batch(Batch* batch, Task& out) {
+  for (auto& wp : workers_) {
+    Worker& w = *wp;
+    std::lock_guard<std::mutex> lk(w.m);
+    for (auto it = w.tasks.begin(); it != w.tasks.end(); ++it) {
+      if (it->batch != batch) continue;
+      out = *it;
+      w.tasks.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Executor::execute(const Task& task) {
+  Batch& batch = *task.batch;
+  if (!batch.failed.load(std::memory_order_acquire)) {
+    try {
+      (*batch.fn)(task.chunk, task.begin, task.end);
+    } catch (...) {
+      batch.failed.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> lk(batch.m);
+      // Keep the exception of the lowest-indexed throwing chunk so the
+      // surfaced error does not depend on scheduling more than it must.
+      if (task.chunk < batch.error_chunk) {
+        batch.error_chunk = task.chunk;
+        batch.error = std::current_exception();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lk(batch.m);
+  if (--batch.pending == 0) batch.done.notify_all();
+}
+
+void Executor::worker_main(std::size_t index) {
+  Worker& self = *workers_[index];
+  for (;;) {
+    Task task;
+    if (try_pop_own(index, task) || try_steal(index, task)) {
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(self.m);
+    if (self.stop) return;
+    // Sleep until a task lands in the own deque. Stealable work elsewhere
+    // always comes with a notify to at least one stripe member, and a
+    // member with an empty deque re-scans for steals before sleeping.
+    self.wake.wait(lk, [&] { return self.stop || !self.tasks.empty(); });
+    if (self.stop) return;
+  }
+}
+
+void Executor::run_chunked(std::size_t begin, std::size_t end,
+                           int parallelism, std::size_t grain,
+                           const ChunkFn& fn) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const ChunkPlan plan = plan_chunks(n, grain);
+
+  const std::size_t pool = workers_.size();
+  const std::size_t helpers = std::min<std::size_t>(
+      pool, static_cast<std::size_t>(std::max(1, parallelism)) - 1);
+  if (helpers == 0 || plan.chunks == 1) {
+    // Serial fast path: the identical chunk plan, executed inline in
+    // chunk order — bit-identical to the pooled path by construction.
+    for (std::size_t c = 0; c < plan.chunks; ++c) {
+      const std::size_t b = begin + c * plan.chunk_size;
+      fn(c, b, std::min(end, b + plan.chunk_size));
+    }
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.pending = plan.chunks;
+  // Stripe the batch across `helpers` consecutive deques; rotate the base
+  // per submission so repeated small batches spread over the pool. The
+  // stripe caps which workers may run the batch, honoring `parallelism`
+  // (helpers workers + the submitting thread).
+  static std::atomic<std::size_t> rotor{0};
+  batch.stripe_base = rotor.fetch_add(1, std::memory_order_relaxed) % pool;
+  batch.stripe_size = helpers;
+
+  // One lock + one wake per stripe member: push all of a worker's chunks
+  // in a single critical section rather than locking per chunk.
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Worker& w = *workers_[(batch.stripe_base + h) % pool];
+    std::lock_guard<std::mutex> lk(w.m);
+    for (std::size_t c = h; c < plan.chunks; c += helpers) {
+      const std::size_t b = begin + c * plan.chunk_size;
+      w.tasks.push_back(
+          Task{&batch, c, b, std::min(end, b + plan.chunk_size)});
+    }
+    w.wake.notify_one();
+  }
+
+  // The submitter works too: drain this batch's chunks (stealing them
+  // back from worker deques), then sleep until the in-flight remainder
+  // lands. Draining our own batch is what makes nested submission safe —
+  // progress never depends on another worker being free.
+  for (;;) {
+    Task task;
+    if (try_take_for_batch(&batch, task)) {
+      execute(task);
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(batch.m);
+    if (batch.pending == 0) break;
+    batch.done.wait(lk, [&] { return batch.pending == 0; });
+    break;
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+}  // namespace acdn

@@ -1,0 +1,142 @@
+// Persistent work-stealing execution engine.
+//
+// Every parallel pass in the library — the simulation day loop, the
+// DNS×HTTP log join, predictor training, evaluation, and the catchment /
+// figure analyses — runs on one process-wide pool of OS threads instead
+// of spawning and joining a fresh std::thread set per call. Workers are
+// created once (Executor::global(), sized to the hardware) and sleep when
+// idle, so a parallel region costs a submit/notify, not N thread spawns.
+//
+// Determinism contract. A range [begin, end) is split into chunks whose
+// boundaries depend only on the range size and the call's grain — never
+// on the thread count or on scheduling. parallel_for writes through
+// per-index slots, so chunking is invisible; parallel_reduce gives every
+// chunk its own shard and folds the shards in ascending chunk order.
+// Consequently every result is bit-identical for any `parallelism`,
+// including 1 (which runs the same chunk plan inline). This is the
+// contract the determinism sweep in tests/executor_test.cpp enforces.
+//
+// Exceptions thrown by a chunk are captured (the surviving exception is
+// the one from the lowest-indexed throwing chunk), remaining chunks of
+// the batch are skipped, and the exception is rethrown on the submitting
+// thread when the batch joins — a failing lambda can no longer
+// std::terminate the process.
+//
+// Nested submission is allowed: a chunk may itself call parallel_for /
+// parallel_reduce. The submitting thread always participates in executing
+// its own batch (stealing its chunks back from worker deques if needed),
+// so nested batches make progress even when every pool worker is busy.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace acdn {
+
+/// Hardware-concurrency default, never below 1.
+[[nodiscard]] inline int default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+class Executor {
+ public:
+  /// Spawns `threads` (at least 1) workers. The workers live until the
+  /// Executor is destroyed; destruction joins them.
+  explicit Executor(int threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// The process-wide pool, sized to default_thread_count(). Constructed
+  /// on first use, joined at exit.
+  [[nodiscard]] static Executor& global();
+
+  [[nodiscard]] int thread_count() const {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// fn(chunk_index, chunk_begin, chunk_end) for every chunk of the plan.
+  using ChunkFn =
+      std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+  /// Deterministic chunk decomposition of an n-element range: a function
+  /// of (n, grain) only, never of thread count or pool size.
+  struct ChunkPlan {
+    std::size_t chunk_size = 0;
+    std::size_t chunks = 0;
+  };
+  [[nodiscard]] static ChunkPlan plan_chunks(std::size_t n,
+                                             std::size_t grain);
+
+  /// Runs the chunk plan for [begin, end) with up to `parallelism`
+  /// concurrent executors (the caller plus parallelism-1 workers). Blocks
+  /// until every chunk finished; rethrows the first captured exception.
+  void run_chunked(std::size_t begin, std::size_t end, int parallelism,
+                   std::size_t grain, const ChunkFn& fn);
+
+  /// Invokes fn(i) for every i in [begin, end). fn must be safe to call
+  /// concurrently for distinct i. Exceptions are captured and the first
+  /// (lowest-chunk) one is rethrown here after the batch drains.
+  void parallel_for(std::size_t begin, std::size_t end, int parallelism,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0) {
+    if (end <= begin) return;
+    run_chunked(begin, end, parallelism, grain,
+                [&fn](std::size_t, std::size_t b, std::size_t e) {
+                  for (std::size_t i = b; i < e; ++i) fn(i);
+                });
+  }
+
+  /// Deterministic sharded reduction. Each chunk of the (n, grain) plan
+  /// accumulates into its own default-constructed Shard via
+  /// fn(shard, i); shards are folded into `init` in ascending chunk order
+  /// via combine(accumulator, std::move(shard)). Because the chunk plan
+  /// ignores thread count, the result is bit-identical for any
+  /// `parallelism` — floating-point association and sample order
+  /// included.
+  template <typename Shard, typename Fn, typename Combine>
+  [[nodiscard]] Shard parallel_reduce(std::size_t begin, std::size_t end,
+                                      int parallelism, std::size_t grain,
+                                      Shard init, Fn&& fn,
+                                      Combine&& combine) {
+    if (end <= begin) return init;
+    const ChunkPlan plan = plan_chunks(end - begin, grain);
+    std::vector<Shard> shards(plan.chunks);
+    run_chunked(begin, end, parallelism, grain,
+                [&](std::size_t chunk, std::size_t b, std::size_t e) {
+                  Shard& shard = shards[chunk];
+                  for (std::size_t i = b; i < e; ++i) fn(shard, i);
+                });
+    Shard out = std::move(init);
+    for (Shard& shard : shards) combine(out, std::move(shard));
+    return out;
+  }
+
+ private:
+  struct Batch;
+  struct Task;
+  struct Worker;
+
+  void worker_main(std::size_t index);
+  void execute(const Task& task);
+  [[nodiscard]] bool try_pop_own(std::size_t index, Task& out);
+  [[nodiscard]] bool try_steal(std::size_t index, Task& out);
+  [[nodiscard]] bool try_take_for_batch(Batch* batch, Task& out);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+};
+
+/// Default grain (per-chunk index count floor) used by the deterministic
+/// reductions in analysis/core. Ranges at or below this size collapse to
+/// a single chunk, which keeps small-world tests on the exact serial
+/// accumulation order while paper-scale ranges fan out.
+inline constexpr std::size_t kReduceGrain = 512;
+
+}  // namespace acdn

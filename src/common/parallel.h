@@ -1,50 +1,31 @@
-// Minimal data-parallel loop.
+// Minimal data-parallel loop — compatibility shim over the persistent
+// executor (common/executor.h).
 //
-// The simulation's per-client day loop is embarrassingly parallel once
-// every client draws from its own keyed RNG substream (see
-// Simulation::run_day): workers never share mutable state except through
-// pre-allocated per-index output slots. parallel_for partitions [begin,
-// end) across N threads; with threads <= 1 it degenerates to a plain loop,
-// and results are identical either way by construction.
+// Historically parallel_for spawned and joined fresh std::threads on every
+// call; it now submits to the process-wide work-stealing pool, so the
+// per-call cost is a wakeup instead of N thread spawns. The simulation's
+// per-client day loop is embarrassingly parallel once every client draws
+// from its own keyed RNG substream (see Simulation::run_day): workers
+// never share mutable state except through pre-allocated per-index output
+// slots. parallel_for partitions [begin, end) across up to `threads`
+// executors; results are identical for any thread count by construction.
 #pragma once
 
 #include <cstddef>
 #include <functional>
-#include <thread>
-#include <vector>
+
+#include "common/executor.h"
 
 namespace acdn {
 
-/// Invokes fn(i) for every i in [begin, end), using up to `threads` OS
-/// threads. fn must be safe to call concurrently for distinct i.
-/// Exceptions thrown by fn terminate the process (workers run detached
-/// logic); validate inputs before entering the loop.
+/// Invokes fn(i) for every i in [begin, end), using up to `threads`
+/// concurrent executors from the global pool. fn must be safe to call
+/// concurrently for distinct i. An exception thrown by fn no longer
+/// terminates the process: the first (lowest-chunk) exception is captured
+/// and rethrown here once the loop drains.
 inline void parallel_for(std::size_t begin, std::size_t end, int threads,
                          const std::function<void(std::size_t)>& fn) {
-  if (end <= begin) return;
-  const std::size_t n = end - begin;
-  if (threads <= 1 || n == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
-    return;
-  }
-  const auto workers =
-      std::min<std::size_t>(static_cast<std::size_t>(threads), n);
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&, w] {
-      // Strided partition: balances heavy-tailed per-index work better
-      // than contiguous blocks.
-      for (std::size_t i = begin + w; i < end; i += workers) fn(i);
-    });
-  }
-  for (std::thread& t : pool) t.join();
-}
-
-/// Hardware-concurrency default, never below 1.
-[[nodiscard]] inline int default_thread_count() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  Executor::global().parallel_for(begin, end, threads, fn);
 }
 
 }  // namespace acdn

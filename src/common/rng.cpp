@@ -40,6 +40,27 @@ double Rng::pareto(double x_m, double alpha) {
   return x_m / std::pow(u, 1.0 / alpha);
 }
 
+int Rng::poisson(double mean) {
+  require(mean >= 0.0, "poisson mean must be non-negative");
+  int total = 0;
+  // A Poisson(a + b) draw is the sum of independent Poisson(a) and
+  // Poisson(b) draws; splitting keeps exp(-mean) well above underflow so
+  // Knuth's inversion stays exact for any mean.
+  constexpr double kSlice = 32.0;
+  while (mean > kSlice) {
+    total += poisson(kSlice);
+    mean -= kSlice;
+  }
+  if (mean <= 0.0) return total;
+  const double limit = std::exp(-mean);
+  double product = uniform();
+  while (product > limit) {
+    ++total;
+    product *= uniform();
+  }
+  return total;
+}
+
 std::size_t Rng::weighted_index(std::span<const double> weights) {
   const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
   require(total > 0.0, "weighted_index needs a positive total weight");

@@ -67,6 +67,13 @@ class Rng {
   /// Pareto with scale x_m > 0 and shape alpha > 0 (heavy-tailed).
   double pareto(double x_m, double alpha);
 
+  /// Poisson with the given mean (>= 0). Hand-rolled (Knuth inversion over
+  /// split means) rather than std::poisson_distribution: the std algorithm
+  /// is implementation-defined (draws differ across standard libraries)
+  /// and its setup calls lgamma, which writes libm's global `signgam` — a
+  /// data race when sampling on executor workers.
+  int poisson(double mean);
+
   /// Index drawn proportionally to non-negative weights. Requires at least
   /// one strictly positive weight.
   std::size_t weighted_index(std::span<const double> weights);

@@ -1,5 +1,9 @@
 #include "core/evaluator.h"
 
+#include <optional>
+#include <utility>
+
+#include "common/executor.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -10,52 +14,70 @@ std::vector<EvalOutcome> PredictionEvaluator::evaluate(
   // The evaluation is always per-/24, regardless of how predictions were
   // grouped: clients inherit their LDNS group's prediction under LDNS
   // grouping.
-  const DayAggregates per_client =
-      DayAggregates::build(eval_day_measurements, Grouping::kEcsPrefix);
+  const DayAggregates per_client = DayAggregates::build(
+      eval_day_measurements, Grouping::kEcsPrefix, config_.threads);
   const Grouping grouping = predictor.config().grouping;
 
+  // Score every /24 independently on the pool, then collect the
+  // qualifying outcomes in ascending /24 order — the same sequence the
+  // serial loop produced.
+  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
+  groups.reserve(per_client.groups().size());
+  for (const auto& entry : per_client.groups()) groups.push_back(&entry);
+  std::vector<std::optional<EvalOutcome>> scored(groups.size());
+
+  Executor::global().parallel_for(
+      0, groups.size(), config_.threads, [&](std::size_t i) {
+        const std::uint32_t client_key = groups[i]->first;
+        const GroupSamples& samples = groups[i]->second;
+        const ClientId client_id(client_key);
+        const Client24& client = clients_->client(client_id);
+
+        const std::uint32_t prediction_key =
+            grouping == Grouping::kEcsPrefix ? client_key
+                                             : client.ldns.value;
+        const std::optional<Prediction> prediction =
+            predictor.predict(prediction_key);
+
+        EvalOutcome outcome;
+        outcome.client = client_id;
+        outcome.weight = client.daily_queries;
+
+        if (!prediction || prediction->anycast) {
+          // The system would return the anycast address: performance is
+          // anycast's by definition; improvement is exactly zero.
+          outcome.predicted_anycast = true;
+          scored[i] = outcome;
+          return;
+        }
+
+        auto anycast_it =
+            samples.by_target.find(TargetKey{true, FrontEndId{}});
+        if (anycast_it == samples.by_target.end() ||
+            static_cast<int>(anycast_it->second.size()) <
+                config_.min_eval_samples) {
+          return;  // cannot judge without anycast baselines
+        }
+        auto fe_it = samples.by_target.find(
+            TargetKey{false, prediction->front_end});
+        if (fe_it == samples.by_target.end() ||
+            static_cast<int>(fe_it->second.size()) <
+                config_.min_eval_samples) {
+          return;  // predicted front-end unmeasured on the evaluation day
+        }
+
+        const double qs[] = {0.50, 0.75};
+        const auto anycast_q = quantiles(anycast_it->second, qs);
+        const auto fe_q = quantiles(fe_it->second, qs);
+        outcome.predicted_anycast = false;
+        outcome.improvement_p50 = anycast_q[0] - fe_q[0];
+        outcome.improvement_p75 = anycast_q[1] - fe_q[1];
+        scored[i] = outcome;
+      });
+
   std::vector<EvalOutcome> outcomes;
-  for (const auto& [client_key, samples] : per_client.groups()) {
-    const ClientId client_id(client_key);
-    const Client24& client = clients_->client(client_id);
-
-    const std::uint32_t prediction_key =
-        grouping == Grouping::kEcsPrefix ? client_key : client.ldns.value;
-    const std::optional<Prediction> prediction =
-        predictor.predict(prediction_key);
-
-    EvalOutcome outcome;
-    outcome.client = client_id;
-    outcome.weight = client.daily_queries;
-
-    if (!prediction || prediction->anycast) {
-      // The system would return the anycast address: performance is
-      // anycast's by definition; improvement is exactly zero.
-      outcome.predicted_anycast = true;
-      outcomes.push_back(outcome);
-      continue;
-    }
-
-    auto anycast_it = samples.by_target.find(TargetKey{true, FrontEndId{}});
-    if (anycast_it == samples.by_target.end() ||
-        static_cast<int>(anycast_it->second.size()) <
-            config_.min_eval_samples) {
-      continue;  // cannot judge without anycast baselines
-    }
-    auto fe_it = samples.by_target.find(
-        TargetKey{false, prediction->front_end});
-    if (fe_it == samples.by_target.end() ||
-        static_cast<int>(fe_it->second.size()) < config_.min_eval_samples) {
-      continue;  // predicted front-end unmeasured on the evaluation day
-    }
-
-    const double qs[] = {0.50, 0.75};
-    const auto anycast_q = quantiles(anycast_it->second, qs);
-    const auto fe_q = quantiles(fe_it->second, qs);
-    outcome.predicted_anycast = false;
-    outcome.improvement_p50 = anycast_q[0] - fe_q[0];
-    outcome.improvement_p75 = anycast_q[1] - fe_q[1];
-    outcomes.push_back(outcome);
+  for (const auto& maybe : scored) {
+    if (maybe) outcomes.push_back(*maybe);
   }
   return outcomes;
 }

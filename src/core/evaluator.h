@@ -51,6 +51,10 @@ class PredictionEvaluator {
     int min_eval_samples = 3;
     /// Dead zone around zero when counting improved/worse fractions.
     Milliseconds epsilon_ms = 1.0;
+    /// Executor parallelism for the per-/24 percentile scoring. Outcomes
+    /// are collected in ascending /24 order, so the result is identical
+    /// for any thread count.
+    int threads = 1;
   };
 
   PredictionEvaluator(const ClientPopulation& clients,

@@ -1,6 +1,9 @@
 #include "core/predictor.h"
 
+#include <vector>
+
 #include "common/error.h"
+#include "common/executor.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -25,6 +28,7 @@ double metric_quantile(PredictionMetric m) {
 
 void PredictorConfig::validate() const {
   require(min_measurements >= 1, "min_measurements must be at least 1");
+  require(threads >= 1, "predictor threads must be at least 1");
 }
 
 HistoryPredictor::HistoryPredictor(const PredictorConfig& config)
@@ -41,23 +45,41 @@ void HistoryPredictor::train(
     std::span<const BeaconMeasurement> measurements) {
   predictions_.clear();
   const DayAggregates agg =
-      DayAggregates::build(measurements, config_.grouping);
+      DayAggregates::build(measurements, config_.grouping, config_.threads);
 
-  for (const auto& [group, samples] : agg.groups()) {
-    std::optional<Prediction> best;
-    std::optional<Milliseconds> anycast_metric;
+  // Snapshot the groups so every one can be scored independently on the
+  // pool; results are collected back in ascending group order, making the
+  // mapping identical for any thread count.
+  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
+  groups.reserve(agg.groups().size());
+  for (const auto& entry : agg.groups()) groups.push_back(&entry);
+  std::vector<std::optional<Prediction>> scored(groups.size());
 
-    for (const auto& [key, rtts] : samples.by_target) {
-      if (static_cast<int>(rtts.size()) < config_.min_measurements) continue;
-      const Milliseconds value = metric_value(rtts, config_.metric);
-      if (key.anycast) anycast_metric = value;
-      if (!best || value < best->predicted_ms) {
-        best = Prediction{key.anycast, key.front_end, value, std::nullopt};
-      }
-    }
-    if (!best) continue;  // nothing qualified: group stays on anycast
-    best->anycast_ms = anycast_metric;
-    predictions_.emplace(group, *best);
+  Executor::global().parallel_for(
+      0, groups.size(), config_.threads, [&](std::size_t i) {
+        const GroupSamples& samples = groups[i]->second;
+        std::optional<Prediction> best;
+        std::optional<Milliseconds> anycast_metric;
+        for (const auto& [key, rtts] : samples.by_target) {
+          if (static_cast<int>(rtts.size()) < config_.min_measurements) {
+            continue;
+          }
+          const Milliseconds value = metric_value(rtts, config_.metric);
+          if (key.anycast) anycast_metric = value;
+          if (!best || value < best->predicted_ms) {
+            best =
+                Prediction{key.anycast, key.front_end, value, std::nullopt};
+          }
+        }
+        if (!best) return;  // nothing qualified: group stays on anycast
+        best->anycast_ms = anycast_metric;
+        scored[i] = *best;
+      });
+
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (!scored[i]) continue;
+    predictions_.emplace_hint(predictions_.end(), groups[i]->first,
+                              *scored[i]);
   }
 }
 

@@ -32,6 +32,10 @@ struct PredictorConfig {
   /// selects "among the front-ends with 20+ measurements").
   int min_measurements = 20;
   Grouping grouping = Grouping::kEcsPrefix;
+  /// Executor parallelism for aggregation and per-group scoring. Each
+  /// group scores independently and results merge in ascending group
+  /// order, so the trained mapping is identical for any thread count.
+  int threads = 1;
 
   void validate() const;
 };

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include "common/error.h"
+#include "common/executor.h"
 
 namespace acdn {
 
@@ -9,6 +10,9 @@ ScenarioConfig ScenarioConfig::paper_default() {
   config.workload.total_client_24s = 4000;
   config.workload.base_daily_queries = 40.0;
   config.schedule.beacon_sampling = 0.02;
+  // Paper-scale runs fan out on the executor pool; results are identical
+  // to simulation_threads = 1 by the deterministic chunking contract.
+  config.simulation_threads = default_thread_count();
   return config;
 }
 

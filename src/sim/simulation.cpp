@@ -2,8 +2,8 @@
 
 #include <string>
 
+#include "common/executor.h"
 #include "common/logging.h"
-#include "common/parallel.h"
 
 namespace acdn {
 
@@ -45,8 +45,9 @@ DayStats Simulation::run_day() {
   const auto clients = w.clients().clients();
   std::vector<ClientDayOutput> outputs(clients.size());
 
-  parallel_for(0, clients.size(), w.config().simulation_threads,
-               [&](std::size_t i) {
+  Executor::global().parallel_for(
+      0, clients.size(), w.config().simulation_threads,
+      [&](std::size_t i) {
     const Client24& client = clients[i];
     ClientDayOutput& out = outputs[i];
     if (!schedule.is_active(client, day, w.config().seed)) return;
@@ -74,8 +75,7 @@ DayStats Simulation::run_day() {
     // --- Beacon executions on a sampled fraction of page loads.
     Rng rng(client_day_seed(w.config().seed, day, client.id));
     const double beacon_mean = expected * schedule.config().beacon_sampling;
-    const int beacons =
-        std::poisson_distribution<int>(beacon_mean)(rng.engine());
+    const int beacons = rng.poisson(beacon_mean);
     for (int b = 0; b < beacons; ++b) {
       // Globally unique, coordinate-derived beacon id: no shared counter.
       const std::uint64_t beacon_id =
@@ -107,7 +107,7 @@ DayStats Simulation::run_day() {
                     out.http_log.end());
   }
 
-  measurements_.join(dns_log, http_log);
+  measurements_.join(dns_log, http_log, w.config().simulation_threads);
   Log(LogLevel::kInfo) << "day " << day << " ("
                        << to_string(w.calendar().weekday(day)) << "): "
                        << stats.beacons << " beacons, "

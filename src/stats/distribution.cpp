@@ -19,6 +19,18 @@ void DistributionBuilder::add_all(std::span<const double> values) {
   sorted_ = false;
 }
 
+void DistributionBuilder::merge(DistributionBuilder&& other) {
+  if (samples_.empty()) {
+    samples_ = std::move(other.samples_);
+  } else {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+  sorted_ = false;
+  other.samples_.clear();
+  other.sorted_ = false;
+}
+
 void DistributionBuilder::ensure_sorted() const {
   if (sorted_) return;
   std::sort(samples_.begin(), samples_.end(),

@@ -22,6 +22,11 @@ class DistributionBuilder {
   void add(double value, double weight = 1.0);
   void add_all(std::span<const double> values);
 
+  /// Appends another builder's samples in their insertion order — the
+  /// combine step of deterministic sharded reductions: folding shards in
+  /// chunk order reproduces the serial insertion sequence exactly.
+  void merge(DistributionBuilder&& other);
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] double total_weight() const;

@@ -10,7 +10,7 @@ int QuerySchedule::queries_for_day(const Client24& client, DayIndex day,
                                    Rng& rng) const {
   const double mean = expected_queries(client, day);
   if (mean <= 0.0) return 0;
-  return std::poisson_distribution<int>(mean)(rng.engine());
+  return rng.poisson(mean);
 }
 
 double QuerySchedule::expected_queries(const Client24& client,

@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.h"
 #include "analysis/figures.h"
+#include "core/evaluator.h"
+#include "core/predictor.h"
 #include "report/export.h"
+#include "report/series.h"
 #include "sim/simulation.h"
 #include "sim/world.h"
 #include "test_fixtures.h"
@@ -95,6 +100,147 @@ TEST(Export, SimulatedDayRoundTripsLosslessly) {
     EXPECT_DOUBLE_EQ(copy.at(group), value) << group;
   }
   std::remove(path.c_str());
+}
+
+// -------------------------------------------------------- golden figures
+//
+// Small-world renditions of the fig01 / fig03 / fig09 pipelines, digested
+// with FNV-1a 64. The checked-in digests pin the exported CSV bytes: a
+// change in simulation, analysis, or CSV formatting shows up here, and the
+// serial-vs-parallel comparison proves the executor's determinism contract
+// all the way to the exported artifact.
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string render_csv(const Figure& figure, const char* name) {
+  const std::string path = temp_path(name);
+  figure.write_csv(path);
+  std::string bytes = slurp(path);
+  std::remove(path.c_str());
+  return bytes;
+}
+
+std::string fig01_csv(int threads) {
+  World world(ScenarioConfig::small_test());
+  Rng rng = world.fork_rng("fig1");
+  constexpr int kRounds = 3;
+  std::vector<std::vector<Milliseconds>> per_client;
+  per_client.reserve(world.clients().size());
+  for (const Client24& client : world.clients().clients()) {
+    std::vector<Milliseconds> best;
+    for (int round = 0; round < kRounds; ++round) {
+      const SimTime when{0, 3600.0 * (2 + 4 * round)};
+      const auto sample =
+          world.beacon().measure_all_candidates(client, when, rng);
+      if (best.empty()) {
+        best = sample;
+      } else {
+        for (std::size_t i = 0; i < best.size(); ++i) {
+          best[i] = std::min(best[i], sample[i]);
+        }
+      }
+    }
+    per_client.push_back(std::move(best));
+  }
+  const int ns[] = {1, 3, 5};
+  const auto cdfs = fig1_min_latency_by_pool_size(per_client, ns, threads);
+  Figure figure("fig01 golden", "min_latency_ms", "CDF of /24s");
+  for (std::size_t i = 0; i < cdfs.size(); ++i) {
+    figure.add_series(
+        Series{std::to_string(ns[i]) + " front-ends", cdfs[i].cdf()});
+  }
+  return render_csv(figure, "acdn_fig01_golden.csv");
+}
+
+std::string fig03_csv(int threads) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+  std::vector<BeaconMeasurement> all;
+  for (DayIndex d = 0; d < 2; ++d) {
+    const auto day = sim.measurements().by_day(d);
+    all.insert(all.end(), day.begin(), day.end());
+  }
+  const DistributionBuilder world_d = fig3_anycast_minus_best_unicast(
+      all, world.clients(), std::nullopt, threads);
+  const DistributionBuilder europe = fig3_anycast_minus_best_unicast(
+      all, world.clients(), Region::kEurope, threads);
+  const double xs[] = {0, 10, 25, 50, 100};
+  Figure figure("fig03 golden", "difference_ms", "CCDF of requests");
+  figure.add_series(Series{"World", world_d.ccdf_at(xs)});
+  figure.add_series(Series{"Europe", europe.ccdf_at(xs)});
+  return render_csv(figure, "acdn_fig03_golden.csv");
+}
+
+std::string fig09_csv(int threads) {
+  ScenarioConfig config = ScenarioConfig::small_test();
+  config.schedule.beacon_sampling = 0.15;
+  World world(config);
+  Simulation sim(world);
+  sim.run_days(2);
+
+  PredictionEvaluator::Config eval_config;
+  eval_config.epsilon_ms = 0.0;
+  eval_config.min_eval_samples = 1;
+  eval_config.threads = threads;
+  const PredictionEvaluator evaluator(world.clients(), world.ldns(),
+                                      eval_config);
+  Figure figure("fig09 golden", "improvement_ms", "CDF of weighted /24s");
+  for (Grouping grouping : {Grouping::kEcsPrefix, Grouping::kLdns}) {
+    PredictorConfig pc;
+    pc.metric = PredictionMetric::kP25;
+    pc.min_measurements = 1;
+    pc.grouping = grouping;
+    pc.threads = threads;
+    HistoryPredictor predictor(pc);
+    predictor.train(sim.measurements().by_day(0));
+    const auto outcomes =
+        evaluator.evaluate(predictor, sim.measurements().by_day(1));
+    const EvalSummary summary = evaluator.summarize(outcomes);
+    if (!summary.improvement_p50.empty()) {
+      figure.add_series(Series{std::string(to_string(grouping)) + " p50",
+                               summary.improvement_p50.cdf()});
+    }
+  }
+  return render_csv(figure, "acdn_fig09_golden.csv");
+}
+
+TEST(GoldenFigures, Fig01SerialParallelAndDigestAgree) {
+  const std::string serial = fig01_csv(1);
+  const std::string parallel = fig01_csv(7);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a64(serial), 0x19aa0673cd067cd4ull);
+}
+
+TEST(GoldenFigures, Fig03SerialParallelAndDigestAgree) {
+  const std::string serial = fig03_csv(1);
+  const std::string parallel = fig03_csv(7);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a64(serial), 0xde0b818736d362f4ull);
+}
+
+TEST(GoldenFigures, Fig09SerialParallelAndDigestAgree) {
+  const std::string serial = fig09_csv(1);
+  const std::string parallel = fig09_csv(7);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(fnv1a64(serial), 0x58a16c56097e98caull);
 }
 
 TEST(Export, ImportRejectsMalformedInput) {
