@@ -10,6 +10,7 @@
 
 #include "cdn/router.h"
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "net/radix_trie.h"
 #include "routing/bgp.h"
@@ -116,6 +117,82 @@ void BM_BeaconRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BeaconRun);
+
+// ------------------------------------------------------------- metrics
+//
+// The observability layer's cost contract: a disabled call site is one
+// relaxed load and a branch; an enabled counter touches only the calling
+// thread's shard. The *Metrics variants of the hot-path benchmarks above
+// quantify the acceptance bound — instrumented beacon execution and route
+// resolution within a few percent of the uninstrumented baselines.
+
+void BM_MetricCounterDisabled(benchmark::State& state) {
+  set_metrics_enabled(false);
+  for (auto _ : state) {
+    metric_count("bench.counter");
+  }
+}
+BENCHMARK(BM_MetricCounterDisabled);
+
+void BM_MetricCounterEnabled(benchmark::State& state) {
+  set_metrics_enabled(true);
+  for (auto _ : state) {
+    metric_count("bench.counter");
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+BENCHMARK(BM_MetricCounterEnabled);
+
+void BM_MetricHistogramEnabled(benchmark::State& state) {
+  set_metrics_enabled(true);
+  Rng rng(11);
+  for (auto _ : state) {
+    metric_observe("bench.hist", rng.lognormal(3.0, 0.4));
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+BENCHMARK(BM_MetricHistogramEnabled);
+
+void BM_RouteAnycastLookupMetrics(benchmark::State& state) {
+  set_metrics_enabled(true);
+  const World& world = shared_world();
+  const auto clients = world.clients().clients();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client24& c = clients[i++ % clients.size()];
+    benchmark::DoNotOptimize(
+        world.router().route_anycast(c.access_as, c.metro));
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+BENCHMARK(BM_RouteAnycastLookupMetrics);
+
+void BM_BeaconRunMetrics(benchmark::State& state) {
+  set_metrics_enabled(true);
+  World& world = const_cast<World&>(shared_world());
+  Rng rng(7);
+  std::vector<DnsLogEntry> dns_log;
+  std::vector<HttpLogEntry> http_log;
+  const auto clients = world.clients().clients();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Client24& c = clients[i++ % clients.size()];
+    const RouteResult route =
+        world.router().route_anycast(c.access_as, c.metro);
+    world.beacon().run_beacon(c, SimTime{0, 43200.0}, route, rng, dns_log,
+                              http_log);
+    if (dns_log.size() > 1u << 16) {
+      dns_log.clear();
+      http_log.clear();
+    }
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+BENCHMARK(BM_BeaconRunMetrics);
 
 // ------------------------------------------------------ executor scaling
 //

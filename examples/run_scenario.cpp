@@ -4,7 +4,12 @@
 // data out without writing C++.
 //
 //   $ ./run_scenario --seed 7 --days 7 --clients 4000 --sampling 0.05
-//                    --remote-peering 0.10 --csv-prefix out_
+//                    --remote-peering 0.10 --csv-prefix out_ --metrics
+//
+// Every run records pipeline metrics and writes a JSON run manifest
+// (<prefix>run_manifest.json) next to the CSVs: config digest, seed, date
+// range, output list and the full metrics snapshot. --metrics additionally
+// prints the snapshot as a summary table.
 //
 // Unknown flags exit with usage.
 #include <algorithm>
@@ -16,7 +21,9 @@
 #include "analysis/catchment.h"
 #include "analysis/figures.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "report/export.h"
+#include "report/run_report.h"
 #include "report/series.h"
 #include "sim/simulation.h"
 #include "sim/world.h"
@@ -34,6 +41,7 @@ struct Flags {
   int threads = 1;
   std::string csv_prefix = "scenario_";
   bool verbose = false;
+  bool metrics = false;
 };
 
 void usage(const char* argv0) {
@@ -41,7 +49,7 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--days N] [--clients N] [--sampling F]\n"
       "          [--remote-peering F] [--threads N] [--csv-prefix STR]\n"
-      "          [--verbose]\n",
+      "          [--metrics] [--verbose]\n",
       argv0);
 }
 
@@ -81,6 +89,8 @@ bool parse(int argc, char** argv, Flags& flags) {
       flags.csv_prefix = v;
     } else if (arg == "--verbose") {
       flags.verbose = true;
+    } else if (arg == "--metrics") {
+      flags.metrics = true;
     } else {
       return false;
     }
@@ -104,6 +114,10 @@ int main(int argc, char** argv) {
   config.schedule.beacon_sampling = flags.sampling;
   config.topology.remote_peering_fraction = flags.remote_peering;
   config.simulation_threads = flags.threads;
+
+  // The manifest wants a full picture, so recording is always on for the
+  // runner; --metrics only controls the console table.
+  set_metrics_enabled(true);
 
   World world(config);
   Simulation sim(world);
@@ -183,11 +197,34 @@ int main(int argc, char** argv) {
   export_measurements(sim.measurements(),
                       flags.csv_prefix + "measurements.csv");
 
+  // --- Run manifest: the structured record of what this run was.
+  RunManifest manifest;
+  manifest.tool = "run_scenario";
+  manifest.config_digest = config.digest();
+  manifest.seed = config.seed;
+  manifest.days = flags.days;
+  manifest.start_date = world.calendar().date(0).to_string();
+  manifest.end_date = world.calendar().date(flags.days - 1).to_string();
+  manifest.outputs = {flags.csv_prefix + "anycast_vs_unicast.csv",
+                      flags.csv_prefix + "distance.csv",
+                      flags.csv_prefix + "affinity.csv",
+                      flags.csv_prefix + "passive_log.csv",
+                      flags.csv_prefix + "measurements.csv"};
+  manifest.metrics = MetricsRegistry::global().snapshot();
+  const std::string manifest_path =
+      flags.csv_prefix + "run_manifest.json";
+  write_run_manifest(manifest, manifest_path);
+
+  if (flags.metrics) {
+    std::printf("\n== pipeline metrics ==\n%s",
+                format_metrics_table(manifest.metrics).c_str());
+  }
+
   std::printf("wrote %sanycast_vs_unicast.csv, %sdistance.csv, "
               "%saffinity.csv,\n      %spassive_log.csv, "
-              "%smeasurements.csv\n",
+              "%smeasurements.csv, %srun_manifest.json\n",
               flags.csv_prefix.c_str(), flags.csv_prefix.c_str(),
               flags.csv_prefix.c_str(), flags.csv_prefix.c_str(),
-              flags.csv_prefix.c_str());
+              flags.csv_prefix.c_str(), flags.csv_prefix.c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -30,6 +31,10 @@ struct CatchmentShard {
   std::vector<std::vector<double>> distances;   // per front-end, in
                                                 // client order
   double total_volume = 0.0;
+  // Route-resolution tallies ride in the shard (no per-client metric
+  // calls in the hot loop) and publish once after the fold.
+  std::size_t routed = 0;
+  std::size_t unroutable = 0;
 };
 
 }  // namespace
@@ -37,6 +42,7 @@ struct CatchmentShard {
 std::vector<CatchmentSummary> compute_catchments(
     const ClientPopulation& clients, const CdnRouter& router,
     const MetroDatabase& metros, int threads) {
+  const PhaseSpan catchment_phase("analysis.catchment");
   const Deployment& deployment = router.cdn().deployment();
   const auto all = clients.clients();
 
@@ -53,7 +59,11 @@ std::vector<CatchmentSummary> compute_catchments(
         }
         const Client24& c = all[i];
         const RouteResult route = router.route_anycast(c.access_as, c.metro);
-        if (!route.valid) return;
+        if (!route.valid) {
+          ++shard.unroutable;
+          return;
+        }
+        ++shard.routed;
         CatchmentSummary& summary = shard.out[route.front_end.value];
         ++summary.clients;
         summary.query_share += c.daily_queries;  // normalized below
@@ -80,7 +90,11 @@ std::vector<CatchmentSummary> compute_catchments(
                                    shard.distances[fe].end());
         }
         acc.total_volume += shard.total_volume;
+        acc.routed += shard.routed;
+        acc.unroutable += shard.unroutable;
       });
+  metric_count("catchment.clients_routed", total.routed);
+  metric_count("catchment.clients_unroutable", total.unroutable);
   if (total.out.empty()) {
     total.out.resize(deployment.size());
     total.distances.resize(deployment.size());

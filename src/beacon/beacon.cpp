@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
@@ -109,6 +110,9 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
 
   // One browser per page load: Resource Timing support is per-beacon.
   const bool resource_timing = timing_->supports_resource_timing(rng);
+
+  metric_count("beacon.executions");
+  metric_count("beacon.fetches", plan.size());
 
   for (std::size_t k = 0; k < plan.size(); ++k) {
     const std::uint64_t url_id = beacon_id * 4 + k;

@@ -6,6 +6,7 @@
 
 #include "common/error.h"
 #include "common/executor.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
@@ -42,6 +43,9 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
   // re-sorts the concatenation, so the stored order — and therefore every
   // downstream analysis — is identical for any shard or thread count, and
   // matches the old single-threaded join exactly.
+  const PhaseSpan join_phase("join");
+  metric_count("join.dns_rows", dns_log.size());
+  metric_count("join.http_rows", http_log.size());
   const int shard_count = std::clamp(threads, 1, 16);
   std::vector<std::vector<BeaconMeasurement>> shards(
       static_cast<std::size_t>(shard_count));
@@ -54,11 +58,19 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
           dns_by_url[e.url_id] = &e;  // last row wins, as before
         }
         std::map<std::uint64_t, BeaconMeasurement> grouped;
+        // Orphans are tallied locally and published once per shard; the
+        // registry sums integers, so totals are exact and order-free.
+        std::size_t joined = 0;
+        std::size_t orphan_http = 0;
         for (const HttpLogEntry& h : http_log) {
           const std::uint64_t beacon_id = h.url_id / 4;
           if (beacon_id % shards.size() != s) continue;
           auto it = dns_by_url.find(h.url_id);
-          if (it == dns_by_url.end()) continue;  // unjoined fetch: drop
+          if (it == dns_by_url.end()) {
+            ++orphan_http;  // unjoined fetch: drop
+            continue;
+          }
+          ++joined;
           BeaconMeasurement& m = grouped[beacon_id];
           if (m.targets.empty()) {
             m.beacon_id = beacon_id;
@@ -73,6 +85,11 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
         auto& out = shards[s];
         out.reserve(grouped.size());
         for (auto& [id, m] : grouped) out.push_back(std::move(m));
+        metric_count("join.orphan_http", orphan_http);
+        // URL ids are unique per fetch, so every joined HTTP row consumes
+        // a distinct DNS row; the remainder never matched.
+        metric_count("join.orphan_dns", dns_by_url.size() - joined);
+        metric_count("join.measurements", out.size());
       });
 
   std::vector<BeaconMeasurement> merged;

@@ -1,6 +1,7 @@
 #include "cdn/router.h"
 
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
@@ -16,6 +17,7 @@ CdnRouter::CdnRouter(const AsGraph& graph, const CdnNetwork& cdn)
 
 RouteResult CdnRouter::route_anycast(AsId access, MetroId metro,
                                      std::size_t candidate_index) const {
+  metric_count("router.anycast_lookups");
   return trace_anycast(access, metro, candidate_index).result;
 }
 
@@ -43,6 +45,7 @@ std::size_t CdnRouter::anycast_candidate_count(AsId access) const {
 
 RouteResult CdnRouter::route_unicast(AsId access, MetroId metro,
                                      FrontEndId fe) const {
+  metric_count("router.unicast_lookups");
   require(fe.valid() && fe.value < unicast_tables_.size(),
           "unknown front-end");
   RouteResult result;

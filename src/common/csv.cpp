@@ -26,6 +26,15 @@ void CsvWriter::write_field(std::string_view field, bool first) {
   out_ << '"';
 }
 
+void CsvWriter::check_stream() const {
+  if (!out_) throw Error("csv: write failed (disk full?): " + path_);
+}
+
+void CsvWriter::flush() {
+  out_.flush();
+  check_stream();
+}
+
 void CsvWriter::write_row(std::span<const std::string> fields) {
   bool first = true;
   for (const auto& f : fields) {
@@ -33,6 +42,7 @@ void CsvWriter::write_row(std::span<const std::string> fields) {
     first = false;
   }
   out_ << '\n';
+  check_stream();
 }
 
 void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
@@ -42,6 +52,7 @@ void CsvWriter::write_row(std::initializer_list<std::string_view> fields) {
     first = false;
   }
   out_ << '\n';
+  check_stream();
 }
 
 std::string CsvWriter::format_double(double v) {
@@ -60,6 +71,7 @@ void CsvWriter::write_row(std::span<const double> values) {
     first = false;
   }
   out_ << '\n';
+  check_stream();
 }
 
 }  // namespace acdn

@@ -12,6 +12,13 @@ namespace acdn {
 
 /// Writes RFC-4180-ish CSV. Fields containing separators or quotes are
 /// quoted; numeric overloads format with full round-trip precision.
+///
+/// Write failures are not silent: every write_row checks the stream and
+/// throws acdn::Error naming the path, and flush() forces buffered data
+/// to the OS so a full disk surfaces as an exception instead of a
+/// truncated figure CSV under a success exit. Callers that finish a file
+/// should call flush() (the destructor cannot throw, so it can only
+/// best-effort close).
 class CsvWriter {
  public:
   /// Opens `path` for writing, truncating any existing file. Throws
@@ -27,10 +34,14 @@ class CsvWriter {
   }
   void write_row(std::span<const double> values);
 
+  /// Flushes buffered rows and throws acdn::Error if any write failed.
+  void flush();
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   void write_field(std::string_view field, bool first);
+  void check_stream() const;
   static std::string format_double(double v);
 
   std::string path_;

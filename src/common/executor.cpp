@@ -8,6 +8,8 @@
 #include <limits>
 #include <mutex>
 
+#include "common/metrics.h"
+
 namespace acdn {
 
 namespace {
@@ -123,6 +125,7 @@ bool Executor::try_steal(std::size_t index, Task& out) {
       if (!it->batch->allows(index, n)) continue;
       out = *it;
       victim.tasks.erase(it);
+      metric_count("executor.steals");
       return true;
     }
   }
@@ -144,6 +147,7 @@ bool Executor::try_take_for_batch(Batch* batch, Task& out) {
 }
 
 void Executor::execute(const Task& task) {
+  metric_count("executor.tasks");
   Batch& batch = *task.batch;
   if (!batch.failed.load(std::memory_order_acquire)) {
     try {
@@ -191,9 +195,12 @@ void Executor::run_chunked(std::size_t begin, std::size_t end,
   const std::size_t pool = workers_.size();
   const std::size_t helpers = std::min<std::size_t>(
       pool, static_cast<std::size_t>(std::max(1, parallelism)) - 1);
+  metric_count("executor.batches");
+  metric_observe("executor.batch_chunks", double(plan.chunks));
   if (helpers == 0 || plan.chunks == 1) {
     // Serial fast path: the identical chunk plan, executed inline in
     // chunk order — bit-identical to the pooled path by construction.
+    metric_count("executor.tasks", plan.chunks);
     for (std::size_t c = 0; c < plan.chunks; ++c) {
       const std::size_t b = begin + c * plan.chunk_size;
       fn(c, b, std::min(end, b + plan.chunk_size));
@@ -213,10 +220,14 @@ void Executor::run_chunked(std::size_t begin, std::size_t end,
   batch.stripe_size = helpers;
 
   // One lock + one wake per stripe member: push all of a worker's chunks
-  // in a single critical section rather than locking per chunk.
+  // in a single critical section rather than locking per chunk. The tasks
+  // already queued on the stripe (from concurrent or nested batches) are
+  // summed in passing — a free queue-depth sample at submit time.
+  std::size_t queued_before = 0;
   for (std::size_t h = 0; h < helpers; ++h) {
     Worker& w = *workers_[(batch.stripe_base + h) % pool];
     std::lock_guard<std::mutex> lk(w.m);
+    queued_before += w.tasks.size();
     for (std::size_t c = h; c < plan.chunks; c += helpers) {
       const std::size_t b = begin + c * plan.chunk_size;
       w.tasks.push_back(
@@ -224,6 +235,7 @@ void Executor::run_chunked(std::size_t begin, std::size_t end,
     }
     w.wake.notify_one();
   }
+  metric_observe("executor.queue_depth", double(queued_before));
 
   // The submitter works too: drain this batch's chunks (stealing them
   // back from worker deques), then sleep until the in-flight remainder

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -11,6 +12,8 @@ namespace acdn {
 std::vector<EvalOutcome> PredictionEvaluator::evaluate(
     const HistoryPredictor& predictor,
     std::span<const BeaconMeasurement> eval_day_measurements) const {
+  const PhaseSpan eval_phase("evaluator.evaluate");
+  const ScopedTimer eval_timer("evaluator.evaluate_ms");
   // The evaluation is always per-/24, regardless of how predictions were
   // grouped: clients inherit their LDNS group's prediction under LDNS
   // grouping.
@@ -56,14 +59,18 @@ std::vector<EvalOutcome> PredictionEvaluator::evaluate(
         if (anycast_it == samples.by_target.end() ||
             static_cast<int>(anycast_it->second.size()) <
                 config_.min_eval_samples) {
-          return;  // cannot judge without anycast baselines
+          // Cannot judge without anycast baselines.
+          metric_count("eval.skipped_no_baseline");
+          return;
         }
         auto fe_it = samples.by_target.find(
             TargetKey{false, prediction->front_end});
         if (fe_it == samples.by_target.end() ||
             static_cast<int>(fe_it->second.size()) <
                 config_.min_eval_samples) {
-          return;  // predicted front-end unmeasured on the evaluation day
+          // Predicted front-end unmeasured on the evaluation day.
+          metric_count("eval.skipped_unmeasured_fe");
+          return;
         }
 
         const double qs[] = {0.50, 0.75};
@@ -76,9 +83,18 @@ std::vector<EvalOutcome> PredictionEvaluator::evaluate(
       });
 
   std::vector<EvalOutcome> outcomes;
+  std::size_t predicted_anycast = 0;
   for (const auto& maybe : scored) {
-    if (maybe) outcomes.push_back(*maybe);
+    if (!maybe) continue;
+    if (maybe->predicted_anycast) {
+      ++predicted_anycast;
+    } else {
+      metric_observe("eval.improvement_p50_ms", maybe->improvement_p50);
+    }
+    outcomes.push_back(*maybe);
   }
+  metric_count("eval.outcomes", outcomes.size());
+  metric_count("eval.predicted_anycast", predicted_anycast);
   return outcomes;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/executor.h"
+#include "common/metrics.h"
 #include "stats/quantile.h"
 
 namespace acdn {
@@ -43,6 +44,8 @@ Milliseconds HistoryPredictor::metric_value(
 
 void HistoryPredictor::train(
     std::span<const BeaconMeasurement> measurements) {
+  const PhaseSpan train_phase("predictor.train");
+  const ScopedTimer train_timer("predictor.train_ms");
   predictions_.clear();
   const DayAggregates agg =
       DayAggregates::build(measurements, config_.grouping, config_.threads);
@@ -60,8 +63,10 @@ void HistoryPredictor::train(
         const GroupSamples& samples = groups[i]->second;
         std::optional<Prediction> best;
         std::optional<Milliseconds> anycast_metric;
+        std::size_t gated = 0;
         for (const auto& [key, rtts] : samples.by_target) {
           if (static_cast<int>(rtts.size()) < config_.min_measurements) {
+            ++gated;  // below the >= min_measurements qualification rule
             continue;
           }
           const Milliseconds value = metric_value(rtts, config_.metric);
@@ -71,16 +76,24 @@ void HistoryPredictor::train(
                 Prediction{key.anycast, key.front_end, value, std::nullopt};
           }
         }
+        if (gated > 0) metric_count("predictor.targets_gated", gated);
         if (!best) return;  // nothing qualified: group stays on anycast
         best->anycast_ms = anycast_metric;
         scored[i] = *best;
       });
 
+  std::size_t predicted_anycast = 0;
   for (std::size_t i = 0; i < groups.size(); ++i) {
     if (!scored[i]) continue;
+    if (scored[i]->anycast) ++predicted_anycast;
     predictions_.emplace_hint(predictions_.end(), groups[i]->first,
                               *scored[i]);
   }
+  metric_count("predictor.groups_seen", groups.size());
+  metric_count("predictor.groups_trained", predictions_.size());
+  metric_count("predictor.predicted_anycast", predicted_anycast);
+  metric_count("predictor.predicted_unicast",
+               predictions_.size() - predicted_anycast);
 }
 
 std::optional<Prediction> HistoryPredictor::predict(

@@ -1,5 +1,8 @@
 #include "core/streaming.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "analysis/aggregate.h"
 
 namespace acdn {
@@ -27,17 +30,27 @@ void StreamingTrainer::observe(const BeaconMeasurement& measurement) {
 
 std::map<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
   // Regroup the flat state map by group, then apply the batch trainer's
-  // selection rule.
+  // selection rule. Keys are visited in sorted order — by the pack()
+  // layout that is exactly the batch trainer's std::map<TargetKey>
+  // sequence (group ascending, unicast front-ends ascending, anycast
+  // last) — so equal-metric ties break identically to the batch path
+  // instead of following unordered_map hash order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(states_.size());
+  for (const auto& [key, estimator] : states_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
   std::map<std::uint32_t, Prediction> predictions;
   std::map<std::uint32_t, std::optional<Milliseconds>> anycast_metric;
 
-  for (const auto& [key, estimator] : states_) {
+  for (const std::uint64_t key : keys) {
+    const P2Quantile& estimator = states_.find(key)->second;
     if (static_cast<int>(estimator.count()) < config_.min_measurements) {
       continue;
     }
-    const auto group = static_cast<std::uint32_t>(key >> 33);
-    const bool anycast = ((key >> 32) & 1) != 0;
-    const FrontEndId fe(static_cast<std::uint32_t>(key & 0xffffffffu));
+    const auto group = static_cast<std::uint32_t>(key >> 32);
+    const bool anycast = ((key >> 31) & 1) != 0;
+    const FrontEndId fe(static_cast<std::uint32_t>(key & 0x7fffffffu));
     const Milliseconds value = estimator.value();
 
     if (anycast) anycast_metric[group] = value;

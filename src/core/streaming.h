@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "beacon/measurement.h"
+#include "common/error.h"
 #include "core/predictor.h"
 #include "stats/p2.h"
 
@@ -44,11 +45,22 @@ class StreamingTrainer {
   void reset();
 
  private:
-  /// (group, target) -> packed key. Bit 32 marks the anycast target.
+  /// (group, target) -> packed key: the full 32-bit group id in the high
+  /// word, the anycast flag at bit 31, the front-end id in the low 31
+  /// bits. Two invariants ride on this layout:
+  ///   * no group bit is dropped (a `group << 33` here once silently lost
+  ///     bit 31, aliasing groups 2^31 apart onto one P² state);
+  ///   * sorting packed keys reproduces the batch trainer's iteration
+  ///     order — group ascending, then unicast front-ends ascending, then
+  ///     anycast — which snapshot() relies on for tie-break parity.
   [[nodiscard]] static std::uint64_t pack(std::uint32_t group, bool anycast,
                                           FrontEndId fe) {
-    return (std::uint64_t(group) << 33) |
-           (std::uint64_t(anycast ? 1 : 0) << 32) |
+    if (!anycast) {
+      require((fe.value >> 31) == 0,
+              "front-end id exceeds 31 bits in streaming key");
+    }
+    return (std::uint64_t(group) << 32) |
+           (std::uint64_t(anycast ? 1 : 0) << 31) |
            std::uint64_t(anycast ? 0 : fe.value);
   }
 

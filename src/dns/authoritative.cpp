@@ -10,7 +10,7 @@ AuthoritativeServer::AuthoritativeServer(const RedirectionPolicy& policy,
     : policy_(&policy),
       deployment_(&deployment),
       config_(config),
-      cache_(config.answer_ttl_seconds) {
+      cache_(config.answer_ttl_seconds, "dns.auth_cache") {
   require(config.answer_ttl_seconds > 0.0, "answer TTL must be positive");
 }
 

@@ -5,12 +5,22 @@
 // TTLs are "longer than the duration of the beacon". For DNS redirection
 // itself, small TTLs bound how stale a redirection decision can get (§2).
 // The cache is simulated against SimTime, not the wall clock.
+//
+// Expired entries are reclaimed two ways: lazily when get() touches the
+// exact key, and by an amortized sweep triggered every ~size() puts — so a
+// month-long run with churning keys stays bounded by the live working set
+// instead of accumulating every key ever inserted. Hits, expirations,
+// evictions, and the post-sweep size are reported through the metrics
+// registry (common/metrics.h) under the prefix passed at construction.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
+#include "common/metrics.h"
 #include "common/sim_clock.h"
 
 namespace acdn {
@@ -18,11 +28,24 @@ namespace acdn {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class TtlCache {
  public:
-  /// `ttl_seconds` applies to every entry inserted.
-  explicit TtlCache(double ttl_seconds) : ttl_seconds_(ttl_seconds) {}
+  /// `ttl_seconds` applies to every entry inserted. `metric_prefix` names
+  /// this cache in the metrics registry ("<prefix>.hits" etc.).
+  explicit TtlCache(double ttl_seconds,
+                    std::string metric_prefix = "dns.cache")
+      : ttl_seconds_(ttl_seconds),
+        hits_metric_(metric_prefix + ".hits"),
+        expirations_metric_(metric_prefix + ".expirations"),
+        evictions_metric_(metric_prefix + ".evictions"),
+        size_metric_(metric_prefix + ".size") {}
 
   void put(const Key& key, Value value, const SimTime& now) {
     entries_[key] = Entry{std::move(value), expiry(now)};
+    // Amortized expiry: sweep after as many puts as the map held at the
+    // last sweep — O(1) amortized per put, map bounded by roughly twice
+    // the live entry count. The threshold must be latched at sweep time:
+    // comparing against the live size() would chase its own tail (both
+    // advance one per put) and never fire again.
+    if (++puts_since_sweep_ >= next_sweep_) sweep(now);
   }
 
   /// Value if present and unexpired at `now`; expired entries are erased.
@@ -32,24 +55,58 @@ class TtlCache {
     if (absolute(now) >= it->second.expires_at) {
       entries_.erase(it);
       ++expirations_;
+      metric_count(expirations_metric_);
       return std::nullopt;
     }
     ++hits_;
+    metric_count(hits_metric_);
     return it->second.value;
+  }
+
+  /// Erases every entry expired at `now` (also runs automatically from
+  /// put()). Evicted entries count separately from lazy get()-side
+  /// expirations.
+  void sweep(const SimTime& now) {
+    puts_since_sweep_ = 0;
+    const double t = absolute(now);
+    std::size_t evicted = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (t >= it->second.expires_at) {
+        it = entries_.erase(it);
+        ++evicted;
+      } else {
+        ++it;
+      }
+    }
+    // Latch the next threshold from the *live* size: basing it on the
+    // pre-eviction size would let each interval inherit the previous
+    // interval's garbage and ratchet upward.
+    next_sweep_ = std::max(kMinSweepInterval, entries_.size());
+    evictions_ += evicted;
+    if (evicted > 0) metric_count(evictions_metric_, evicted);
+    metric_gauge(size_metric_, double(entries_.size()));
   }
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t hits() const { return hits_; }
   [[nodiscard]] std::size_t expirations() const { return expirations_; }
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
   [[nodiscard]] double ttl_seconds() const { return ttl_seconds_; }
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    puts_since_sweep_ = 0;
+    next_sweep_ = kMinSweepInterval;
+  }
 
  private:
   struct Entry {
     Value value;
     double expires_at;  // absolute seconds since day 0
   };
+
+  /// Floor on the sweep interval so tiny caches don't sweep every put.
+  static constexpr std::size_t kMinSweepInterval = 64;
 
   static double absolute(const SimTime& t) {
     return t.day * 86400.0 + t.seconds;
@@ -59,9 +116,16 @@ class TtlCache {
   }
 
   double ttl_seconds_;
+  std::string hits_metric_;
+  std::string expirations_metric_;
+  std::string evictions_metric_;
+  std::string size_metric_;
   std::unordered_map<Key, Entry, Hash> entries_;
+  std::size_t puts_since_sweep_ = 0;
+  std::size_t next_sweep_ = kMinSweepInterval;
   std::size_t hits_ = 0;
   std::size_t expirations_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace acdn

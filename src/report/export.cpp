@@ -60,6 +60,7 @@ void export_passive_log(const PassiveLog& log, const std::string& path) {
       csv.write_row(row);
     }
   }
+  csv.flush();
 }
 
 PassiveLog import_passive_log(const std::string& path) {
@@ -104,6 +105,7 @@ void export_measurements(const MeasurementStore& store,
       }
     }
   }
+  csv.flush();
 }
 
 MeasurementStore import_measurements(const std::string& path) {

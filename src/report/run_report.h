@@ -1,0 +1,47 @@
+// Structured run manifest: one JSON file per pipeline run, written next to
+// the CSV outputs, recording what ran (tool, config digest, seed, date
+// range), what it produced (output paths), and what the metrics registry
+// observed (counters, gauges, histograms, phase timings).
+//
+// The manifest is the machine-readable face of the observability layer: a
+// rerun with the same config digest and seed must reproduce every counter
+// in it exactly (wall-clock histograms and phase timings excepted — those
+// are environment, not simulation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace acdn {
+
+struct RunManifest {
+  /// Which harness produced the run ("run_scenario", ...).
+  std::string tool;
+  /// ScenarioConfig::digest() — identifies the simulated world modulo seed.
+  std::string config_digest;
+  std::uint64_t seed = 0;
+  int days = 0;
+  std::string start_date;  // "2015-04-01"
+  std::string end_date;    // inclusive last simulated day
+  /// Paths of every artifact the run wrote (CSV figures, exports).
+  std::vector<std::string> outputs;
+  /// Registry snapshot taken after the last pipeline phase.
+  MetricsSnapshot metrics;
+};
+
+/// Writes the manifest as pretty-printed JSON. Throws acdn::Error if the
+/// file cannot be opened or any write fails (same contract as CsvWriter:
+/// a full disk is an error, not a truncated manifest).
+void write_run_manifest(const RunManifest& manifest,
+                        const std::string& path);
+
+/// Renders a snapshot as a human-readable summary table (the --metrics
+/// output of run_scenario): counters, gauges, histogram quantiles and
+/// phase timings, each section name-sorted.
+[[nodiscard]] std::string format_metrics_table(
+    const MetricsSnapshot& snapshot);
+
+}  // namespace acdn

@@ -53,6 +53,7 @@ void Figure::write_csv(const std::string& path) const {
     for (const Series& s : series_) row.push_back(sample_series(s, x));
     csv.write_row(row);
   }
+  csv.flush();
 }
 
 }  // namespace acdn

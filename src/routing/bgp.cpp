@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
@@ -81,6 +82,8 @@ BgpSimulator::BgpSimulator(const AsGraph& graph, AsId cdn)
 
 BgpRouteTable BgpSimulator::compute(
     std::span<const MetroId> announce_metros) const {
+  const ScopedTimer compute_timer("bgp.compute_ms");
+  metric_count("bgp.tables_computed");
   const AsGraph& g = *graph_;
   require(!announce_metros.empty(), "prefix must be announced somewhere");
   const std::set<MetroId> announce(announce_metros.begin(),

@@ -1,9 +1,62 @@
 #include "sim/scenario.h"
 
+#include <charconv>
+#include <string>
+
 #include "common/error.h"
 #include "common/executor.h"
 
 namespace acdn {
+
+namespace {
+
+/// Appends "key=value\n" lines into a canonical serialization. Doubles use
+/// shortest round-trip formatting (std::to_chars), so the text — and the
+/// digest over it — is identical across platforms and locale settings.
+class KnobSerializer {
+ public:
+  void add(std::string_view key, double v) {
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    require(ec == std::errc{}, "digest: double format failed");
+    add_raw(key, std::string_view(buf, std::size_t(ptr - buf)));
+  }
+  void add(std::string_view key, int v) { add(key, std::int64_t(v)); }
+  void add(std::string_view key, bool v) {
+    add_raw(key, v ? "true" : "false");
+  }
+  void add(std::string_view key, std::int64_t v) {
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+    require(ec == std::errc{}, "digest: int format failed");
+    add_raw(key, std::string_view(buf, std::size_t(ptr - buf)));
+  }
+  void add(std::string_view key, const Date& d) {
+    add_raw(key, d.to_string());
+  }
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  void add_raw(std::string_view key, std::string_view value) {
+    text_.append(key);
+    text_.push_back('=');
+    text_.append(value);
+    text_.push_back('\n');
+  }
+  std::string text_;
+};
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
 
 ScenarioConfig ScenarioConfig::paper_default() {
   ScenarioConfig config;
@@ -35,6 +88,113 @@ ScenarioConfig ScenarioConfig::small_test() {
   config.schedule.beacon_sampling = 0.05;
   config.dns.public_resolver_sites = 4;
   return config;
+}
+
+std::string ScenarioConfig::digest() const {
+  KnobSerializer s;
+  s.add("start_date", start_date);
+
+  s.add("topology.tier1_count", topology.tier1_count);
+  s.add("topology.transits_per_region", topology.transits_per_region);
+  s.add("topology.national_access_per_country",
+        topology.national_access_per_country);
+  s.add("topology.local_access_per_metro", topology.local_access_per_metro);
+  s.add("topology.tier1_presence_prob", topology.tier1_presence_prob);
+  s.add("topology.transit_presence_prob", topology.transit_presence_prob);
+  s.add("topology.remote_peering_fraction",
+        topology.remote_peering_fraction);
+  s.add("topology.transit_peer_prob", topology.transit_peer_prob);
+  s.add("topology.max_providers_per_access",
+        topology.max_providers_per_access);
+
+  s.add("deployment.north_america", deployment.north_america);
+  s.add("deployment.europe", deployment.europe);
+  s.add("deployment.asia", deployment.asia);
+  s.add("deployment.oceania", deployment.oceania);
+  s.add("deployment.south_america", deployment.south_america);
+  s.add("deployment.africa", deployment.africa);
+  s.add("deployment.middle_east", deployment.middle_east);
+
+  s.add("cdn.links.transit_providers", cdn.links.transit_providers);
+  s.add("cdn.links.tier1_peer_prob", cdn.links.tier1_peer_prob);
+  s.add("cdn.links.transit_peer_prob", cdn.links.transit_peer_prob);
+  s.add("cdn.links.access_peer_prob", cdn.links.access_peer_prob);
+  s.add("cdn.links.max_transit_peering_metros",
+        cdn.links.max_transit_peering_metros);
+  s.add("cdn.links.max_access_peering_metros",
+        cdn.links.max_access_peering_metros);
+  s.add("cdn.extra_peering_metros", cdn.extra_peering_metros);
+  s.add("cdn.backbone.nearest_links", cdn.backbone.nearest_links);
+  s.add("cdn.backbone.interconnect_region_hubs",
+        cdn.backbone.interconnect_region_hubs);
+  s.add("cdn.backbone.fiber_factor_min", cdn.backbone.fiber_factor_min);
+  s.add("cdn.backbone.fiber_factor_max", cdn.backbone.fiber_factor_max);
+
+  s.add("workload.total_client_24s", workload.total_client_24s);
+  s.add("workload.volume_pareto_alpha", workload.volume_pareto_alpha);
+  s.add("workload.base_daily_queries", workload.base_daily_queries);
+  s.add("workload.placement_median_km", workload.placement_median_km);
+  s.add("workload.placement_sigma", workload.placement_sigma);
+  s.add("workload.placement_max_km", workload.placement_max_km);
+  s.add("workload.last_mile.fiber_share", workload.last_mile.fiber_share);
+  s.add("workload.last_mile.cable_share", workload.last_mile.cable_share);
+  s.add("workload.last_mile.dsl_share", workload.last_mile.dsl_share);
+  s.add("workload.last_mile.wireless_share",
+        workload.last_mile.wireless_share);
+
+  s.add("schedule.weekend_factor", schedule.weekend_factor);
+  s.add("schedule.beacon_sampling", schedule.beacon_sampling);
+  s.add("schedule.activity_scale", schedule.activity_scale);
+
+  s.add("dns.metros_per_resolver_site", dns.metros_per_resolver_site);
+  s.add("dns.max_resolver_sites_per_isp", dns.max_resolver_sites_per_isp);
+  s.add("dns.public_resolver_fraction", dns.public_resolver_fraction);
+  s.add("dns.public_resolver_sites", dns.public_resolver_sites);
+
+  s.add("geolocation.exact_fraction", geolocation.exact_fraction);
+  s.add("geolocation.nearby_error_mu", geolocation.nearby_error_mu);
+  s.add("geolocation.nearby_error_sigma", geolocation.nearby_error_sigma);
+  s.add("geolocation.gross_error_fraction",
+        geolocation.gross_error_fraction);
+  s.add("geolocation.gross_error_min_km", geolocation.gross_error_min_km);
+  s.add("geolocation.gross_error_max_km", geolocation.gross_error_max_km);
+
+  s.add("rtt.km_per_rtt_ms", rtt.km_per_rtt_ms);
+  s.add("rtt.per_as_hop_ms", rtt.per_as_hop_ms);
+  s.add("rtt.jitter_sigma", rtt.jitter_sigma);
+  s.add("rtt.congestion_prob", rtt.congestion_prob);
+  s.add("rtt.congestion_mean_ms", rtt.congestion_mean_ms);
+  s.add("rtt.diurnal_amplitude", rtt.diurnal_amplitude);
+  s.add("rtt.peak_hour", rtt.peak_hour);
+
+  s.add("timing.resource_timing_support", timing.resource_timing_support);
+  s.add("timing.primitive_overhead_min", timing.primitive_overhead_min);
+  s.add("timing.primitive_overhead_max", timing.primitive_overhead_max);
+  s.add("timing.primitive_extra_mean_ms", timing.primitive_extra_mean_ms);
+  s.add("timing.primitive_resolution_ms", timing.primitive_resolution_ms);
+
+  s.add("beacon.candidate_pool", beacon.candidate_pool);
+  s.add("beacon.targets_per_beacon", beacon.targets_per_beacon);
+  s.add("beacon.fetch_loss_prob", beacon.fetch_loss_prob);
+
+  s.add("dynamics.weekday_change_prob", dynamics.weekday_change_prob);
+  s.add("dynamics.weekend_change_prob", dynamics.weekend_change_prob);
+  s.add("dynamics.revert_prob", dynamics.revert_prob);
+  s.add("dynamics.flappy_unit_fraction", dynamics.flappy_unit_fraction);
+  s.add("dynamics.flappy_weekday_flap_prob",
+        dynamics.flappy_weekday_flap_prob);
+  s.add("dynamics.flappy_weekend_flap_prob",
+        dynamics.flappy_weekend_flap_prob);
+  s.add("dynamics.stable_flap_prob", dynamics.stable_flap_prob);
+
+  s.add("flap_traffic_share", flap_traffic_share);
+  s.add("max_route_alternatives", max_route_alternatives);
+
+  const std::uint64_t h = fnv1a64(s.text());
+  char buf[17];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), h, 16);
+  std::string hex(buf, ptr);
+  return std::string(16 - hex.size(), '0') + hex;
 }
 
 void ScenarioConfig::validate() const {

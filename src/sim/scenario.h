@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "beacon/beacon.h"
 #include "cdn/network.h"
@@ -54,6 +55,13 @@ struct ScenarioConfig {
   static ScenarioConfig paper_default();
   /// Small world for fast tests (hundreds of clients, fewer sites).
   static ScenarioConfig small_test();
+
+  /// Stable 64-bit FNV-1a digest (hex) over every world-shaping knob, for
+  /// the run manifest: two runs with the same digest simulated the same
+  /// world modulo seed. `seed` and `simulation_threads` are deliberately
+  /// excluded — the seed is recorded separately, and the thread count
+  /// cannot change results by the executor's determinism contract.
+  [[nodiscard]] std::string digest() const;
 
   void validate() const;
 };

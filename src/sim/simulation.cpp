@@ -4,6 +4,7 @@
 
 #include "common/executor.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
@@ -37,6 +38,8 @@ void Simulation::run_days(int n) {
 }
 
 DayStats Simulation::run_day() {
+  const PhaseSpan day_phase("sim.day");
+  const ScopedTimer day_timer("sim.day_ms");
   const DayIndex day = next_day_++;
   World& w = *world_;
   w.dynamics().advance_to(day);
@@ -45,6 +48,8 @@ DayStats Simulation::run_day() {
   const auto clients = w.clients().clients();
   std::vector<ClientDayOutput> outputs(clients.size());
 
+  {
+  const PhaseSpan clients_phase("clients");
   Executor::global().parallel_for(
       0, clients.size(), w.config().simulation_threads,
       [&](std::size_t i) {
@@ -58,6 +63,9 @@ DayStats Simulation::run_day() {
     const World::DayRoute route = w.anycast_today(client);
     if (!route.primary.valid) return;  // unreachable (never in practice)
     out.active = true;
+    // Per-(active client, day) expected query volume: the histogram's sum
+    // is the day's total production query load.
+    metric_observe("sim.client_queries", expected);
 
     // --- Passive production logs: aggregate counts per front-end.
     if (route.alternate) {
@@ -90,14 +98,17 @@ DayStats Simulation::run_day() {
                             out.dns_log, out.http_log);
     }
   });
+  }  // close the "clients" phase before merging and joining
 
   // Merge in client order: byte-identical output for any thread count.
   std::vector<DnsLogEntry> dns_log;
   std::vector<HttpLogEntry> http_log;
   DayStats stats;
   stats.day = day;
+  std::size_t clients_active = 0;
   for (const ClientDayOutput& out : outputs) {
     if (!out.active) continue;
+    ++clients_active;
     for (const PassiveLogEntry& e : out.passive) passive_.add(e);
     stats.passive_entries += out.passive.size();
     if (out.flapping) ++stats.clients_flapping;
@@ -106,6 +117,11 @@ DayStats Simulation::run_day() {
     http_log.insert(http_log.end(), out.http_log.begin(),
                     out.http_log.end());
   }
+  metric_count("sim.days");
+  metric_count("sim.beacons", stats.beacons);
+  metric_count("sim.passive_rows", stats.passive_entries);
+  metric_count("sim.clients_active", clients_active);
+  metric_count("sim.clients_flapping", stats.clients_flapping);
 
   measurements_.join(dns_log, http_log, w.config().simulation_threads);
   Log(LogLevel::kInfo) << "day " << day << " ("

@@ -180,5 +180,23 @@ TEST(Csv, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), Error);
 }
 
+TEST(Csv, SurfacesWriteFailureInsteadOfTruncating) {
+  // Regression: only the open was checked, so running out of disk left a
+  // truncated CSV behind a success exit. /dev/full opens fine but fails
+  // every flushed write with ENOSPC — the writer must throw, not return.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+
+  const auto write_until_failure = [] {
+    CsvWriter csv("/dev/full");
+    const double row[] = {1.0, 2.0, 3.0};
+    // Enough rows to overflow the stream buffer even if flush() were
+    // never reached; either path must end in a throw.
+    for (int i = 0; i < 100000; ++i) csv.write_row(row);
+    csv.flush();
+  };
+  EXPECT_THROW(write_until_failure(), Error);
+}
+
 }  // namespace
 }  // namespace acdn

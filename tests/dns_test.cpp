@@ -42,6 +42,45 @@ TEST(TtlCache, MissOnAbsentKey) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(TtlCache, SweepEvictsExpiredEntries) {
+  TtlCache<int, int> cache(10.0);
+  cache.put(1, 1, SimTime{0, 0.0});
+  cache.put(2, 2, SimTime{0, 5.0});
+  cache.put(3, 3, SimTime{0, 100.0});
+  cache.sweep(SimTime{0, 50.0});  // keys 1 and 2 expired, 3 live
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  EXPECT_EQ(cache.get(3, SimTime{0, 105.0}), 3);
+}
+
+TEST(TtlCache, SizeStaysBoundedUnderChurningKeys) {
+  // Regression: expired entries were only erased on an exact-key get(),
+  // so a workload that inserts ever-fresh keys (resolver caches do) grew
+  // without bound for the whole run. The amortized sweep from put() must
+  // keep the map near the live working set instead.
+  TtlCache<int, int> cache(10.0);  // at 1 put/s, ~10 entries are live
+  for (int i = 0; i < 100000; ++i) {
+    cache.put(i, i, SimTime{0, double(i)});
+  }
+  // Bound: sweeps run every max(64, size()) puts, so the map can hold the
+  // live set plus at most one inter-sweep accumulation — far below the
+  // 100k inserted keys, and independent of run length.
+  EXPECT_LE(cache.size(), 200u);
+  EXPECT_GE(cache.evictions(), 99000u);
+  // Live entries survive the churn.
+  cache.put(-1, 7, SimTime{0, 100000.0});
+  EXPECT_EQ(cache.get(-1, SimTime{0, 100005.0}), 7);
+}
+
+TEST(TtlCache, ClearResetsSweepSchedule) {
+  TtlCache<int, int> cache(10.0);
+  for (int i = 0; i < 50; ++i) cache.put(i, i, SimTime{0, double(i)});
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  cache.put(1, 1, SimTime{0, 1000.0});
+  EXPECT_EQ(cache.get(1, SimTime{0, 1001.0}), 1);
+}
+
 // ----------------------------------------------------------- LdnsPopulation
 
 class LdnsTest : public ::testing::Test {

@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "common/error.h"
 #include "report/ascii_chart.h"
+#include "report/run_report.h"
 #include "report/series.h"
 #include "report/shape_check.h"
 
@@ -87,6 +90,71 @@ TEST(ShapeReport, BoundaryValuesPass) {
   report.check("lower edge", 0.0, 0.0, 1.0);
   report.check("upper edge", 1.0, 0.0, 1.0);
   EXPECT_TRUE(report.all_pass());
+}
+
+// ------------------------------------------------------------ RunManifest
+
+RunManifest sample_manifest() {
+  RunManifest m;
+  m.tool = "run_scenario";
+  m.config_digest = "00aabbccddeeff11";
+  m.seed = 42;
+  m.days = 7;
+  m.start_date = "2015-04-01";
+  m.end_date = "2015-04-07";
+  m.outputs = {"out_a.csv", "out_b.csv"};
+  m.metrics.counters["sim.beacons"] = 1711;
+  m.metrics.counters["join.orphan_dns"] = 103;
+  m.metrics.gauges["dns.cache.size"] = 12.0;
+  HistogramStats h;
+  h.count = 3;
+  h.sum = 6.0;
+  h.min = 1.0;
+  h.max = 3.0;
+  h.p50 = 2.0;
+  m.metrics.histograms["sim.day_ms"] = h;
+  m.metrics.phases["sim.day/join"] = PhaseStats{3, 1.5, 0.6};
+  return m;
+}
+
+TEST(RunManifest, WritesWellFormedJson) {
+  const std::string path =
+      ::testing::TempDir() + "acdn_manifest_test.json";
+  write_run_manifest(sample_manifest(), path);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Structural spot checks (no JSON parser in the test deps): key fields,
+  // escaping-safe quoting, balanced braces.
+  EXPECT_NE(text.find("\"tool\": \"run_scenario\""), std::string::npos);
+  EXPECT_NE(text.find("\"config_digest\": \"00aabbccddeeff11\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"sim.beacons\": 1711"), std::string::npos);
+  EXPECT_NE(text.find("\"out_b.csv\""), std::string::npos);
+  EXPECT_NE(text.find("\"sim.day/join\""), std::string::npos);
+  const auto opens = std::count(text.begin(), text.end(), '{');
+  const auto closes = std::count(text.begin(), text.end(), '}');
+  EXPECT_EQ(opens, closes);
+  std::remove(path.c_str());
+}
+
+TEST(RunManifest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(write_run_manifest(sample_manifest(), "/nonexistent-dir/m.json"),
+               Error);
+}
+
+TEST(RunManifest, TableRendersEverySection) {
+  const std::string table = format_metrics_table(sample_manifest().metrics);
+  EXPECT_NE(table.find("counters"), std::string::npos);
+  EXPECT_NE(table.find("sim.beacons"), std::string::npos);
+  EXPECT_NE(table.find("gauges"), std::string::npos);
+  EXPECT_NE(table.find("histograms"), std::string::npos);
+  EXPECT_NE(table.find("phases"), std::string::npos);
+  EXPECT_NE(table.find("sim.day/join"), std::string::npos);
+  EXPECT_EQ(format_metrics_table(MetricsSnapshot{}),
+            "(no metrics recorded)\n");
 }
 
 }  // namespace

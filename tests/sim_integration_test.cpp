@@ -179,5 +179,27 @@ TEST(SimScenario, ValidationCatchesBadKnobs) {
   EXPECT_THROW(World{bad}, ConfigError);
 }
 
+TEST(SimScenario, DigestIdentifiesWorldShapeModuloSeed) {
+  const ScenarioConfig base = ScenarioConfig::small_test();
+  const std::string digest = base.digest();
+  EXPECT_EQ(digest.size(), 16u);  // zero-padded 64-bit hex
+  EXPECT_EQ(digest, ScenarioConfig::small_test().digest());  // stable
+
+  // Seed and thread count don't shape the world: both are excluded.
+  ScenarioConfig reseeded = base;
+  reseeded.seed = 999;
+  reseeded.simulation_threads = 7;
+  EXPECT_EQ(reseeded.digest(), digest);
+
+  // Any world-shaping knob changes the digest.
+  ScenarioConfig more_clients = base;
+  more_clients.workload.total_client_24s += 1;
+  EXPECT_NE(more_clients.digest(), digest);
+  ScenarioConfig other_rtt = base;
+  other_rtt.rtt.jitter_sigma += 0.01;
+  EXPECT_NE(other_rtt.digest(), digest);
+  EXPECT_NE(ScenarioConfig::paper_default().digest(), digest);
+}
+
 }  // namespace
 }  // namespace acdn

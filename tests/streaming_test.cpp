@@ -110,6 +110,64 @@ TEST(StreamingTrainer, ApproximatesBatchOnRealWorldData) {
   EXPECT_LT(metric_error / double(snapshot.size()), 2.0);  // ms
 }
 
+TEST(StreamingTrainer, DistinguishesGroupsAPowerOfTwoApart) {
+  // Regression: the packed (group, target) key once shifted the group by
+  // 33 bits, silently dropping group bit 31 — groups 2^31 apart aliased
+  // onto one P² state and reported each other's estimates.
+  const std::uint32_t lo = 5;
+  const std::uint32_t hi = 5u + (1u << 31);
+  StreamingTrainer stream(config());
+  stream.observe(make_measurement(lo, 10, 0, 30.0, {{0, 10.0}}));
+  stream.observe(make_measurement(hi, 10, 0, 300.0, {{0, 100.0}}));
+
+  const auto snapshot = stream.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+  ASSERT_TRUE(snapshot.count(lo));
+  ASSERT_TRUE(snapshot.count(hi));
+  EXPECT_NEAR(snapshot.at(lo).predicted_ms, 10.0, 1e-9);
+  EXPECT_NEAR(snapshot.at(hi).predicted_ms, 100.0, 1e-9);
+}
+
+TEST(StreamingTrainer, TieBreaksMatchBatchPredictor) {
+  // Regression: snapshot() used to walk the unordered_map in hash order,
+  // so when several front-ends tied on the metric, which one "won" varied
+  // run to run and disagreed with the batch trainer. Both now iterate
+  // targets in the same order (front-end ascending, anycast last) with
+  // first-wins selection, so exact ties resolve identically.
+  std::vector<BeaconMeasurement> ms;
+  for (std::uint32_t group = 1; group <= 40; ++group) {
+    // Every target — including anycast — measures exactly 20 ms, inserted
+    // with front-ends descending to stress insertion-order independence.
+    ms.push_back(make_measurement(group, 10, 0, 20.0,
+                                  {{7, 20.0}, {3, 20.0}, {1, 20.0}}));
+  }
+
+  HistoryPredictor batch(config());
+  batch.train(ms);
+  StreamingTrainer stream(config());
+  for (const BeaconMeasurement& m : ms) stream.observe(m);
+  const auto snapshot = stream.snapshot();
+
+  ASSERT_EQ(snapshot.size(), batch.predictions().size());
+  for (const auto& [group, expected] : batch.predictions()) {
+    const Prediction& got = snapshot.at(group);
+    EXPECT_EQ(got.anycast, expected.anycast) << "group " << group;
+    EXPECT_EQ(got.front_end, expected.front_end) << "group " << group;
+    // The shared tie-break: lowest front-end id wins, never anycast.
+    EXPECT_FALSE(got.anycast);
+    EXPECT_EQ(got.front_end, FrontEndId(1));
+  }
+}
+
+TEST(StreamingTrainer, RejectsFrontEndIdsAbove31Bits) {
+  // Bit 31 of the low word is the anycast flag; a front-end id that would
+  // collide with it must fail loudly instead of corrupting the key.
+  StreamingTrainer stream(config());
+  EXPECT_THROW(
+      stream.observe(make_measurement(1, 10, 0, 30.0, {{1u << 31, 20.0}})),
+      Error);
+}
+
 TEST(StreamingTrainer, LdnsGroupingPools) {
   PredictorConfig pc = config(3);
   pc.grouping = Grouping::kLdns;
