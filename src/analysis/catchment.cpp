@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/executor.h"
 #include "common/metrics.h"
 #include "stats/quantile.h"
@@ -64,6 +65,8 @@ std::vector<CatchmentSummary> compute_catchments(
           return;
         }
         ++shard.routed;
+        ACDN_DCHECK_LT(route.front_end.value, deployment.size())
+            << "router returned a front-end outside the deployment";
         CatchmentSummary& summary = shard.out[route.front_end.value];
         ++summary.clients;
         summary.query_share += c.daily_queries;  // normalized below
@@ -79,6 +82,10 @@ std::vector<CatchmentSummary> compute_catchments(
           acc = std::move(shard);
           return;
         }
+        // Shards size lazily but always to deployment.size(); a mismatch
+        // here means per-front-end sums are being folded misaligned.
+        ACDN_CHECK_EQ(acc.out.size(), shard.out.size())
+            << "catchment shard fold misaligned";
         for (std::size_t fe = 0; fe < acc.out.size(); ++fe) {
           acc.out[fe].clients += shard.out[fe].clients;
           acc.out[fe].query_share += shard.out[fe].query_share;

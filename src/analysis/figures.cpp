@@ -46,7 +46,8 @@ std::map<ClientId, ClientDays> passive_by_client(const PassiveLog& log,
         for (DayIndex d = 0; d < days; ++d) {
           for (const PassiveLogEntry& e : log.by_day(d)) {
             if (e.client.value % shard_count != s) continue;
-            local[e.client].days[d][e.front_end] += e.queries;
+            // NOLINT-ACDN(parallel-fp-accum): shard s is private to this
+            local[e.client].days[d][e.front_end] += e.queries;  // iteration
           }
         }
       });

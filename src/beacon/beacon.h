@@ -112,6 +112,7 @@ class BeaconSystem {
   /// deterministic, so memoization is safe. Guarded for concurrent
   /// simulation days.
   mutable std::shared_mutex unicast_cache_mutex_;
+  // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
   mutable std::unordered_map<std::uint64_t, RouteResult> unicast_cache_;
 };
 

@@ -52,7 +52,9 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
 
   Executor::global().parallel_for(
       0, shards.size(), shard_count, [&](std::size_t s) {
+        // NOLINT-ACDN(unordered-decl): lookup-only join index; results
         std::unordered_map<std::uint64_t, const DnsLogEntry*> dns_by_url;
+        // flow through the url_id-ordered `grouped` map below.
         for (const DnsLogEntry& e : dns_log) {
           if ((e.url_id / 4) % shards.size() != s) continue;
           dns_by_url[e.url_id] = &e;  // last row wins, as before

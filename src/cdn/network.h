@@ -70,6 +70,7 @@ class CdnNetwork {
   std::vector<MetroId> presence_;
   BackboneGraph backbone_;
   std::vector<std::vector<MetroId>> unicast_announce_;  // per front-end
+  // NOLINT-ACDN(unordered-decl): per-metro lookups only, never iterated
   std::unordered_map<MetroId, FrontEndId> nearest_fe_;  // per PoP metro
 };
 

@@ -1,0 +1,164 @@
+// Contract-check macros for internal invariants.
+//
+// Policy (see docs/ARCHITECTURE.md, "Correctness tooling"): `require()`
+// from common/error.h guards *API misuse and configuration* and throws a
+// catchable exception; ACDN_CHECK guards *internal invariants* whose
+// violation means the library itself is wrong, so it prints the failed
+// condition with context and aborts — an invalid state must never leak
+// into exported CSVs/SVGs. ACDN_DCHECK is for invariants too hot to test
+// in release: it compiles out under NDEBUG (the condition is not
+// evaluated) but is fatal in debug and in every sanitizer build
+// (ACDN_SANITIZE=thread/address/undefined defines ACDN_SANITIZERS_ENABLED),
+// so the tsan/asan/ubsan CI legs run the full contract wall.
+//
+// Both macros accept a streamed message with formatted operands:
+//
+//   ACDN_CHECK(route.valid) << "client " << c.id.value;
+//   ACDN_CHECK_LT(fe.value, deployment.size()) << "while folding shard";
+//
+// The _EQ/_NE/_LT/_LE/_GT/_GE forms print both operand values on failure.
+// Failure output goes to stderr as
+//   "file:line: ACDN_CHECK failed: cond (a vs b) — message"
+// and the process aborts (std::abort), which death tests match on.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#if !defined(NDEBUG) || defined(ACDN_SANITIZERS_ENABLED)
+#define ACDN_DCHECK_ENABLED 1
+#else
+#define ACDN_DCHECK_ENABLED 0
+#endif
+
+namespace acdn::detail {
+
+/// Collects the streamed failure message; aborting happens in the
+/// destructor so the macro expression can keep accepting `<<` operands.
+class CheckFailure {
+ public:
+  CheckFailure(const char* macro, const char* condition, const char* file,
+               int line) {
+    stream_ << file << ":" << line << ": " << macro
+            << " failed: " << condition;
+  }
+
+  /// Variant carrying pre-formatted operand values from the _OP macros.
+  CheckFailure(const char* macro, const std::string& condition,
+               const char* file, int line) {
+    stream_ << file << ":" << line << ": " << macro
+            << " failed: " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    if (!message_started_) {
+      stream_ << " — ";
+      message_started_ = true;
+    }
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+  bool message_started_ = false;
+};
+
+/// Lower-precedence-than-<< sink so ACDN_CHECK can be a void expression.
+struct CheckVoidify {
+  void operator&(const CheckFailure&) const {}
+};
+
+/// Swallows streamed operands of a compiled-out ACDN_DCHECK.
+struct NullStream {
+  template <typename T>
+  const NullStream& operator<<(const T&) const {
+    return *this;
+  }
+};
+
+/// One comparison-check implementation per operator: returns nullptr on
+/// success, otherwise the formatted "a op b (x vs y)" text. Operands are
+/// evaluated exactly once.
+#define ACDN_DETAIL_DEFINE_CHECK_OP(name, op)                              \
+  template <typename A, typename B>                                       \
+  std::unique_ptr<std::string> Check##name##Impl(                          \
+      const A& a, const B& b, const char* expr) {                          \
+    if (a op b) return nullptr;                                            \
+    std::ostringstream os;                                                 \
+    os << expr << " (" << a << " vs " << b << ")";                         \
+    return std::make_unique<std::string>(os.str());                        \
+  }
+
+ACDN_DETAIL_DEFINE_CHECK_OP(EQ, ==)
+ACDN_DETAIL_DEFINE_CHECK_OP(NE, !=)
+ACDN_DETAIL_DEFINE_CHECK_OP(LT, <)
+ACDN_DETAIL_DEFINE_CHECK_OP(LE, <=)
+ACDN_DETAIL_DEFINE_CHECK_OP(GT, >)
+ACDN_DETAIL_DEFINE_CHECK_OP(GE, >=)
+#undef ACDN_DETAIL_DEFINE_CHECK_OP
+
+}  // namespace acdn::detail
+
+// Always-on invariant check. Cheap on the success path: one predicted
+// branch; the failure machinery is only constructed when the condition is
+// false.
+#define ACDN_CHECK(condition)                                              \
+  (__builtin_expect(static_cast<bool>(condition), 1))                      \
+      ? (void)0                                                            \
+      : ::acdn::detail::CheckVoidify() &                                   \
+            ::acdn::detail::CheckFailure("ACDN_CHECK", #condition,         \
+                                         __FILE__, __LINE__)
+
+// Comparison checks that report both operand values. The `while` runs at
+// most once: CheckFailure aborts in its destructor.
+#define ACDN_CHECK_OP_(name, op, a, b)                                     \
+  while (std::unique_ptr<std::string> acdn_check_msg_ =                    \
+             ::acdn::detail::Check##name##Impl((a), (b),                   \
+                                               #a " " #op " " #b))         \
+  ::acdn::detail::CheckFailure("ACDN_CHECK_" #name, *acdn_check_msg_,      \
+                               __FILE__, __LINE__)
+
+#define ACDN_CHECK_EQ(a, b) ACDN_CHECK_OP_(EQ, ==, a, b)
+#define ACDN_CHECK_NE(a, b) ACDN_CHECK_OP_(NE, !=, a, b)
+#define ACDN_CHECK_LT(a, b) ACDN_CHECK_OP_(LT, <, a, b)
+#define ACDN_CHECK_LE(a, b) ACDN_CHECK_OP_(LE, <=, a, b)
+#define ACDN_CHECK_GT(a, b) ACDN_CHECK_OP_(GT, >, a, b)
+#define ACDN_CHECK_GE(a, b) ACDN_CHECK_OP_(GE, >=, a, b)
+
+// Debug/sanitizer-only checks. When disabled the condition is parsed and
+// name-checked but never evaluated (`false && ...` short-circuits), so a
+// DCHECK can never slow down or perturb a release run.
+#if ACDN_DCHECK_ENABLED
+#define ACDN_DCHECK(condition) ACDN_CHECK(condition)
+#define ACDN_DCHECK_EQ(a, b) ACDN_CHECK_EQ(a, b)
+#define ACDN_DCHECK_NE(a, b) ACDN_CHECK_NE(a, b)
+#define ACDN_DCHECK_LT(a, b) ACDN_CHECK_LT(a, b)
+#define ACDN_DCHECK_LE(a, b) ACDN_CHECK_LE(a, b)
+#define ACDN_DCHECK_GT(a, b) ACDN_CHECK_GT(a, b)
+#define ACDN_DCHECK_GE(a, b) ACDN_CHECK_GE(a, b)
+#else
+#define ACDN_DCHECK(condition)                                             \
+  while (false && static_cast<bool>(condition)) ::acdn::detail::NullStream()
+#define ACDN_DCHECK_OP_(op, a, b)                                          \
+  while (false && ((a)op(b))) ::acdn::detail::NullStream()
+#define ACDN_DCHECK_EQ(a, b) ACDN_DCHECK_OP_(==, a, b)
+#define ACDN_DCHECK_NE(a, b) ACDN_DCHECK_OP_(!=, a, b)
+#define ACDN_DCHECK_LT(a, b) ACDN_DCHECK_OP_(<, a, b)
+#define ACDN_DCHECK_LE(a, b) ACDN_DCHECK_OP_(<=, a, b)
+#define ACDN_DCHECK_GT(a, b) ACDN_DCHECK_OP_(>, a, b)
+#define ACDN_DCHECK_GE(a, b) ACDN_DCHECK_OP_(>=, a, b)
+#endif

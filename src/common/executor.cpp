@@ -8,6 +8,7 @@
 #include <limits>
 #include <mutex>
 
+#include "common/check.h"
 #include "common/metrics.h"
 
 namespace acdn {
@@ -101,6 +102,13 @@ Executor::ChunkPlan Executor::plan_chunks(std::size_t n,
   plan.chunk_size =
       std::max(floor, (n + kMaxChunksPerBatch - 1) / kMaxChunksPerBatch);
   plan.chunks = (n + plan.chunk_size - 1) / plan.chunk_size;
+  // The plan is the unit of determinism: every reduction folds exactly
+  // `chunks` shards, and the chunks must tile [0, n) with no gap.
+  ACDN_DCHECK_GT(plan.chunk_size, 0u);
+  ACDN_DCHECK_GE(plan.chunks * plan.chunk_size, n)
+      << "chunk plan does not cover the range";
+  ACDN_DCHECK_LT((plan.chunks - 1) * plan.chunk_size, n)
+      << "chunk plan has an empty trailing chunk";
   return plan;
 }
 
@@ -203,6 +211,7 @@ void Executor::run_chunked(std::size_t begin, std::size_t end,
     metric_count("executor.tasks", plan.chunks);
     for (std::size_t c = 0; c < plan.chunks; ++c) {
       const std::size_t b = begin + c * plan.chunk_size;
+      ACDN_DCHECK_LT(b, end) << "serial chunk starts past the range";
       fn(c, b, std::min(end, b + plan.chunk_size));
     }
     return;
@@ -230,6 +239,7 @@ void Executor::run_chunked(std::size_t begin, std::size_t end,
     queued_before += w.tasks.size();
     for (std::size_t c = h; c < plan.chunks; c += helpers) {
       const std::size_t b = begin + c * plan.chunk_size;
+      ACDN_DCHECK_LT(b, end) << "queued chunk starts past the range";
       w.tasks.push_back(
           Task{&batch, c, b, std::min(end, b + plan.chunk_size)});
     }

@@ -58,8 +58,11 @@ struct ShardHistogram {
 };
 
 template <typename V>
+// NOLINT-ACDN(unordered-decl): hot-path accumulation map; every iteration
 using NameMap = std::unordered_map<std::string, V, StringHash,
                                    std::equal_to<>>;
+// over a NameMap folds into the name-sorted MetricsSnapshot maps, so hash
+// order never reaches output (see snapshot()).
 
 /// Merge one shard's histogram into the snapshot entry. Quantiles merge
 /// by count-weighted average of the per-shard estimates.
@@ -179,19 +182,26 @@ void MetricsRegistry::record_phase(std::string_view path,
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
+  // Every loop below folds into the name-keyed std::maps of the snapshot:
+  // insertion order cannot affect the result, so hash-order visits are
+  // safe here and nowhere past this point.
   MetricsSnapshot out;
   std::lock_guard<std::mutex> lock(central_->m);
+  // NOLINT-ACDN(unordered-iter): folded into name-sorted snapshot map
   for (const auto& [name, value] : central_->gauges) {
     out.gauges.emplace(name, value);
   }
+  // NOLINT-ACDN(unordered-iter): folded into name-sorted snapshot map
   for (const auto& [path, stats] : central_->phases) {
     out.phases.emplace(path, stats);
   }
   for (const auto& shard : central_->shards) {
     std::lock_guard<std::mutex> shard_lock(shard->m);
+    // NOLINT-ACDN(unordered-iter): += into name-sorted map, commutative
     for (const auto& [name, value] : shard->counters) {
       out.counters[name] += value;
     }
+    // NOLINT-ACDN(unordered-iter): count-weighted fold is shard-symmetric
     for (const auto& [name, hist] : shard->histograms) {
       fold_histogram(out.histograms[name], hist);
     }

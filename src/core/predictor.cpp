@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/executor.h"
 #include "common/metrics.h"
@@ -69,6 +70,11 @@ void HistoryPredictor::train(
             ++gated;  // below the >= min_measurements qualification rule
             continue;
           }
+          // §4 qualification rule: no target may be scored on fewer than
+          // min_measurements (default 20) samples.
+          ACDN_DCHECK_GE(static_cast<int>(rtts.size()),
+                         config_.min_measurements)
+              << "qualification gate leaked an under-measured target";
           const Milliseconds value = metric_value(rtts, config_.metric);
           if (key.anycast) anycast_metric = value;
           if (!best || value < best->predicted_ms) {

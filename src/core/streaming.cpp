@@ -37,6 +37,7 @@ std::map<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
   // instead of following unordered_map hash order.
   std::vector<std::uint64_t> keys;
   keys.reserve(states_.size());
+  // NOLINT-ACDN(unordered-iter): keys are sorted on the next line
   for (const auto& [key, estimator] : states_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
 

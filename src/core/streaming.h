@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "beacon/measurement.h"
+#include "common/check.h"
 #include "common/error.h"
 #include "core/predictor.h"
 #include "stats/p2.h"
@@ -59,12 +60,20 @@ class StreamingTrainer {
       require((fe.value >> 31) == 0,
               "front-end id exceeds 31 bits in streaming key");
     }
-    return (std::uint64_t(group) << 32) |
-           (std::uint64_t(anycast ? 1 : 0) << 31) |
-           std::uint64_t(anycast ? 0 : fe.value);
+    const std::uint64_t key = (std::uint64_t(group) << 32) |
+                              (std::uint64_t(anycast ? 1 : 0) << 31) |
+                              std::uint64_t(anycast ? 0 : fe.value);
+    // Layout round-trip: regressions here alias distinct targets onto one
+    // estimator (see the `group << 33` incident above).
+    ACDN_DCHECK_EQ(std::uint32_t(key >> 32), group)
+        << "pack dropped group bits";
+    ACDN_DCHECK_EQ((key >> 31) & 1, anycast ? 1u : 0u)
+        << "pack lost the anycast flag";
+    return key;
   }
 
   PredictorConfig config_;
+  // NOLINT-ACDN(unordered-decl): keyed updates; snapshot() sorts keys
   std::unordered_map<std::uint64_t, P2Quantile> states_;
   std::uint64_t observed_ = 0;
 };

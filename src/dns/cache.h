@@ -20,6 +20,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/metrics.h"
 #include "common/sim_clock.h"
 
@@ -36,9 +37,13 @@ class TtlCache {
         hits_metric_(metric_prefix + ".hits"),
         expirations_metric_(metric_prefix + ".expirations"),
         evictions_metric_(metric_prefix + ".evictions"),
-        size_metric_(metric_prefix + ".size") {}
+        size_metric_(metric_prefix + ".size") {
+    ACDN_CHECK_GE(ttl_seconds, 0.0) << "negative TTL for " << metric_prefix;
+  }
 
   void put(const Key& key, Value value, const SimTime& now) {
+    ACDN_DCHECK_GE(expiry(now), absolute(now))
+        << "entry born expired; SimTime went backwards?";
     entries_[key] = Entry{std::move(value), expiry(now)};
     // Amortized expiry: sweep after as many puts as the map held at the
     // last sweep — O(1) amortized per put, map bounded by roughly twice
@@ -70,6 +75,7 @@ class TtlCache {
     puts_since_sweep_ = 0;
     const double t = absolute(now);
     std::size_t evicted = 0;
+    // NOLINT-ACDN(unordered-iter): erase-only, visit-order independent
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (t >= it->second.expires_at) {
         it = entries_.erase(it);
@@ -82,6 +88,8 @@ class TtlCache {
     // pre-eviction size would let each interval inherit the previous
     // interval's garbage and ratchet upward.
     next_sweep_ = std::max(kMinSweepInterval, entries_.size());
+    ACDN_DCHECK_GE(next_sweep_, kMinSweepInterval)
+        << "sweep threshold below the amortization floor";
     evictions_ += evicted;
     if (evicted > 0) metric_count(evictions_metric_, evicted);
     metric_gauge(size_metric_, double(entries_.size()));
@@ -120,7 +128,8 @@ class TtlCache {
   std::string expirations_metric_;
   std::string evictions_metric_;
   std::string size_metric_;
-  std::unordered_map<Key, Entry, Hash> entries_;
+  // NOLINT-ACDN(unordered-decl): keyed get/put; only sweep() iterates,
+  std::unordered_map<Key, Entry, Hash> entries_;  // and it only erases
   std::size_t puts_since_sweep_ = 0;
   std::size_t next_sweep_ = kMinSweepInterval;
   std::size_t hits_ = 0;

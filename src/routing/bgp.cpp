@@ -5,6 +5,7 @@
 #include <limits>
 #include <set>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/metrics.h"
 
@@ -47,6 +48,10 @@ std::vector<AsId> BgpRouteTable::walk(AsId as_id,
   std::vector<AsId> path;
   auto cands = candidates(as_id);
   if (cands.empty()) return path;
+  // Selection below indexes the preference ranking; a table that lost its
+  // sort order would silently pick the wrong route.
+  ACDN_DCHECK(std::is_sorted(cands.begin(), cands.end()))
+      << "candidate table for AS " << as_id.value << " is unsorted";
   candidate_index = std::min(candidate_index, cands.size() - 1);
   path.push_back(as_id);
 
@@ -71,6 +76,8 @@ std::vector<AsId> BgpRouteTable::walk(AsId as_id,
     current = *next_route;
     require(path.size() <= 16, "BGP walk exceeded maximum path length");
   }
+  ACDN_CHECK_EQ(path.back().value, cdn_.value)
+      << "BGP walk must terminate at the CDN";
   return path;
 }
 
@@ -220,6 +227,12 @@ BgpRouteTable BgpSimulator::compute(
       }
     }
     std::sort(cands.begin(), cands.end());
+    for (const RouteCandidate& c : cands) {
+      ACDN_DCHECK_GE(c.as_path_len, 1)
+          << "zero-length route at AS " << node.id.value;
+      ACDN_DCHECK(c.next_hop.valid() && c.next_hop != node.id)
+          << "candidate at AS " << node.id.value << " loops or is invalid";
+    }
   }
   return table;
 }

@@ -94,7 +94,9 @@ class RouteDynamics {
   /// Registration order; iterated instead of the hash map so that results
   /// do not depend on hash-table iteration order.
   std::vector<RoutingUnit> order_;
+  // NOLINT-ACDN(unordered-decl): keyed lookups; walks go through order_
   std::unordered_map<RoutingUnit, UnitState, RoutingUnitHash> units_;
+  // NOLINT-ACDN(unordered-decl): keyed lookups; walks go through order_
   std::unordered_map<RoutingUnit, std::size_t, RoutingUnitHash> flaps_today_;
 };
 

@@ -70,7 +70,8 @@ class BackboneGraph {
   void run_all_pairs();
 
   std::vector<MetroId> pops_;
-  std::unordered_map<MetroId, std::size_t> index_;
+  // NOLINT-ACDN(unordered-decl): metro -> dense-index lookups only;
+  std::unordered_map<MetroId, std::size_t> index_;  // walks use pops_
   std::vector<BackboneLink> links_;
   std::vector<std::vector<std::pair<std::size_t, Kilometers>>> adjacency_;
   // Dense all-pairs distance matrix (PoP counts are small: < 100) and

@@ -85,6 +85,7 @@ class ClientPopulation {
  private:
   explicit ClientPopulation(std::vector<Client24> clients);
   std::vector<Client24> clients_;
+  // NOLINT-ACDN(unordered-decl): prefix lookups only; walks use clients_
   std::unordered_map<Prefix, ClientId> by_prefix_;
 };
 

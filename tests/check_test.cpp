@@ -1,0 +1,82 @@
+// Contract-macro behavior: ACDN_CHECK is fatal with the formatted
+// condition and streamed context in every build; ACDN_DCHECK is fatal in
+// debug/sanitizer builds and compiles out (condition unevaluated) in
+// release. Fatal paths are proved with death tests matching the stderr
+// message.
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace acdn {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  ACDN_CHECK(1 + 1 == 2);
+  ACDN_CHECK_EQ(4, 4) << "never formatted";
+  ACDN_CHECK_LT(3, 5);
+  ACDN_CHECK_GE(5.0, 5.0);
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, CheckFiresWithConditionText) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(ACDN_CHECK(2 + 2 == 5),
+               "check_test.cpp:[0-9]+: ACDN_CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, CheckStreamsMessageAfterDash) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const int clients = 17;
+  EXPECT_DEATH(ACDN_CHECK(clients == 0) << "routed " << clients << " of 20",
+               "ACDN_CHECK failed: clients == 0 — routed 17 of 20");
+}
+
+TEST(CheckDeathTest, ComparisonChecksPrintBothOperands) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const std::size_t fe = 9;
+  const std::size_t sites = 4;
+  EXPECT_DEATH(ACDN_CHECK_LT(fe, sites) << "catchment fold",
+               "ACDN_CHECK_LT failed: fe < sites \\(9 vs 4\\) — "
+               "catchment fold");
+  EXPECT_DEATH(ACDN_CHECK_EQ(fe, sites), "fe == sites \\(9 vs 4\\)");
+}
+
+TEST(CheckTest, CheckEvaluatesOperandsExactlyOnce) {
+  int evaluations = 0;
+  ACDN_CHECK((++evaluations, true));
+  EXPECT_EQ(evaluations, 1);
+  evaluations = 0;
+  ACDN_CHECK_EQ((++evaluations, 7), 7);
+  EXPECT_EQ(evaluations, 1);
+}
+
+#if ACDN_DCHECK_ENABLED
+
+TEST(CheckDeathTest, DcheckFatalInDebugAndSanitizerBuilds) {
+  testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(ACDN_DCHECK(false) << "debug contract",
+               "ACDN_CHECK failed: false — debug contract");
+  EXPECT_DEATH(ACDN_DCHECK_GT(1, 2), "1 > 2 \\(1 vs 2\\)");
+}
+
+#else  // !ACDN_DCHECK_ENABLED
+
+TEST(CheckTest, DcheckCompilesOutInRelease) {
+  // Neither the condition nor the streamed operands may be evaluated.
+  int evaluations = 0;
+  auto touch = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  ACDN_DCHECK(touch()) << touch();
+  ACDN_DCHECK_EQ(touch(), true) << "unused " << touch();
+  ACDN_DCHECK_LT((++evaluations, 5), 3);
+  EXPECT_EQ(evaluations, 0);
+}
+
+#endif  // ACDN_DCHECK_ENABLED
+
+}  // namespace
+}  // namespace acdn

@@ -136,7 +136,7 @@ TEST_F(LdnsTest, SomeClientsAreFarFromTheirResolver) {
     if (haversine_km(c.location, s.location) > 500.0) ++far;
   }
   EXPECT_GT(far, 0);
-  EXPECT_LT(double(far) / world_.clients().size(), 0.5);
+  EXPECT_LT(double(far) / double(world_.clients().size()), 0.5);
 }
 
 TEST(DnsConfigTest, Validation) {

@@ -188,7 +188,9 @@ TEST(Executor, NestedSubmissionCompletes) {
   Executor::global().parallel_for(0, totals.size(), 4, [&](std::size_t i) {
     totals[i] = Executor::global().parallel_reduce(
         0, 1000, 2, 1, std::uint64_t{0},
+        // NOLINT-ACDN(parallel-fp-accum): these ARE the sanctioned
         [](std::uint64_t& acc, std::size_t j) { acc += j; },
+        // NOLINT-ACDN(parallel-fp-accum): parallel_reduce fold lambdas
         [](std::uint64_t& acc, std::uint64_t&& shard) { acc += shard; });
   });
   for (std::uint64_t t : totals) EXPECT_EQ(t, 499500u);

@@ -73,9 +73,11 @@ TEST_F(MetricsTest, HistogramTracksCountSumMinMaxAndQuantiles) {
 TEST_F(MetricsTest, HistogramMergesShardsByCountWeight) {
   // Two threads observing disjoint ranges: the merged quantiles must land
   // between the per-shard estimates, and count/sum/min/max are exact.
+  // NOLINT-ACDN(raw-thread): pins registry behavior for foreign threads
   std::thread low([] {
     for (int i = 0; i < 1000; ++i) metric_observe("test.merge", 10.0);
   });
+  // NOLINT-ACDN(raw-thread): second foreign thread for the shard merge
   std::thread high([] {
     for (int i = 0; i < 1000; ++i) metric_observe("test.merge", 30.0);
   });

@@ -36,6 +36,7 @@ TEST(ParallelFor, EmptyAndSingletonRanges) {
 
 TEST(ParallelFor, MoreThreadsThanWork) {
   std::atomic<int> sum{0};
+  // NOLINT-ACDN(parallel-fp-accum): atomic integer add is commutative
   parallel_for(0, 3, 64, [&](std::size_t i) { sum += int(i); });
   EXPECT_EQ(sum.load(), 3);
 }

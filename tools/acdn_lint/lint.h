@@ -1,0 +1,78 @@
+// Repo-specific determinism and safety linter (see docs/ARCHITECTURE.md,
+// "Correctness tooling").
+//
+// The reproduction's headline numbers only hold if every pipeline stage is
+// bit-deterministic; three shipped bugs (hash-order iteration feeding
+// figures, streaming key-packing truncation, libstdc++-specific
+// distribution draws) were all of a *textually recognizable* class. This
+// linter encodes those classes as rules and runs over the real tree as a
+// ctest, so the next instance fails a PR instead of a golden-CSV diff.
+//
+// Rules (ids are what NOLINT-ACDN takes):
+//   unordered-iter    iteration (range-for or .begin()) over a container
+//                     declared std::unordered_* in the same file or its
+//                     paired header — hash order must never reach output
+//   unordered-decl    every std::unordered_* declaration (or alias) must
+//                     state why hash order cannot leak, via NOLINT-ACDN
+//   raw-thread        std::thread/jthread/async outside common/executor —
+//                     all parallelism goes through the deterministic pool
+//   banned-random     rand()/srand()/std::random_device outside common/rng
+//                     and std::*_distribution outside common/rng
+//                     (std::poisson_distribution is banned everywhere:
+//                     draws are implementation-defined, PR 1)
+//   wall-clock        time()/clock()/system_clock etc. — simulation code
+//                     uses SimClock; steady_clock is allowed only in the
+//                     observability layer (common/metrics)
+//   parallel-fp-accum compound accumulation (+=, -=) inside a
+//                     parallel_for body — cross-iteration accumulation
+//                     belongs in parallel_reduce's ordered fold
+//   nolint-justification  every NOLINT-ACDN directive must name a known
+//                     rule and carry `: <justification>`
+//
+// Escape hatch: `// NOLINT-ACDN(<rule>): justification` on the finding's
+// line or the line directly above suppresses that rule there. The
+// justification is mandatory and is itself linted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acdn::lint {
+
+struct Finding {
+  std::string file;  // label as given (tree scans use repo-relative paths)
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One source file to lint. `label` decides path-based allowlists
+/// (e.g. "src/common/rng.h" may use std distributions).
+struct FileInput {
+  std::string label;
+  std::string text;
+};
+
+/// Rule ids accepted by NOLINT-ACDN, in stable order.
+[[nodiscard]] const std::vector<std::string>& known_rules();
+
+/// Names (variables, members, aliases) declared as unordered containers
+/// in `text` — used to seed paired-header lookups.
+[[nodiscard]] std::vector<std::string> unordered_names(
+    const std::string& text);
+
+/// Lints one file. `extra_unordered_names` extends the unordered-name set
+/// (callers pass the paired header's names when linting a .cpp).
+[[nodiscard]] std::vector<Finding> lint_file(
+    const FileInput& file,
+    const std::vector<std::string>& extra_unordered_names = {});
+
+/// Lints every .h/.cpp under root/{src,tests,bench,examples,tools},
+/// skipping directories named "testdata". Findings are sorted by
+/// (file, line, rule).
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root);
+
+/// "file:line: [rule] message" for human and CI output.
+[[nodiscard]] std::string format(const Finding& finding);
+
+}  // namespace acdn::lint

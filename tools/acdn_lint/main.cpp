@@ -1,0 +1,68 @@
+// acdn_lint CLI: `acdn_lint <repo-root> [file...]`.
+//
+// With only a root, lints every .h/.cpp under {src,tests,bench,examples,
+// tools} (skipping testdata fixtures) and exits 1 if anything fires —
+// this is the AcdnLint ctest. Extra arguments lint individual files
+// (labels are taken relative to the root) for editor/pre-commit use.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "acdn_lint/lint.h"
+
+namespace {
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: acdn_lint <repo-root> [file...]\n";
+    return 2;
+  }
+  const std::string root = argv[1];
+  std::vector<acdn::lint::Finding> findings;
+  if (argc == 2) {
+    findings = acdn::lint::lint_tree(root);
+  } else {
+    for (int i = 2; i < argc; ++i) {
+      const std::filesystem::path p(argv[i]);
+      acdn::lint::FileInput input;
+      std::error_code ec;
+      const auto rel = std::filesystem::relative(p, root, ec);
+      input.label = ec ? p.generic_string() : rel.generic_string();
+      input.text = read_file(p);
+      std::vector<std::string> extra;
+      if (p.extension() == ".cpp") {
+        std::filesystem::path header = p;
+        header.replace_extension(".h");
+        if (std::filesystem::exists(header)) {
+          extra = acdn::lint::unordered_names(read_file(header));
+        }
+      }
+      for (auto& f : acdn::lint::lint_file(input, extra)) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
+  for (const auto& f : findings) {
+    std::cout << acdn::lint::format(f) << "\n";
+  }
+  if (!findings.empty()) {
+    std::cout << findings.size()
+              << " finding(s). Fix the hazard or annotate with "
+                 "`// NOLINT-ACDN(<rule>): <justification>` "
+                 "(docs/ARCHITECTURE.md, Correctness tooling).\n";
+    return 1;
+  }
+  return 0;
+}

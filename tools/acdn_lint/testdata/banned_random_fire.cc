@@ -1,0 +1,14 @@
+// Must-fire: unseeded/process-global/implementation-defined randomness.
+// rand() is unseeded global state, random_device is nondeterministic by
+// design, and std::*_distribution draw sequences differ across standard
+// libraries (std::poisson_distribution additionally races on signgam).
+#include <cstdlib>
+#include <random>
+
+double jitter() {
+  std::random_device dev;
+  std::mt19937_64 engine(dev());
+  std::normal_distribution<double> noise(0.0, 1.0);
+  std::poisson_distribution<int> arrivals(4.0);
+  return double(rand()) + noise(engine) + double(arrivals(engine));
+}

@@ -1,0 +1,20 @@
+// Must-pass: all randomness flows through an explicitly seeded
+// common/rng Rng; substreams are forked by label so draws in one module
+// never perturb another's.
+#include <cstdint>
+#include <string_view>
+
+namespace acdn {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  Rng fork(std::string_view label) const;
+  double normal(double mean, double stddev);
+  int poisson(double mean);
+};
+}  // namespace acdn
+
+double jitter(std::uint64_t seed) {
+  acdn::Rng rng = acdn::Rng(seed).fork("jitter");
+  return rng.normal(0.0, 1.0) + double(rng.poisson(4.0));
+}

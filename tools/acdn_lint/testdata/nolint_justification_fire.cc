@@ -1,0 +1,12 @@
+// Must-fire: malformed escape hatches. A directive naming an unknown
+// rule, and a directive with no justification — which also must NOT
+// suppress the raw-thread finding it is attached to.
+#include <thread>
+
+// NOLINT-ACDN(threads-are-fine): misspelled rule never suppresses
+void spawn_worker();
+
+void run() {
+  std::thread t(spawn_worker);  // NOLINT-ACDN(raw-thread)
+  t.join();
+}

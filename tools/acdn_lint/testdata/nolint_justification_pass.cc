@@ -1,0 +1,11 @@
+// Must-pass: a well-formed escape hatch — known rule, colon, and a real
+// justification — suppresses exactly the finding it annotates.
+#include <thread>
+
+void spawn_worker();
+
+void run() {
+  // NOLINT-ACDN(raw-thread): measures bare spawn cost against the pool
+  std::thread t(spawn_worker);
+  t.join();
+}

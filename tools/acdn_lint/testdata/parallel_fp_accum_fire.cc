@@ -1,0 +1,21 @@
+// Must-fire: cross-iteration accumulation inside a parallel_for body.
+// Even with an atomic or a lock, the accumulation order would depend on
+// the schedule; floating-point sums then differ run to run.
+#include <cstddef>
+#include <vector>
+
+namespace acdn {
+class Executor {
+ public:
+  static Executor& global();
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, int threads, Fn fn);
+};
+}  // namespace acdn
+
+double total_volume(const std::vector<double>& rows, int threads) {
+  double total = 0.0;
+  acdn::Executor::global().parallel_for(
+      0, rows.size(), threads, [&](std::size_t i) { total += rows[i]; });
+  return total;
+}

@@ -1,0 +1,29 @@
+// Must-pass: parallel_for writes per-index slots; sums go through
+// parallel_reduce, whose shards fold in ascending chunk order so the
+// result is bit-identical for any thread count.
+#include <cstddef>
+#include <vector>
+
+namespace acdn {
+class Executor {
+ public:
+  static Executor& global();
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, int threads, Fn fn);
+  template <typename Shard, typename Fn, typename Combine>
+  Shard parallel_reduce(std::size_t begin, std::size_t end, int threads,
+                        std::size_t grain, Shard init, Fn fn,
+                        Combine combine);
+};
+}  // namespace acdn
+
+double total_volume(const std::vector<double>& rows, int threads) {
+  std::vector<double> doubled(rows.size());
+  acdn::Executor::global().parallel_for(
+      0, rows.size(), threads,
+      [&](std::size_t i) { doubled[i] = rows[i] * 2.0; });
+  return acdn::Executor::global().parallel_reduce(
+      0, doubled.size(), threads, 512, 0.0,
+      [&](double& shard, std::size_t i) { shard += doubled[i]; },
+      [](double& acc, double&& shard) { acc += shard; });
+}

@@ -1,0 +1,13 @@
+// Must-fire: hand-rolled threading outside common/executor. Spawn order
+// and join timing are schedule-dependent, and exceptions thrown on the
+// spawned thread terminate the process.
+#include <future>
+#include <thread>
+#include <vector>
+
+void process(std::vector<double>* rows) {
+  std::thread worker([rows] { rows->push_back(1.0); });
+  worker.join();
+  auto f = std::async([] { return 2.0; });
+  rows->push_back(f.get());
+}

@@ -1,0 +1,19 @@
+// Must-pass: parallelism through the deterministic pool. Chunk plans
+// depend only on (n, grain), results are bit-identical for any thread
+// count, and a throwing body rethrows on the submitting thread.
+#include <cstddef>
+#include <vector>
+
+namespace acdn {
+class Executor {
+ public:
+  static Executor& global();
+  void parallel_for(std::size_t, std::size_t, int, void (*)(std::size_t));
+};
+}  // namespace acdn
+
+void process(std::vector<double>* rows, int threads) {
+  rows->resize(64);
+  acdn::Executor::global().parallel_for(
+      0, rows->size(), threads, +[](std::size_t) {});
+}

@@ -1,0 +1,16 @@
+// Must-fire: unordered declarations (member, local, and alias) with no
+// statement of why hash order cannot leak into results.
+#include <unordered_map>
+#include <unordered_set>
+
+using FeSet = std::unordered_set<int>;
+
+struct RouteState {
+  std::unordered_map<int, int> selected;
+};
+
+inline int lookup(int key) {
+  std::unordered_map<int, int> local;
+  local[key] = 1;
+  return local[key];
+}

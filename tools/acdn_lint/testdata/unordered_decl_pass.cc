@@ -1,0 +1,19 @@
+// Must-pass: every unordered declaration (and alias definition) carries a
+// hash-order justification; declarations through a justified alias
+// inherit it.
+#include <string>
+#include <unordered_map>
+
+template <typename V>
+// NOLINT-ACDN(unordered-decl): per-name shard state, folded into a
+using NameMap = std::unordered_map<std::string, V>;  // name-sorted map
+
+struct Shard {
+  NameMap<unsigned long long> counters;
+  NameMap<double> gauges;
+};
+
+struct Resolver {
+  // NOLINT-ACDN(unordered-decl): lookup-only cache; never iterated
+  std::unordered_map<unsigned long long, int> route_cache;
+};

@@ -1,0 +1,19 @@
+// Must-fire: hash-order iteration feeding an exported vector — the bug
+// class that shipped in PR 1 (figure rows depended on unordered_map
+// iteration order).
+#include <unordered_map>
+#include <vector>
+
+struct CatchmentExport {
+  std::unordered_map<int, double> share_by_fe;
+
+  void dump(std::vector<double>* out) const {
+    for (const auto& [fe, share] : share_by_fe) {
+      out->push_back(share);
+    }
+  }
+
+  double first() const {
+    return share_by_fe.begin()->second;
+  }
+};

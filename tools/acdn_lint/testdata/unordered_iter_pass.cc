@@ -1,0 +1,25 @@
+// Must-pass: the sanctioned patterns. Either iterate a sorted key view
+// (annotating the collection pass, which is order-insensitive), or keep
+// the container lookup-only.
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+struct CatchmentExport {
+  // NOLINT-ACDN(unordered-decl): keys are sorted below before any export
+  std::unordered_map<int, double> share_by_fe;
+
+  void dump(std::vector<double>* out) const {
+    std::vector<int> keys;
+    keys.reserve(share_by_fe.size());
+    // NOLINT-ACDN(unordered-iter): collects keys only; sorted before use
+    for (const auto& [fe, share] : share_by_fe) keys.push_back(fe);
+    std::sort(keys.begin(), keys.end());
+    for (int fe : keys) out->push_back(share_by_fe.at(fe));
+  }
+
+  double lookup(int fe) const {
+    auto it = share_by_fe.find(fe);
+    return it == share_by_fe.end() ? 0.0 : it->second;
+  }
+};

@@ -1,0 +1,14 @@
+// Must-fire: wall-clock reads in simulation code. Results must be a pure
+// function of (config, seed); elapsed real time may only be observed by
+// the metrics layer.
+#include <chrono>
+#include <ctime>
+
+double sample_window() {
+  const auto t0 = std::chrono::system_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::time_t wall = time(nullptr);
+  (void)t0;
+  (void)t1;
+  return double(wall) + double(clock());
+}

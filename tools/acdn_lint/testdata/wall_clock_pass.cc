@@ -1,0 +1,12 @@
+// Must-pass: simulated time only. SimTime/SimClock advance with the
+// scenario's day loop, so a run's timing is reproducible bit for bit.
+namespace acdn {
+struct SimTime {
+  int day = 0;
+  double seconds = 0.0;
+};
+}  // namespace acdn
+
+double sample_window(const acdn::SimTime& now, double ttl_seconds) {
+  return now.day * 86400.0 + now.seconds + ttl_seconds;
+}
