@@ -28,14 +28,14 @@ double metric_stability(const MeasurementStore& store, int days,
       per_gt;
   for (int d = 0; d < days; ++d) {
     const DayAggregates agg =
-        DayAggregates::build(store.by_day(d), Grouping::kEcsPrefix);
-    for (const auto& [group, samples] : agg.groups()) {
-      for (const auto& [key, rtts] : samples.by_target) {
-        if (static_cast<int>(rtts.size()) < min_samples) continue;
-        const std::uint32_t target =
-            key.anycast ? 0xffffffffu : key.front_end.value;
-        per_gt[{group, target}].push_back(
-            HistoryPredictor::metric_value(rtts, metric));
+        DayAggregates::build(store.columns(d), Grouping::kEcsPrefix);
+    for (const DayAggregates::Group& group : agg.groups()) {
+      for (const DayAggregates::Target& target : agg.targets(group)) {
+        if (static_cast<int>(target.count) < min_samples) continue;
+        const std::uint32_t target_id =
+            target.key.anycast ? 0xffffffffu : target.key.front_end.value;
+        per_gt[{group.key, target_id}].push_back(
+            HistoryPredictor::metric_value(agg.samples(target), metric));
       }
     }
   }

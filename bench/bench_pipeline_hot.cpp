@@ -1,0 +1,270 @@
+// Hot-path pipeline benchmark: simulated day loop, DNS x HTTP sort-merge
+// join, and the group-by aggregation stack (daily_improvement + predictor
+// training) at three deployment scales. Emits machine-readable
+// BENCH_pipeline.json (ns/row, rows/s, peak RSS) so the repo has a perf
+// trajectory; CI runs `bench_pipeline_hot --smoke` and uploads the JSON
+// as a trend artifact (no gating).
+//
+// The committed repo-root BENCH_pipeline.json pins the pre-refactor
+// baseline (kBaseline below) next to the measured numbers of the run that
+// produced it; the columnar-pipeline PR's acceptance bar is >= 2x
+// join+aggregate throughput over that baseline.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "common/error.h"
+#include "common/executor.h"
+#include "core/predictor.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+namespace {
+
+using namespace acdn;
+
+/// Benchmarks measure elapsed real time by definition; nothing here feeds
+/// back into simulation state.
+struct WallTimer {
+  // NOLINT-ACDN(wall-clock): benchmark harness measures elapsed real time
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point start = Clock::now();
+
+  [[nodiscard]] double elapsed_ns() const {
+    return double(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      Clock::now() - start)
+                      .count());
+  }
+};
+
+/// Peak resident set size in kB from /proc/self/status (0 off-Linux).
+long peak_rss_kb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtol(line.c_str() + 6, nullptr, 10);
+    }
+  }
+  return 0;
+}
+
+struct PhaseResult {
+  double total_ns = 0;      // wall time across all reps
+  std::size_t rows = 0;     // rows processed per rep
+  int reps = 0;
+
+  [[nodiscard]] double ns_per_row() const {
+    const double n = double(rows) * double(reps);
+    return n > 0 ? total_ns / n : 0.0;
+  }
+  [[nodiscard]] double rows_per_s() const {
+    return total_ns > 0 ? double(rows) * double(reps) * 1e9 / total_ns : 0.0;
+  }
+};
+
+struct ScaleResult {
+  std::string name;
+  int clients = 0;
+  int sites = 0;
+  int threads = 0;
+  PhaseResult sim;        // rows = dns+http+passive rows per day
+  PhaseResult join;       // rows = dns+http log rows
+  PhaseResult aggregate;  // rows = latency samples (targets)
+};
+
+/// Pre-refactor (hash-join + std::map group-by) numbers, captured on this
+/// machine with the same scales and rep counts. ns/row for the join and
+/// aggregate phases; the >= 2x bar compares against these.
+struct Baseline {
+  const char* scale;
+  double join_ns_per_row;
+  double aggregate_ns_per_row;
+  double sim_day_ms;
+};
+constexpr Baseline kBaseline[] = {
+    {"small", 81.05, 204.84, 7.738},
+    {"medium", 143.11, 268.72, 34.792},
+    {"large", 151.05, 287.46, 275.168},
+};
+
+/// Rebuilds the two server-side logs a day's measurements joined from:
+/// one DNS row and one HTTP row per fetched target, url_id derived from
+/// the beacon id exactly as beacon.cpp assigns them.
+void rebuild_logs(std::span<const BeaconMeasurement> day,
+                  std::vector<DnsLogEntry>* dns,
+                  std::vector<HttpLogEntry>* http) {
+  std::size_t targets = 0;
+  for (const BeaconMeasurement& m : day) targets += m.targets.size();
+  dns->reserve(targets);
+  http->reserve(targets);
+  for (const BeaconMeasurement& m : day) {
+    for (std::size_t k = 0; k < m.targets.size(); ++k) {
+      const std::uint64_t url_id = m.beacon_id * 4 + k;
+      dns->push_back(DnsLogEntry{url_id, m.ldns, m.day});
+      const BeaconMeasurement::Target& t = m.targets[k];
+      http->push_back(HttpLogEntry{url_id, m.client, t.anycast, t.front_end,
+                                   t.rtt_ms, m.day, m.hour});
+    }
+  }
+}
+
+ScaleResult run_scale(const std::string& name, ScenarioConfig config,
+                      int days, int reps) {
+  ScaleResult result;
+  result.name = name;
+  result.clients = config.workload.total_client_24s;
+  result.sites = config.deployment.total();
+  result.threads = config.simulation_threads;
+
+  World world(config);
+  Simulation sim(world);
+
+  // --- Phase 1: the full simulated day loop (generation + join).
+  {
+    const WallTimer timer;
+    sim.run_days(days);
+    result.sim.total_ns = timer.elapsed_ns();
+    result.sim.reps = days;
+  }
+
+  // --- Phase 2: the DNS x HTTP join, isolated, on rebuilt logs.
+  std::vector<DnsLogEntry> dns_log;
+  std::vector<HttpLogEntry> http_log;
+  rebuild_logs(sim.measurements().by_day(0), &dns_log, &http_log);
+  require(!dns_log.empty(), "bench scale produced no beacon rows");
+  result.sim.rows = (dns_log.size() + http_log.size()) * std::size_t(days);
+  result.join.rows = dns_log.size() + http_log.size();
+  result.join.reps = reps;
+  {
+    const WallTimer timer;
+    for (int r = 0; r < reps; ++r) {
+      MeasurementStore fresh;
+      fresh.join(dns_log, http_log, config.simulation_threads);
+    }
+    result.join.total_ns = timer.elapsed_ns();
+  }
+
+  // --- Phase 3: the group-by aggregation stack on day 0's columns. One
+  // DayAggregates build per rep feeds both consumers (the shared-build
+  // pipeline shape), with a warm scratch arena across reps as in the
+  // production day loop.
+  const MeasurementColumns& day0 = sim.measurements().columns(0);
+  result.aggregate.rows = day0.target_count();
+  result.aggregate.reps = reps;
+  PredictorConfig pc;
+  pc.metric = PredictionMetric::kP25;
+  pc.threads = config.simulation_threads;
+  ScratchArena agg_scratch;
+  std::size_t sink = 0;  // keeps the aggregate results observably used
+  {
+    const WallTimer timer;
+    for (int r = 0; r < reps; ++r) {
+      const DayAggregates agg =
+          DayAggregates::build(day0, Grouping::kEcsPrefix,
+                               config.simulation_threads, &agg_scratch);
+      const auto improvements =
+          daily_improvement(agg, Fig5Config{}, config.simulation_threads);
+      HistoryPredictor predictor(pc);
+      predictor.train(agg);
+      sink += improvements.size() + predictor.predictions().size();
+    }
+    result.aggregate.total_ns = timer.elapsed_ns();
+  }
+  require(sink > 0, "aggregate phase produced no groups");
+  return result;
+}
+
+void write_phase(std::FILE* f, const char* key, const PhaseResult& p,
+                 bool last) {
+  std::fprintf(f,
+               "    \"%s\": {\"rows\": %zu, \"reps\": %d, "
+               "\"total_ms\": %.3f, \"ns_per_row\": %.2f, "
+               "\"rows_per_s\": %.0f}%s\n",
+               key, p.rows, p.reps, p.total_ns / 1e6, p.ns_per_row(),
+               p.rows_per_s(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int threads = default_thread_count();
+
+  ScenarioConfig small = ScenarioConfig::small_test();
+  small.simulation_threads = threads;
+
+  ScenarioConfig medium = ScenarioConfig::small_test();
+  medium.workload.total_client_24s = 1600;
+  medium.deployment.north_america = 12;
+  medium.deployment.europe = 10;
+  medium.deployment.asia = 6;
+  medium.schedule.beacon_sampling = 0.05;
+  medium.simulation_threads = threads;
+
+  ScenarioConfig large = ScenarioConfig::paper_default();
+  large.schedule.beacon_sampling = 0.15;  // dense beacon, as in fig09
+  large.simulation_threads = threads;
+
+  std::vector<ScaleResult> results;
+  results.push_back(run_scale("small", small, smoke ? 1 : 2, smoke ? 2 : 20));
+  if (!smoke) {
+    results.push_back(run_scale("medium", medium, 2, 10));
+    results.push_back(run_scale("large", large, 2, 5));
+  }
+
+  std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_pipeline.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"bench_pipeline_hot\",\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(f, "  \"threads\": %d,\n", threads);
+  std::fprintf(f, "  \"peak_rss_kb\": %ld,\n", peak_rss_kb());
+  std::fprintf(f, "  \"scales\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ScaleResult& r = results[i];
+    std::fprintf(f,
+                 "   {\"name\": \"%s\", \"clients\": %d, \"sites\": %d, "
+                 "\"threads\": %d,\n",
+                 r.name.c_str(), r.clients, r.sites, r.threads);
+    write_phase(f, "sim", r.sim, false);
+    write_phase(f, "join", r.join, false);
+    write_phase(f, "aggregate", r.aggregate, true);
+    std::fprintf(f, "   }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"baseline_pre_refactor\": [\n");
+  for (std::size_t i = 0; i < std::size(kBaseline); ++i) {
+    const Baseline& b = kBaseline[i];
+    std::fprintf(f,
+                 "   {\"name\": \"%s\", \"join_ns_per_row\": %.2f, "
+                 "\"aggregate_ns_per_row\": %.2f, \"sim_day_ms\": %.3f}%s\n",
+                 b.scale, b.join_ns_per_row, b.aggregate_ns_per_row,
+                 b.sim_day_ms, i + 1 < std::size(kBaseline) ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+
+  for (const ScaleResult& r : results) {
+    std::printf(
+        "%-6s  clients=%d sites=%d threads=%d\n"
+        "  sim      : %8.3f ms/day   (%zu rows/day)\n"
+        "  join     : %8.2f ns/row   (%.0f rows/s, %zu rows)\n"
+        "  aggregate: %8.2f ns/row   (%.0f rows/s, %zu samples)\n",
+        r.name.c_str(), r.clients, r.sites, r.threads,
+        r.sim.total_ns / 1e6 / double(r.sim.reps),
+        r.sim.rows / std::size_t(r.sim.reps), r.join.ns_per_row(),
+        r.join.rows_per_s(), r.join.rows, r.aggregate.ns_per_row(),
+        r.aggregate.rows_per_s(), r.aggregate.rows);
+  }
+  std::printf("peak RSS: %ld kB\nwrote BENCH_pipeline.json\n",
+              peak_rss_kb());
+  return 0;
+}

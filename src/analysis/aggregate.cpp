@@ -2,9 +2,41 @@
 
 #include <algorithm>
 
-#include "common/executor.h"
+#include "common/check.h"
+#include "common/flat_group.h"
 
 namespace acdn {
+
+namespace {
+
+/// One (group, target, sample) triple of the flat aggregation table. The
+/// packed target key — anycast flag above the 32 front-end bits — sorts
+/// exactly like TargetKey's (anycast, front_end) lexicographic order for
+/// every possible front-end id; `seq` is the flat scan position, making
+/// the sort key a total order (deterministic parallel sort) and keeping
+/// each target's samples in measurement scan order.
+struct AggEntry {
+  std::uint32_t group = 0;
+  std::uint64_t target = 0;
+  std::uint32_t seq = 0;
+};
+
+constexpr std::uint64_t kAnycastBit = std::uint64_t{1} << 32;
+
+[[nodiscard]] std::uint64_t pack_target(bool anycast, FrontEndId fe) {
+  return anycast ? kAnycastBit : std::uint64_t{fe.value};
+}
+
+[[nodiscard]] TargetKey unpack_target(std::uint64_t target) {
+  const bool anycast = (target & kAnycastBit) != 0;
+  // The hash join normalized anycast targets to a default FrontEndId;
+  // reproduce that here rather than round-tripping the logged id.
+  return TargetKey{anycast, anycast ? FrontEndId{}
+                                    : FrontEndId{static_cast<std::uint32_t>(
+                                          target)}};
+}
+
+}  // namespace
 
 const char* to_string(Grouping g) {
   switch (g) {
@@ -14,49 +46,99 @@ const char* to_string(Grouping g) {
   return "?";
 }
 
-std::size_t GroupSamples::sample_count(const TargetKey& key) const {
-  auto it = by_target.find(key);
-  return it == by_target.end() ? 0 : it->second.size();
-}
-
 std::uint32_t DayAggregates::group_key(const BeaconMeasurement& m,
                                        Grouping grouping) {
   return grouping == Grouping::kEcsPrefix ? m.client.value : m.ldns.value;
 }
 
+const DayAggregates::Group* DayAggregates::find(std::uint32_t key) const {
+  const auto it = std::lower_bound(
+      groups_.begin(), groups_.end(), key,
+      [](const Group& g, std::uint32_t k) { return g.key < k; });
+  if (it == groups_.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+const DayAggregates::Target* DayAggregates::find_target(
+    const Group& g, const TargetKey& key) const {
+  const std::span<const Target> span = targets(g);
+  const auto it = std::lower_bound(
+      span.begin(), span.end(), key,
+      [](const Target& t, const TargetKey& k) { return t.key < k; });
+  if (it == span.end() || it->key != key) return nullptr;
+  return &*it;
+}
+
+std::size_t DayAggregates::sample_count(const Group& g,
+                                        const TargetKey& key) const {
+  const Target* t = find_target(g, key);
+  return t == nullptr ? 0 : t->count;
+}
+
+DayAggregates DayAggregates::build(const MeasurementColumns& columns,
+                                   Grouping grouping, int threads,
+                                   ScratchArena* scratch) {
+  DayAggregates out;
+  out.grouping_ = grouping;
+  const std::size_t n = columns.target_count();
+  if (n == 0) return out;
+
+  ScratchArena local;
+  ScratchArena& arena = scratch != nullptr ? *scratch : local;
+  std::vector<AggEntry>& entries = arena.buffer<AggEntry>("agg.entries");
+  entries.reserve(n);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const std::uint32_t group = grouping == Grouping::kEcsPrefix
+                                    ? columns.client[i].value
+                                    : columns.ldns[i].value;
+    for (std::size_t t = columns.row_targets_begin(i);
+         t < columns.row_targets_end(i); ++t) {
+      entries.push_back(AggEntry{group,
+                                 pack_target(columns.target_anycast[t] != 0,
+                                             columns.target_front_end[t]),
+                                 static_cast<std::uint32_t>(t)});
+    }
+  }
+  ACDN_DCHECK_EQ(entries.size(), n) << "aggregation entry table mismatch";
+
+  parallel_sort(std::span<AggEntry>(entries), threads,
+                [](const AggEntry& a, const AggEntry& b) {
+                  if (a.group != b.group) return a.group < b.group;
+                  if (a.target != b.target) return a.target < b.target;
+                  return a.seq < b.seq;
+                });
+
+  out.samples_.reserve(n);
+  for (const AggEntry& e : entries) {
+    if (out.groups_.empty() || out.groups_.back().key != e.group) {
+      out.groups_.push_back(
+          Group{e.group, static_cast<std::uint32_t>(out.targets_.size()), 0});
+    }
+    Group& group = out.groups_.back();
+    if (group.target_count == 0 ||
+        out.targets_.back().key != unpack_target(e.target)) {
+      out.targets_.push_back(
+          Target{unpack_target(e.target),
+                 static_cast<std::uint32_t>(out.samples_.size()), 0});
+      ++group.target_count;
+    }
+    out.samples_.push_back(columns.target_rtt[e.seq]);
+    ++out.targets_.back().count;
+  }
+  return out;
+}
+
 DayAggregates DayAggregates::build(
     std::span<const BeaconMeasurement> measurements, Grouping grouping,
     int threads) {
-  DayAggregates out;
-  out.grouping_ = grouping;
-
-  // Shard by group key: every group's measurements land in exactly one
-  // shard, scanned in measurement order, so per-group sample order — and
-  // the merged map — are independent of the shard count.
-  const std::size_t shard_count =
-      static_cast<std::size_t>(std::clamp(threads, 1, 16));
-  std::vector<std::map<std::uint32_t, GroupSamples>> shards(shard_count);
-  Executor::global().parallel_for(
-      0, shard_count, threads, [&](std::size_t s) {
-        auto& local = shards[s];
-        for (const BeaconMeasurement& m : measurements) {
-          const std::uint32_t key = group_key(m, grouping);
-          if (key % shard_count != s) continue;
-          GroupSamples& group = local[key];
-          for (const BeaconMeasurement::Target& t : m.targets) {
-            const TargetKey target{t.anycast,
-                                   t.anycast ? FrontEndId{} : t.front_end};
-            group.by_target[target].push_back(t.rtt_ms);
-          }
-        }
-      });
-
-  for (auto& shard : shards) {
-    for (auto& [key, group] : shard) {
-      out.groups_.emplace(key, std::move(group));
-    }
+  MeasurementColumns columns;
+  std::size_t targets = 0;
+  for (const BeaconMeasurement& m : measurements) {
+    targets += m.targets.size();
   }
-  return out;
+  columns.reserve(measurements.size(), targets);
+  for (const BeaconMeasurement& m : measurements) columns.push_back(m);
+  return build(columns, grouping, threads);
 }
 
 }  // namespace acdn

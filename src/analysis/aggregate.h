@@ -5,15 +5,25 @@
 // client /24 (what ECS redirection can key on) or the client's LDNS (what
 // classic DNS redirection must key on) — and, within a group, by target:
 // the anycast address or a specific unicast front-end.
+//
+// The aggregation is columnar: every (group, target, sample) triple is
+// appended to a flat entry table, sorted by a total-order key on the
+// executor pool (common/flat_group.h), and the sorted runs become three
+// parallel arrays — groups, targets, samples — instead of a std::map of
+// std::maps of vectors. Iteration order (groups ascending; within a
+// group, unicast front-ends ascending then anycast; within a target,
+// measurement scan order) is exactly the order the old nested maps
+// produced, so every downstream digest is unchanged.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
+#include "beacon/columns.h"
 #include "beacon/measurement.h"
 #include "beacon/store.h"
+#include "common/arena.h"
 #include "dns/ldns.h"
 #include "workload/clients.h"
 
@@ -35,29 +45,55 @@ struct TargetKey {
   auto operator<=>(const TargetKey&) const = default;
 };
 
-/// One day of measurements for one client group.
-struct GroupSamples {
-  /// Latency samples per target (anycast and each measured front-end).
-  std::map<TargetKey, std::vector<Milliseconds>> by_target;
-
-  [[nodiscard]] std::size_t sample_count(const TargetKey& key) const;
-};
-
 /// All groups for one day.
 class DayAggregates {
  public:
-  /// Buckets `measurements` (one day's worth) by group and target. With
-  /// threads > 1 the bucketing is sharded by group key across the
-  /// executor pool and the shard maps merge back in ascending key order;
-  /// each group's samples are appended in measurement order either way,
-  /// so the result is identical for any thread count.
+  /// One target's samples within one group: samples(t) spans the
+  /// contiguous slice, in measurement scan order.
+  struct Target {
+    TargetKey key;
+    std::uint32_t begin = 0;  // into the flat sample column
+    std::uint32_t count = 0;
+  };
+  /// One client group: targets(g) spans its targets in TargetKey order
+  /// (unicast front-ends ascending, anycast last).
+  struct Group {
+    std::uint32_t key = 0;
+    std::uint32_t target_begin = 0;  // into the flat target table
+    std::uint32_t target_count = 0;
+  };
+
+  /// Buckets one day's columns by group and target. The flat entry table
+  /// sorts with a deterministic parallel sort whose tie-breaker is the
+  /// scan position, so the result is identical for any thread count.
+  /// `scratch` (optional) recycles the entry table across days.
+  static DayAggregates build(const MeasurementColumns& columns,
+                             Grouping grouping, int threads = 1,
+                             ScratchArena* scratch = nullptr);
+  /// Row-struct convenience overload: converts and delegates (one
+  /// algorithm, one iteration order).
   static DayAggregates build(std::span<const BeaconMeasurement> measurements,
                              Grouping grouping, int threads = 1);
 
   [[nodiscard]] Grouping grouping() const { return grouping_; }
-  [[nodiscard]] const std::map<std::uint32_t, GroupSamples>& groups() const {
-    return groups_;
+
+  /// Groups in ascending key order.
+  [[nodiscard]] std::span<const Group> groups() const { return groups_; }
+  [[nodiscard]] std::size_t group_count() const { return groups_.size(); }
+  /// Binary-search lookup; nullptr when the group has no samples.
+  [[nodiscard]] const Group* find(std::uint32_t key) const;
+
+  [[nodiscard]] std::span<const Target> targets(const Group& g) const {
+    return {targets_.data() + g.target_begin, g.target_count};
   }
+  [[nodiscard]] std::span<const Milliseconds> samples(const Target& t) const {
+    return {samples_.data() + t.begin, t.count};
+  }
+  /// Binary-search lookup within a group; nullptr when unmeasured.
+  [[nodiscard]] const Target* find_target(const Group& g,
+                                          const TargetKey& key) const;
+  [[nodiscard]] std::size_t sample_count(const Group& g,
+                                         const TargetKey& key) const;
 
   /// Group key for a measurement under this aggregation's grouping.
   [[nodiscard]] static std::uint32_t group_key(const BeaconMeasurement& m,
@@ -65,7 +101,9 @@ class DayAggregates {
 
  private:
   Grouping grouping_ = Grouping::kEcsPrefix;
-  std::map<std::uint32_t, GroupSamples> groups_;
+  std::vector<Group> groups_;
+  std::vector<Target> targets_;
+  std::vector<Milliseconds> samples_;
 };
 
 }  // namespace acdn

@@ -7,11 +7,11 @@
 // "who lands where and how far did they come".
 #pragma once
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "cdn/router.h"
+#include "common/flat_group.h"
 #include "workload/clients.h"
 
 namespace acdn {
@@ -23,8 +23,10 @@ struct CatchmentSummary {
   double query_share = 0.0;  // of global query volume
   Kilometers median_client_km = 0.0;
   Kilometers p90_client_km = 0.0;
-  /// Countries contributing clients, with client counts.
-  std::map<std::string, int> countries;
+  /// Countries contributing clients, with client counts (ascending by
+  /// country code; per-catchment counts are small, so the FlatMap's
+  /// sorted-insert writes stay cheap).
+  FlatMap<std::string, int> countries;
 
   /// Clients from outside the front-end's own country.
   [[nodiscard]] int foreign_clients() const;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
+#include <map>
+#include <tuple>
+#include <utility>
 
 #include "common/error.h"
 #include "common/executor.h"
@@ -12,52 +14,76 @@ namespace acdn {
 
 namespace {
 
-/// Per-client view of the passive log: dominant front-end per day, plus
-/// the set of all front-ends seen per day.
-struct ClientDays {
-  // day -> (front_end -> queries)
-  std::map<DayIndex, std::map<FrontEndId, double>> days;
-
-  [[nodiscard]] FrontEndId dominant(DayIndex day) const {
-    const auto& fes = days.at(day);
-    FrontEndId best = fes.begin()->first;
-    double best_q = fes.begin()->second;
-    for (const auto& [fe, q] : fes) {
-      if (q > best_q) {
-        best = fe;
-        best_q = q;
-      }
-    }
-    return best;
-  }
+/// One passive-log entry flattened for the sort-based group-by. `seq` is
+/// the global (day, entry) scan position: sorting by (client, day, fe,
+/// seq) keeps each (client, day, front-end) cell's queries in log order,
+/// so the floating-point accumulation sequence matches the old per-shard
+/// map exactly.
+struct PassiveRow {
+  ClientId client;
+  DayIndex day = 0;
+  FrontEndId fe;
+  std::uint32_t seq = 0;
+  double queries = 0.0;
 };
 
-std::map<ClientId, ClientDays> passive_by_client(const PassiveLog& log,
-                                                 int days, int threads) {
-  // Sharded by client id: each shard scans the log in (day, entry) order
-  // for its own clients, so per-client contents — and the merged map —
-  // are independent of the shard count.
-  const std::size_t shard_count =
-      static_cast<std::size_t>(std::clamp(threads, 1, 16));
-  std::vector<std::map<ClientId, ClientDays>> shards(shard_count);
-  Executor::global().parallel_for(
-      0, shard_count, threads, [&](std::size_t s) {
-        auto& local = shards[s];
-        for (DayIndex d = 0; d < days; ++d) {
-          for (const PassiveLogEntry& e : log.by_day(d)) {
-            if (e.client.value % shard_count != s) continue;
-            // NOLINT-ACDN(parallel-fp-accum): shard s is private to this
-            local[e.client].days[d][e.front_end] += e.queries;  // iteration
-          }
-        }
-      });
-  std::map<ClientId, ClientDays> out;
-  for (auto& shard : shards) {
-    for (auto& [client, view] : shard) {
-      out.emplace(client, std::move(view));
+/// One (client, day, front-end) cell with its summed queries. Cells are
+/// sorted by (client, day, fe) — front-ends ascending within each day,
+/// days ascending within each client: the iteration order the old nested
+/// std::maps produced.
+struct PassiveCell {
+  ClientId client;
+  DayIndex day = 0;
+  FrontEndId fe;
+  double queries = 0.0;
+};
+
+struct PassiveView {
+  std::vector<PassiveCell> cells;
+  /// Per-client run boundaries into `cells`, clients ascending.
+  std::vector<Run> clients;
+};
+
+PassiveView passive_by_client(const PassiveLog& log, int days, int threads) {
+  std::vector<PassiveRow> rows;
+  {
+    std::size_t total = 0;
+    for (DayIndex d = 0; d < days; ++d) total += log.by_day(d).size();
+    rows.reserve(total);
+  }
+  std::uint32_t seq = 0;
+  for (DayIndex d = 0; d < days; ++d) {
+    for (const PassiveLogEntry& e : log.by_day(d)) {
+      rows.push_back(PassiveRow{e.client, d, e.front_end, seq++, e.queries});
     }
   }
-  return out;
+
+  PassiveView view;
+  sort_group_by(
+      std::span<PassiveRow>(rows), threads,
+      [](const PassiveRow& a, const PassiveRow& b) {
+        return std::tie(a.client, a.day, a.fe, a.seq) <
+               std::tie(b.client, b.day, b.fe, b.seq);
+      },
+      [](const PassiveRow& a, const PassiveRow& b) {
+        return a.client == b.client && a.day == b.day && a.fe == b.fe;
+      },
+      [&](Run run) {
+        double queries = 0.0;
+        for (std::size_t i = run.begin; i < run.end; ++i) {
+          queries += rows[i].queries;  // ascending seq = log scan order
+        }
+        view.cells.push_back(PassiveCell{rows[run.begin].client,
+                                         rows[run.begin].day,
+                                         rows[run.begin].fe, queries});
+      });
+  for_each_run(
+      std::span<const PassiveCell>(view.cells),
+      [](const PassiveCell& a, const PassiveCell& b) {
+        return a.client == b.client;
+      },
+      [&](Run run) { view.clients.push_back(run); });
+  return view;
 }
 
 Kilometers client_fe_distance(const Client24& client, FrontEndId fe,
@@ -206,58 +232,80 @@ Fig4Distances fig4_distances(const PassiveLog& log, DayIndex day,
       });
 }
 
-std::map<std::uint32_t, Milliseconds> daily_improvement(
-    std::span<const BeaconMeasurement> measurements,
-    const Fig5Config& config, int threads) {
-  const DayAggregates agg =
-      DayAggregates::build(measurements, Grouping::kEcsPrefix, threads);
+FlatMap<std::uint32_t, Milliseconds> daily_improvement(
+    const DayAggregates& agg, const Fig5Config& config, int threads) {
+  require(agg.grouping() == Grouping::kEcsPrefix,
+          "daily_improvement scores per-/24 (ECS) aggregates");
 
   // Score every group independently on the pool; collect qualifying
   // groups back in ascending key order.
-  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
-  groups.reserve(agg.groups().size());
-  for (const auto& entry : agg.groups()) groups.push_back(&entry);
+  const std::span<const DayAggregates::Group> groups = agg.groups();
   std::vector<std::optional<Milliseconds>> scored(groups.size());
 
   Executor::global().parallel_for(
       0, groups.size(), threads, [&](std::size_t i) {
-        const GroupSamples& samples = groups[i]->second;
-        const TargetKey anycast_key{true, FrontEndId{}};
-        auto anycast_it = samples.by_target.find(anycast_key);
-        if (anycast_it == samples.by_target.end() ||
-            static_cast<int>(anycast_it->second.size()) <
+        const DayAggregates::Group& group = groups[i];
+        const DayAggregates::Target* anycast =
+            agg.find_target(group, TargetKey{true, FrontEndId{}});
+        if (anycast == nullptr ||
+            static_cast<int>(anycast->count) <
                 config.min_samples_per_target) {
           return;
         }
-        const Milliseconds anycast_median = median(anycast_it->second);
+        const Milliseconds anycast_median = median(agg.samples(*anycast));
 
         std::optional<Milliseconds> best_unicast;
-        for (const auto& [key, rtts] : samples.by_target) {
-          if (key.anycast) continue;
-          if (static_cast<int>(rtts.size()) < config.min_samples_per_target) {
+        for (const DayAggregates::Target& target : agg.targets(group)) {
+          if (target.key.anycast) continue;
+          if (static_cast<int>(target.count) < config.min_samples_per_target) {
             continue;
           }
-          const Milliseconds med = median(rtts);
+          const Milliseconds med = median(agg.samples(target));
           if (!best_unicast || med < *best_unicast) best_unicast = med;
         }
         if (!best_unicast) return;
         scored[i] = anycast_median - *best_unicast;
       });
 
-  std::map<std::uint32_t, Milliseconds> out;
+  FlatMap<std::uint32_t, Milliseconds> out;
+  out.reserve(groups.size());
   for (std::size_t i = 0; i < groups.size(); ++i) {
-    if (scored[i]) out.emplace_hint(out.end(), groups[i]->first, *scored[i]);
+    if (scored[i]) out.append(groups[i].key, *scored[i]);
   }
   return out;
+}
+
+FlatMap<std::uint32_t, Milliseconds> daily_improvement(
+    const MeasurementColumns& measurements, const Fig5Config& config,
+    int threads, ScratchArena* scratch) {
+  return daily_improvement(
+      DayAggregates::build(measurements, Grouping::kEcsPrefix, threads,
+                           scratch),
+      config, threads);
+}
+
+FlatMap<std::uint32_t, Milliseconds> daily_improvement(
+    std::span<const BeaconMeasurement> measurements,
+    const Fig5Config& config, int threads) {
+  MeasurementColumns columns;
+  std::size_t targets = 0;
+  for (const BeaconMeasurement& m : measurements) targets += m.targets.size();
+  columns.reserve(measurements.size(), targets);
+  for (const BeaconMeasurement& m : measurements) columns.push_back(m);
+  return daily_improvement(columns, config, threads, nullptr);
 }
 
 std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
                                            const Fig5Config& config,
                                            int threads) {
+  // One arena across the day loop: the aggregation buffers warm up on day
+  // 0 and are reused (no reallocation) for every later day.
+  ScratchArena scratch;
   std::vector<Fig5Day> out;
+  out.reserve(static_cast<std::size_t>(store.days()));
   for (DayIndex d = 0; d < store.days(); ++d) {
     const auto improvements =
-        daily_improvement(store.by_day(d), config, threads);
+        daily_improvement(store.columns(d), config, threads, &scratch);
     Fig5Day day;
     day.day = d;
     day.fraction_above.assign(config.thresholds.size(), 0.0);
@@ -283,52 +331,59 @@ std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
 
 Fig6Duration fig6_poor_duration(const MeasurementStore& store,
                                 const Fig5Config& config, int threads) {
-  // Per /24: the set of days it was poor.
-  std::map<std::uint32_t, std::vector<DayIndex>> poor_days;
+  // Collect every (group, poor-day) pair, then one group-by pass per /24.
+  ScratchArena scratch;
+  std::vector<std::pair<std::uint32_t, DayIndex>> poor;
   for (DayIndex d = 0; d < store.days(); ++d) {
     for (const auto& [group, improvement] :
-         daily_improvement(store.by_day(d), config, threads)) {
-      if (improvement > config.epsilon_ms) poor_days[group].push_back(d);
+         daily_improvement(store.columns(d), config, threads, &scratch)) {
+      if (improvement > config.epsilon_ms) poor.emplace_back(group, d);
     }
   }
 
   Fig6Duration out;
-  for (const auto& [group, days] : poor_days) {
-    out.days_poor.add(static_cast<double>(days.size()));
-    int longest = 1;
-    int current = 1;
-    for (std::size_t i = 1; i < days.size(); ++i) {
-      current = (days[i] == days[i - 1] + 1) ? current + 1 : 1;
-      longest = std::max(longest, current);
-    }
-    out.max_consecutive.add(static_cast<double>(longest));
-  }
+  sort_group_by(
+      std::span<std::pair<std::uint32_t, DayIndex>>(poor), threads,
+      [](const auto& a, const auto& b) { return a < b; },
+      [](const auto& a, const auto& b) { return a.first == b.first; },
+      [&](Run run) {
+        out.days_poor.add(static_cast<double>(run.size()));
+        int longest = 1;
+        int current = 1;
+        for (std::size_t i = run.begin + 1; i < run.end; ++i) {
+          current =
+              (poor[i].second == poor[i - 1].second + 1) ? current + 1 : 1;
+          longest = std::max(longest, current);
+        }
+        out.max_consecutive.add(static_cast<double>(longest));
+      });
   return out;
 }
 
 std::vector<double> fig7_cumulative_switched(const PassiveLog& log,
                                              int days, int threads) {
-  const auto per_client = passive_by_client(log, days, threads);
-  if (per_client.empty()) return std::vector<double>(std::max(0, days), 0.0);
-
-  std::vector<const std::pair<const ClientId, ClientDays>*> entries;
-  entries.reserve(per_client.size());
-  for (const auto& entry : per_client) entries.push_back(&entry);
+  const PassiveView per_client = passive_by_client(log, days, threads);
+  if (per_client.clients.empty()) {
+    return std::vector<double>(static_cast<std::size_t>(std::max(0, days)),
+                               0.0);
+  }
 
   // Per-day increments are counts of clients (exact small integers), so
   // the elementwise shard sums are order-insensitive and bit-exact.
   std::vector<double> switched = Executor::global().parallel_reduce(
-      0, entries.size(), threads, kReduceGrain,
+      0, per_client.clients.size(), threads, kReduceGrain,
       std::vector<double>(static_cast<std::size_t>(days), 0.0),
       [&](std::vector<double>& shard, std::size_t i) {
         if (shard.empty()) shard.assign(static_cast<std::size_t>(days), 0.0);
-        const ClientDays& view = entries[i]->second;
-        std::set<FrontEndId> seen;
+        const Run client = per_client.clients[i];
+        // Cells are (day, fe)-sorted within the client: the first cell
+        // whose front-end differs from the client's first one marks the
+        // day its cumulative front-end set grew past a single entry.
+        const FrontEndId first_fe = per_client.cells[client.begin].fe;
         std::optional<DayIndex> first_switch;
-        for (const auto& [day, fes] : view.days) {
-          for (const auto& [fe, q] : fes) seen.insert(fe);
-          if (seen.size() > 1) {
-            first_switch = day;
+        for (std::size_t c = client.begin + 1; c < client.end; ++c) {
+          if (per_client.cells[c].fe != first_fe) {
+            first_switch = per_client.cells[c].day;
             break;
           }
         }
@@ -342,7 +397,9 @@ std::vector<double> fig7_cumulative_switched(const PassiveLog& log,
         if (shard.empty()) return;
         for (std::size_t d = 0; d < acc.size(); ++d) acc[d] += shard[d];
       });
-  for (double& s : switched) s /= static_cast<double>(per_client.size());
+  for (double& s : switched) {
+    s /= static_cast<double>(per_client.clients.size());
+  }
   return switched;
 }
 
@@ -351,37 +408,54 @@ DistributionBuilder fig8_switch_distance(const PassiveLog& log, int days,
                                          const Deployment& deployment,
                                          const MetroDatabase& metros,
                                          int threads) {
-  const auto per_client = passive_by_client(log, days, threads);
-  std::vector<const std::pair<const ClientId, ClientDays>*> entries;
-  entries.reserve(per_client.size());
-  for (const auto& entry : per_client) entries.push_back(&entry);
+  const PassiveView per_client = passive_by_client(log, days, threads);
 
   return Executor::global().parallel_reduce(
-      0, entries.size(), threads, kReduceGrain, DistributionBuilder{},
+      0, per_client.clients.size(), threads, kReduceGrain,
+      DistributionBuilder{},
       [&](DistributionBuilder& shard, std::size_t i) {
-        const Client24& client = clients.client(entries[i]->first);
-        const ClientDays& view = entries[i]->second;
+        const Run run = per_client.clients[i];
+        const std::span<const PassiveCell> cells(
+            per_client.cells.data() + run.begin, run.size());
+        const Client24& client = clients.client(cells.front().client);
         auto distance = [&](FrontEndId fe) {
           return client_fe_distance(client, fe, deployment, metros);
         };
 
         std::optional<FrontEndId> previous;
-        for (const auto& [day, fes] : view.days) {
-          // Intra-day: more than one front-end seen the same day.
-          if (fes.size() > 1) {
-            // Record the change between the two most-used front-ends.
-            std::vector<std::pair<double, FrontEndId>> ranked;
-            for (const auto& [fe, q] : fes) ranked.emplace_back(q, fe);
-            std::sort(ranked.rbegin(), ranked.rend());
-            shard.add(std::abs(distance(ranked[0].second) -
-                               distance(ranked[1].second)));
-          }
-          const FrontEndId today = view.dominant(day);
-          if (previous && *previous != today) {
-            shard.add(std::abs(distance(today) - distance(*previous)));
-          }
-          previous = today;
-        }
+        for_each_run(
+            cells,
+            [](const PassiveCell& a, const PassiveCell& b) {
+              return a.day == b.day;
+            },
+            [&](Run day_run) {
+              // Intra-day: more than one front-end seen the same day.
+              if (day_run.size() > 1) {
+                // Record the change between the two most-used front-ends.
+                std::vector<std::pair<double, FrontEndId>> ranked;
+                ranked.reserve(day_run.size());
+                for (std::size_t k = day_run.begin; k < day_run.end; ++k) {
+                  ranked.emplace_back(cells[k].queries, cells[k].fe);
+                }
+                std::sort(ranked.rbegin(), ranked.rend());
+                shard.add(std::abs(distance(ranked[0].second) -
+                                   distance(ranked[1].second)));
+              }
+              // Dominant front-end: highest query volume, lowest id on
+              // ties — the old fe-ascending map walk with a strict `>`.
+              FrontEndId today = cells[day_run.begin].fe;
+              double best_q = cells[day_run.begin].queries;
+              for (std::size_t k = day_run.begin + 1; k < day_run.end; ++k) {
+                if (cells[k].queries > best_q) {
+                  today = cells[k].fe;
+                  best_q = cells[k].queries;
+                }
+              }
+              if (previous && *previous != today) {
+                shard.add(std::abs(distance(today) - distance(*previous)));
+              }
+              previous = today;
+            });
       },
       [](DistributionBuilder& acc, DistributionBuilder&& shard) {
         acc.merge(std::move(shard));

@@ -5,13 +5,14 @@
 // statistics here makes them unit-testable against hand-built logs.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "analysis/aggregate.h"
 #include "beacon/store.h"
+#include "common/arena.h"
+#include "common/flat_group.h"
 #include "cdn/deployment.h"
 #include "geo/geolocation.h"
 #include "stats/distribution.h"
@@ -75,8 +76,19 @@ struct Fig5Config {
 
 /// Per-/24 improvement available over anycast on one day: median anycast
 /// latency minus the best per-front-end median. Only groups where anycast
-/// and at least one unicast target pass the sample gate appear.
-[[nodiscard]] std::map<std::uint32_t, Milliseconds> daily_improvement(
+/// and at least one unicast target pass the sample gate appear, in
+/// ascending group order. The columnar overload is the hot path; pass a
+/// ScratchArena to reuse the aggregation buffers across days. The
+/// DayAggregates overload scores an already-built per-/24 aggregation, so
+/// one build per day can feed this and the predictor (see
+/// HistoryPredictor::train).
+[[nodiscard]] FlatMap<std::uint32_t, Milliseconds> daily_improvement(
+    const DayAggregates& aggregates, const Fig5Config& config,
+    int threads = 1);
+[[nodiscard]] FlatMap<std::uint32_t, Milliseconds> daily_improvement(
+    const MeasurementColumns& measurements, const Fig5Config& config,
+    int threads = 1, ScratchArena* scratch = nullptr);
+[[nodiscard]] FlatMap<std::uint32_t, Milliseconds> daily_improvement(
     std::span<const BeaconMeasurement> measurements, const Fig5Config& config,
     int threads = 1);
 

@@ -1,0 +1,92 @@
+#include "beacon/columns.h"
+
+#include "common/check.h"
+
+namespace acdn {
+
+void MeasurementColumns::clear() {
+  beacon_id.clear();
+  client.clear();
+  ldns.clear();
+  day.clear();
+  hour.clear();
+  target_begin.clear();
+  target_anycast.clear();
+  target_front_end.clear();
+  target_rtt.clear();
+}
+
+void MeasurementColumns::reserve(std::size_t rows, std::size_t targets) {
+  beacon_id.reserve(rows);
+  client.reserve(rows);
+  ldns.reserve(rows);
+  day.reserve(rows);
+  hour.reserve(rows);
+  target_begin.reserve(rows + 1);
+  target_anycast.reserve(targets);
+  target_front_end.reserve(targets);
+  target_rtt.reserve(targets);
+}
+
+void MeasurementColumns::append_row(std::uint64_t beacon, ClientId c,
+                                    LdnsId l, DayIndex d, double h) {
+  if (target_begin.empty()) target_begin.push_back(0);
+  beacon_id.push_back(beacon);
+  client.push_back(c);
+  ldns.push_back(l);
+  day.push_back(d);
+  hour.push_back(h);
+  target_begin.push_back(static_cast<std::uint32_t>(target_rtt.size()));
+}
+
+void MeasurementColumns::append_target(bool anycast, FrontEndId front_end,
+                                       Milliseconds rtt) {
+  ACDN_DCHECK(!beacon_id.empty()) << "append_target without an open row";
+  target_anycast.push_back(anycast ? 1 : 0);
+  target_front_end.push_back(front_end);
+  target_rtt.push_back(rtt);
+  target_begin.back() = static_cast<std::uint32_t>(target_rtt.size());
+}
+
+void MeasurementColumns::push_back(const BeaconMeasurement& m) {
+  append_row(m.beacon_id, m.client, m.ldns, m.day, m.hour);
+  for (const BeaconMeasurement::Target& t : m.targets) {
+    append_target(t.anycast, t.front_end, t.rtt_ms);
+  }
+}
+
+void MeasurementColumns::append_from(const MeasurementColumns& other,
+                                     std::size_t i) {
+  append_row(other.beacon_id[i], other.client[i], other.ldns[i],
+             other.day[i], other.hour[i]);
+  for (std::size_t t = other.row_targets_begin(i);
+       t < other.row_targets_end(i); ++t) {
+    append_target(other.target_anycast[t] != 0, other.target_front_end[t],
+                  other.target_rtt[t]);
+  }
+}
+
+BeaconMeasurement MeasurementColumns::row(std::size_t i) const {
+  BeaconMeasurement m;
+  m.beacon_id = beacon_id[i];
+  m.client = client[i];
+  m.ldns = ldns[i];
+  m.day = day[i];
+  m.hour = hour[i];
+  const std::size_t end = row_targets_end(i);
+  m.targets.reserve(end - row_targets_begin(i));
+  for (std::size_t t = row_targets_begin(i); t < end; ++t) {
+    m.targets.push_back(BeaconMeasurement::Target{
+        target_anycast[t] != 0, target_front_end[t], target_rtt[t]});
+  }
+  return m;
+}
+
+std::vector<BeaconMeasurement> MeasurementColumns::rows() const {
+  std::vector<BeaconMeasurement> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) out.push_back(row(i));
+  return out;
+}
+
+}  // namespace acdn

@@ -1,14 +1,31 @@
 #include "beacon/store.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
 #include "common/error.h"
 #include "common/executor.h"
 #include "common/metrics.h"
 
 namespace acdn {
+
+namespace {
+
+/// DNS-side join key: (url_id, log position). Sorted, the last entry of a
+/// url_id run is the "last log row wins" winner the hash index produced.
+struct DnsKey {
+  std::uint64_t url_id = 0;
+  std::uint32_t pos = 0;
+};
+
+/// HTTP-side join key: (beacon id, log position). Sorted, one beacon's
+/// rows are contiguous and keep HTTP log order — which is what fixes the
+/// measurement's target order and metadata row.
+struct HttpKey {
+  std::uint64_t beacon_id = 0;
+  std::uint32_t pos = 0;
+};
+
+}  // namespace
 
 std::optional<Milliseconds> BeaconMeasurement::anycast_ms() const {
   for (const Target& t : targets) {
@@ -37,73 +54,172 @@ std::optional<BeaconMeasurement::Target> BeaconMeasurement::best_unicast()
 void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
                             std::span<const HttpLogEntry> http_log,
                             int threads) {
-  // Shard the hash join by beacon id (url_id / 4): a beacon's DNS and
-  // HTTP rows always share a shard, so shards join independently. Every
-  // shard's output is sorted by beacon id (std::map), and the final merge
-  // re-sorts the concatenation, so the stored order — and therefore every
-  // downstream analysis — is identical for any shard or thread count, and
-  // matches the old single-threaded join exactly.
+  // Sort-merge join, sharded by beacon id (url_id / 4): a beacon's DNS
+  // and HTTP rows always share a shard, so shards join independently.
+  // Within a shard both sides sort by deterministic total orders, the
+  // merge walks beacons in ascending id, and the shard outputs k-way
+  // merge back in ascending beacon id — so the stored order, and every
+  // downstream analysis, is identical for any shard or thread count and
+  // matches the hash join this replaced exactly.
   const PhaseSpan join_phase("join");
   metric_count("join.dns_rows", dns_log.size());
   metric_count("join.http_rows", http_log.size());
-  const int shard_count = std::clamp(threads, 1, 16);
-  std::vector<std::vector<BeaconMeasurement>> shards(
-      static_cast<std::size_t>(shard_count));
+  const auto shard_count =
+      static_cast<std::size_t>(std::clamp(threads, 1, 16));
+
+  // Shard scratch persists across joins; steady-state day loops reuse the
+  // capacity grown on day one.
+  auto& dns_shards = scratch_.raw_buffer<std::vector<DnsKey>>("join.dns");
+  auto& http_shards = scratch_.raw_buffer<std::vector<HttpKey>>("join.http");
+  auto& out_shards = scratch_.raw_buffer<MeasurementColumns>("join.out");
+  if (dns_shards.size() < shard_count) dns_shards.resize(shard_count);
+  if (http_shards.size() < shard_count) http_shards.resize(shard_count);
+  if (out_shards.size() < shard_count) out_shards.resize(shard_count);
 
   Executor::global().parallel_for(
-      0, shards.size(), shard_count, [&](std::size_t s) {
-        // NOLINT-ACDN(unordered-decl): lookup-only join index; results
-        std::unordered_map<std::uint64_t, const DnsLogEntry*> dns_by_url;
-        // flow through the url_id-ordered `grouped` map below.
-        for (const DnsLogEntry& e : dns_log) {
-          if ((e.url_id / 4) % shards.size() != s) continue;
-          dns_by_url[e.url_id] = &e;  // last row wins, as before
+      0, shard_count, threads, [&](std::size_t s) {
+        std::vector<DnsKey>& dns_keys = dns_shards[s];
+        std::vector<HttpKey>& http_keys = http_shards[s];
+        MeasurementColumns& out = out_shards[s];
+        dns_keys.clear();
+        http_keys.clear();
+        out.clear();
+
+        for (std::size_t i = 0; i < dns_log.size(); ++i) {
+          if ((dns_log[i].url_id / 4) % shard_count != s) continue;
+          dns_keys.push_back(
+              DnsKey{dns_log[i].url_id, static_cast<std::uint32_t>(i)});
         }
-        std::map<std::uint64_t, BeaconMeasurement> grouped;
-        // Orphans are tallied locally and published once per shard; the
-        // registry sums integers, so totals are exact and order-free.
+        for (std::size_t i = 0; i < http_log.size(); ++i) {
+          const std::uint64_t beacon = http_log[i].url_id / 4;
+          if (beacon % shard_count != s) continue;
+          http_keys.push_back(
+              HttpKey{beacon, static_cast<std::uint32_t>(i)});
+        }
+        std::sort(dns_keys.begin(), dns_keys.end(),
+                  [](const DnsKey& a, const DnsKey& b) {
+                    return a.url_id != b.url_id ? a.url_id < b.url_id
+                                                : a.pos < b.pos;
+                  });
+        std::sort(http_keys.begin(), http_keys.end(),
+                  [](const HttpKey& a, const HttpKey& b) {
+                    return a.beacon_id != b.beacon_id
+                               ? a.beacon_id < b.beacon_id
+                               : a.pos < b.pos;
+                  });
+
+        // Single merge pass: both sequences ascend in beacon id, so the
+        // DNS cursor only ever moves forward. A beacon's DNS rows are the
+        // run with url_id in [4*beacon, 4*beacon + 4).
         std::size_t joined = 0;
         std::size_t orphan_http = 0;
-        for (const HttpLogEntry& h : http_log) {
-          const std::uint64_t beacon_id = h.url_id / 4;
-          if (beacon_id % shards.size() != s) continue;
-          auto it = dns_by_url.find(h.url_id);
-          if (it == dns_by_url.end()) {
-            ++orphan_http;  // unjoined fetch: drop
-            continue;
+        std::size_t d = 0;
+        for (std::size_t h = 0; h < http_keys.size();) {
+          const std::uint64_t beacon = http_keys[h].beacon_id;
+          std::size_t h_end = h;
+          while (h_end < http_keys.size() &&
+                 http_keys[h_end].beacon_id == beacon) {
+            ++h_end;
           }
-          ++joined;
-          BeaconMeasurement& m = grouped[beacon_id];
-          if (m.targets.empty()) {
-            m.beacon_id = beacon_id;
-            m.client = h.client;
-            m.ldns = it->second->ldns;
-            m.day = h.day;
-            m.hour = h.hour;
+          while (d < dns_keys.size() && dns_keys[d].url_id < beacon * 4) {
+            ++d;
           }
-          m.targets.push_back(
-              BeaconMeasurement::Target{h.anycast, h.front_end, h.rtt_ms});
+          std::size_t d_end = d;
+          while (d_end < dns_keys.size() &&
+                 dns_keys[d_end].url_id < beacon * 4 + 4) {
+            ++d_end;
+          }
+          bool opened = false;
+          for (; h < h_end; ++h) {
+            const HttpLogEntry& row = http_log[http_keys[h].pos];
+            // Last matching DNS row wins, as in the hash index. The run
+            // holds at most a handful of rows (four fetches per beacon),
+            // so the scan is cheaper than any per-row search structure.
+            const DnsLogEntry* match = nullptr;
+            for (std::size_t k = d; k < d_end; ++k) {
+              if (dns_keys[k].url_id == row.url_id) {
+                match = &dns_log[dns_keys[k].pos];
+              }
+            }
+            if (match == nullptr) {
+              ++orphan_http;  // unjoined fetch: drop
+              continue;
+            }
+            ++joined;
+            if (!opened) {
+              // First joined HTTP row fixes the measurement metadata.
+              out.append_row(beacon, row.client, match->ldns, row.day,
+                             row.hour);
+              opened = true;
+            }
+            out.append_target(row.anycast, row.front_end, row.rtt_ms);
+          }
+          d = d_end;
         }
-        auto& out = shards[s];
-        out.reserve(grouped.size());
-        for (auto& [id, m] : grouped) out.push_back(std::move(m));
+
+        std::size_t distinct_urls = 0;
+        for (std::size_t k = 0; k < dns_keys.size(); ++k) {
+          if (k == 0 || dns_keys[k].url_id != dns_keys[k - 1].url_id) {
+            ++distinct_urls;
+          }
+        }
         metric_count("join.orphan_http", orphan_http);
         // URL ids are unique per fetch, so every joined HTTP row consumes
-        // a distinct DNS row; the remainder never matched.
-        metric_count("join.orphan_dns", dns_by_url.size() - joined);
+        // a distinct DNS url; the remainder never matched.
+        metric_count("join.orphan_dns", distinct_urls - joined);
         metric_count("join.measurements", out.size());
       });
 
-  std::vector<BeaconMeasurement> merged;
-  for (auto& shard : shards) {
-    merged.insert(merged.end(), std::make_move_iterator(shard.begin()),
-                  std::make_move_iterator(shard.end()));
+  // Reserve the target day's columns when the whole batch lands on one
+  // day (the simulation's case — join is called once per day).
+  std::size_t total_rows = 0;
+  std::size_t total_targets = 0;
+  bool uniform_day = true;
+  DayIndex batch_day = -1;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    total_rows += out_shards[s].size();
+    total_targets += out_shards[s].target_count();
+    for (const DayIndex day : out_shards[s].day) {
+      if (batch_day == -1) batch_day = day;
+      uniform_day = uniform_day && day == batch_day;
+    }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const BeaconMeasurement& a, const BeaconMeasurement& b) {
-              return a.beacon_id < b.beacon_id;
-            });
-  for (BeaconMeasurement& m : merged) add(std::move(m));
+  if (uniform_day && batch_day >= 0 && total_rows > 0) {
+    if (static_cast<std::size_t>(batch_day) >= by_day_.size()) {
+      by_day_.resize(static_cast<std::size_t>(batch_day) + 1);
+    }
+    MeasurementColumns& dest = by_day_[static_cast<std::size_t>(batch_day)];
+    dest.reserve(dest.size() + total_rows,
+                 dest.target_count() + total_targets);
+  }
+
+  // k-way merge: shard outputs are each sorted by beacon id and beacon
+  // ids are globally unique, so repeatedly taking the smallest head
+  // appends rows in ascending beacon id — the order the old concat+sort
+  // produced.
+  auto& cursors = scratch_.buffer<std::size_t>("join.cursors");
+  cursors.assign(shard_count, 0);
+  for (;;) {
+    std::size_t best = shard_count;
+    std::uint64_t best_id = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (cursors[s] >= out_shards[s].size()) continue;
+      const std::uint64_t id = out_shards[s].beacon_id[cursors[s]];
+      if (best == shard_count || id < best_id) {
+        best = s;
+        best_id = id;
+      }
+    }
+    if (best == shard_count) break;
+    const MeasurementColumns& src = out_shards[best];
+    const std::size_t i = cursors[best]++;
+    const DayIndex day = src.day[i];
+    require(day >= 0, "measurement day must be non-negative");
+    if (static_cast<std::size_t>(day) >= by_day_.size()) {
+      by_day_.resize(static_cast<std::size_t>(day) + 1);
+    }
+    by_day_[static_cast<std::size_t>(day)].append_from(src, i);
+  }
 }
 
 void MeasurementStore::add(BeaconMeasurement measurement) {
@@ -111,14 +227,19 @@ void MeasurementStore::add(BeaconMeasurement measurement) {
   if (static_cast<std::size_t>(measurement.day) >= by_day_.size()) {
     by_day_.resize(static_cast<std::size_t>(measurement.day) + 1);
   }
-  by_day_[static_cast<std::size_t>(measurement.day)].push_back(
-      std::move(measurement));
+  by_day_[static_cast<std::size_t>(measurement.day)].push_back(measurement);
 }
 
-std::span<const BeaconMeasurement> MeasurementStore::by_day(
-    DayIndex day) const {
-  if (day < 0 || static_cast<std::size_t>(day) >= by_day_.size()) return {};
+const MeasurementColumns& MeasurementStore::columns(DayIndex day) const {
+  static const MeasurementColumns kEmpty;
+  if (day < 0 || static_cast<std::size_t>(day) >= by_day_.size()) {
+    return kEmpty;
+  }
   return by_day_[static_cast<std::size_t>(day)];
+}
+
+std::vector<BeaconMeasurement> MeasurementStore::by_day(DayIndex day) const {
+  return columns(day).rows();
 }
 
 std::size_t MeasurementStore::total() const {

@@ -1,35 +1,56 @@
 // Measurement backend: joins DNS and HTTP logs into beacon measurements
-// (keyed by the globally unique URL id, §3.2.2) and stores them by day,
-// alongside the passive production logs.
+// (keyed by the globally unique URL id, §3.2.2) and stores them by day —
+// columnar (beacon/columns.h), one MeasurementColumns per day — alongside
+// the passive production logs.
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "beacon/columns.h"
 #include "beacon/measurement.h"
+#include "common/arena.h"
 
 namespace acdn {
 
 class MeasurementStore {
  public:
-  /// Joins the two server-side logs on url_id. Fetches lacking a DNS-side
-  /// row (or vice versa) are dropped, as in any log join. Appends the
-  /// joined measurements to the store. With threads > 1 the hash join is
-  /// sharded by beacon id (url_id / 4, so a beacon's four fetches land in
-  /// one shard) across the executor pool; the shard outputs merge back in
-  /// ascending beacon id, so the stored sequence is identical for any
-  /// thread and shard count.
+  /// Joins the two server-side logs on url_id with a sort-merge join:
+  /// each shard (beacon id % shard count, so a beacon's four fetches land
+  /// in one shard) sorts its DNS rows by (url_id, log position) and its
+  /// HTTP rows by (beacon id, log position), then merges the two sorted
+  /// sequences in one pass — duplicate DNS url_ids resolve to the last
+  /// log row, targets keep HTTP log order within a beacon, and rows
+  /// lacking a counterpart drop, exactly like the hash join this
+  /// replaces. Shard outputs merge back in ascending beacon id, so the
+  /// stored sequence is identical for any thread and shard count. Scratch
+  /// buffers (shard indexes and outputs) persist in an arena across
+  /// calls, so steady-state joins allocate almost nothing.
   void join(std::span<const DnsLogEntry> dns_log,
             std::span<const HttpLogEntry> http_log, int threads = 1);
 
   void add(BeaconMeasurement measurement);
 
-  [[nodiscard]] std::span<const BeaconMeasurement> by_day(DayIndex day) const;
+  /// The day's measurements in columnar form — the zero-copy view every
+  /// hot pass should consume. An empty day (or out-of-range index)
+  /// returns a static empty column set.
+  [[nodiscard]] const MeasurementColumns& columns(DayIndex day) const;
+
+  /// Materializes the day's measurements as row structs (export, tests).
+  [[nodiscard]] std::vector<BeaconMeasurement> by_day(DayIndex day) const;
+
   [[nodiscard]] int days() const { return static_cast<int>(by_day_.size()); }
   [[nodiscard]] std::size_t total() const;
 
+  /// Bytes reserved by the join's scratch arena (perf regression probe:
+  /// stable after the first join of a steady-state day loop).
+  [[nodiscard]] std::size_t scratch_capacity_bytes() const {
+    return scratch_.capacity_bytes();
+  }
+
  private:
-  std::vector<std::vector<BeaconMeasurement>> by_day_;
+  std::vector<MeasurementColumns> by_day_;
+  ScratchArena scratch_;
 };
 
 /// Passive production logs, aggregated per (client, front-end, day).

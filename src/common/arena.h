@@ -1,0 +1,91 @@
+// Reusable scratch-buffer pool for per-day pipeline passes.
+//
+// The day loop allocates the same working vectors every day — per-client
+// outputs, join shards, group-by entry tables — then frees them at day's
+// end, so the allocator does the same work over and over. A ScratchArena
+// keeps those vectors alive between passes: buffer<T>(id) hands back the
+// same vector each day, cleared but with its capacity intact, so after a
+// warm-up day the hot path allocates (almost) nothing.
+//
+// The arena is a pure cache: it never owns results, only scratch. Copying
+// an object that holds one therefore copies no cached capacity — the copy
+// starts cold and re-warms on first use.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <utility>
+#include <vector>
+
+namespace acdn {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  ScratchArena(const ScratchArena&) {}
+  ScratchArena& operator=(const ScratchArena&) {
+    slots_.clear();
+    return *this;
+  }
+  ScratchArena(ScratchArena&&) noexcept = default;
+  ScratchArena& operator=(ScratchArena&&) noexcept = default;
+
+  /// The persistent vector<T> keyed by (T, id), cleared (size 0) with its
+  /// capacity retained from prior uses.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& buffer(std::string_view id) {
+    std::vector<T>& v = raw_buffer<T>(id);
+    v.clear();
+    return v;
+  }
+
+  /// Same vector, but *not* cleared. For element-wise in-place reuse where
+  /// clear() would destroy nested state — e.g. a vector of row structs
+  /// whose member vectors must keep their own capacity; the caller resizes
+  /// and resets elements in place instead.
+  template <typename T>
+  [[nodiscard]] std::vector<T>& raw_buffer(std::string_view id) {
+    const SlotKey key{std::type_index(typeid(T)), std::string(id)};
+    auto it = slots_.find(key);
+    if (it == slots_.end()) {
+      it = slots_.emplace(key, std::make_unique<Slot<T>>()).first;
+    }
+    return static_cast<Slot<T>*>(it->second.get())->v;
+  }
+
+  [[nodiscard]] std::size_t buffer_count() const { return slots_.size(); }
+
+  /// Total reserved bytes across all buffers, shallow: nested containers
+  /// inside elements are not counted. Stable capacity here after warm-up
+  /// is the arena-reuse regression signal.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const auto& [key, slot] : slots_) total += slot->capacity_bytes();
+    return total;
+  }
+
+  /// Drops every buffer (memory pressure valve; next pass re-warms).
+  void release() { slots_.clear(); }
+
+ private:
+  struct SlotBase {
+    virtual ~SlotBase() = default;
+    [[nodiscard]] virtual std::size_t capacity_bytes() const = 0;
+  };
+  template <typename T>
+  struct Slot final : SlotBase {
+    std::vector<T> v;
+    [[nodiscard]] std::size_t capacity_bytes() const override {
+      return v.capacity() * sizeof(T);
+    }
+  };
+
+  using SlotKey = std::pair<std::type_index, std::string>;
+  std::map<SlotKey, std::unique_ptr<SlotBase>> slots_;
+};
+
+}  // namespace acdn

@@ -1,0 +1,169 @@
+// Sorted-vector group-by primitives for the columnar hot path.
+//
+// The measurement pipeline used to funnel every row through node-based
+// std::map / std::unordered_map buckets; at paper scale the allocator —
+// not the hardware — set the throughput ceiling. These primitives replace
+// that pattern with the classic sort-based plan: append rows to a flat
+// vector, parallel_sort by a total-order key, then walk maximal runs of
+// equal keys. Every step is deterministic by construction (the sort's
+// chunk decomposition and merge tree depend only on the input size, and
+// the comparator is a strict total order), so results are bit-identical
+// for any thread count — the same contract common/executor.h pins.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "common/executor.h"
+
+namespace acdn {
+
+/// Per-chunk element floor for parallel_sort: ranges at or below this
+/// size sort serially; larger ranges fan out on the executor pool.
+inline constexpr std::size_t kSortGrain = 1 << 15;
+
+/// Deterministic parallel sort. The range splits into the executor's
+/// (n, grain) chunk plan — a function of the input size only — each chunk
+/// sorts independently, and adjacent sorted spans merge pairwise in a
+/// fixed binary tree. With a strict *total* order (break all ties in the
+/// comparator, e.g. with a sequence number) the result is identical for
+/// any `threads`, including 1.
+template <typename T, typename Less = std::less<T>>
+void parallel_sort(std::span<T> v, int threads, Less less = {}) {
+  const Executor::ChunkPlan plan = Executor::plan_chunks(v.size(), kSortGrain);
+  if (plan.chunks <= 1) {
+    std::sort(v.begin(), v.end(), less);
+    return;
+  }
+  const auto bound = [&](std::size_t chunk) {
+    return std::min(v.size(), chunk * plan.chunk_size);
+  };
+  Executor::global().parallel_for(0, plan.chunks, threads, [&](std::size_t c) {
+    std::sort(v.begin() + static_cast<std::ptrdiff_t>(bound(c)),
+              v.begin() + static_cast<std::ptrdiff_t>(bound(c + 1)), less);
+  });
+  for (std::size_t width = 1; width < plan.chunks; width *= 2) {
+    const std::size_t stride = 2 * width;
+    const std::size_t pairs = (plan.chunks + stride - 1) / stride;
+    Executor::global().parallel_for(0, pairs, threads, [&](std::size_t p) {
+      const std::size_t lo = bound(p * stride);
+      const std::size_t mid = bound(std::min(plan.chunks, p * stride + width));
+      const std::size_t hi = bound(std::min(plan.chunks, p * stride + stride));
+      if (mid >= hi) return;  // odd tail: already sorted
+      std::inplace_merge(v.begin() + static_cast<std::ptrdiff_t>(lo),
+                         v.begin() + static_cast<std::ptrdiff_t>(mid),
+                         v.begin() + static_cast<std::ptrdiff_t>(hi), less);
+    });
+  }
+}
+
+/// Half-open index range [begin, end) of one key's run in a sorted span.
+struct Run {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+};
+
+/// Visits every maximal run of consecutive eq-equal elements, in order:
+/// fn(Run{begin, end}). The span must already be grouped (sorted).
+template <typename T, typename Eq, typename Fn>
+void for_each_run(std::span<const T> v, Eq eq, Fn&& fn) {
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= v.size(); ++i) {
+    if (i == v.size() || !eq(v[begin], v[i])) {
+      fn(Run{begin, i});
+      begin = i;
+    }
+  }
+}
+
+/// The full sort-based group-by: parallel_sort by `less`, then visit each
+/// maximal `eq`-run in ascending key order. `less` must be a total order
+/// for the deterministic-sort contract to hold.
+template <typename T, typename Less, typename Eq, typename Fn>
+void sort_group_by(std::span<T> v, int threads, Less less, Eq eq, Fn&& fn) {
+  parallel_sort(v, threads, less);
+  for_each_run(std::span<const T>(v.data(), v.size()), eq,
+               std::forward<Fn>(fn));
+}
+
+/// Sorted-vector replacement for read-mostly std::map uses: contiguous
+/// storage, binary-search lookups, ascending iteration. Build either with
+/// append() (keys already ascending — the group-by output order) or
+/// operator[] (sorted insert; fine for small maps like per-catchment
+/// country counts, not for hot per-row updates).
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+  using iterator = typename std::vector<value_type>::iterator;
+
+  [[nodiscard]] const_iterator begin() const { return entries_.begin(); }
+  [[nodiscard]] const_iterator end() const { return entries_.end(); }
+  [[nodiscard]] iterator begin() { return entries_.begin(); }
+  [[nodiscard]] iterator end() { return entries_.end(); }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  /// O(1) sorted build: `key` must exceed the current last key.
+  void append(Key key, Value value) {
+    ACDN_DCHECK(entries_.empty() || entries_.back().first < key)
+        << "FlatMap::append keys must be strictly ascending";
+    entries_.emplace_back(std::move(key), std::move(value));
+  }
+
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    const auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  [[nodiscard]] iterator find(const Key& key) {
+    const auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  [[nodiscard]] std::size_t count(const Key& key) const {
+    return find(key) == entries_.end() ? 0 : 1;
+  }
+  [[nodiscard]] bool contains(const Key& key) const { return count(key) > 0; }
+
+  [[nodiscard]] const Value& at(const Key& key) const {
+    const auto it = find(key);
+    require(it != entries_.end(), "FlatMap::at: key not found");
+    return it->second;
+  }
+
+  /// Sorted insert-or-find, std::map semantics (O(n) on insert).
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.insert(it, value_type(key, Value{}));
+    }
+    return it->second;
+  }
+
+ private:
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+}  // namespace acdn

@@ -11,33 +11,47 @@ namespace acdn {
 
 std::vector<EvalOutcome> PredictionEvaluator::evaluate(
     const HistoryPredictor& predictor,
-    std::span<const BeaconMeasurement> eval_day_measurements) const {
+    const MeasurementColumns& eval_day) const {
   const PhaseSpan eval_phase("evaluator.evaluate");
   const ScopedTimer eval_timer("evaluator.evaluate_ms");
   // The evaluation is always per-/24, regardless of how predictions were
   // grouped: clients inherit their LDNS group's prediction under LDNS
   // grouping.
-  const DayAggregates per_client = DayAggregates::build(
-      eval_day_measurements, Grouping::kEcsPrefix, config_.threads);
+  return evaluate_groups(
+      predictor, DayAggregates::build(eval_day, Grouping::kEcsPrefix,
+                                      config_.threads));
+}
+
+std::vector<EvalOutcome> PredictionEvaluator::evaluate(
+    const HistoryPredictor& predictor,
+    std::span<const BeaconMeasurement> eval_day_measurements) const {
+  const PhaseSpan eval_phase("evaluator.evaluate");
+  const ScopedTimer eval_timer("evaluator.evaluate_ms");
+  return evaluate_groups(
+      predictor, DayAggregates::build(eval_day_measurements,
+                                      Grouping::kEcsPrefix,
+                                      config_.threads));
+}
+
+std::vector<EvalOutcome> PredictionEvaluator::evaluate_groups(
+    const HistoryPredictor& predictor,
+    const DayAggregates& per_client) const {
   const Grouping grouping = predictor.config().grouping;
 
   // Score every /24 independently on the pool, then collect the
   // qualifying outcomes in ascending /24 order — the same sequence the
   // serial loop produced.
-  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
-  groups.reserve(per_client.groups().size());
-  for (const auto& entry : per_client.groups()) groups.push_back(&entry);
+  const std::span<const DayAggregates::Group> groups = per_client.groups();
   std::vector<std::optional<EvalOutcome>> scored(groups.size());
 
   Executor::global().parallel_for(
       0, groups.size(), config_.threads, [&](std::size_t i) {
-        const std::uint32_t client_key = groups[i]->first;
-        const GroupSamples& samples = groups[i]->second;
-        const ClientId client_id(client_key);
+        const DayAggregates::Group& group = groups[i];
+        const ClientId client_id(group.key);
         const Client24& client = clients_->client(client_id);
 
         const std::uint32_t prediction_key =
-            grouping == Grouping::kEcsPrefix ? client_key
+            grouping == Grouping::kEcsPrefix ? group.key
                                              : client.ldns.value;
         const std::optional<Prediction> prediction =
             predictor.predict(prediction_key);
@@ -54,28 +68,28 @@ std::vector<EvalOutcome> PredictionEvaluator::evaluate(
           return;
         }
 
-        auto anycast_it =
-            samples.by_target.find(TargetKey{true, FrontEndId{}});
-        if (anycast_it == samples.by_target.end() ||
-            static_cast<int>(anycast_it->second.size()) <
+        const DayAggregates::Target* anycast_target =
+            per_client.find_target(group, TargetKey{true, FrontEndId{}});
+        if (anycast_target == nullptr ||
+            static_cast<int>(anycast_target->count) <
                 config_.min_eval_samples) {
           // Cannot judge without anycast baselines.
           metric_count("eval.skipped_no_baseline");
           return;
         }
-        auto fe_it = samples.by_target.find(
-            TargetKey{false, prediction->front_end});
-        if (fe_it == samples.by_target.end() ||
-            static_cast<int>(fe_it->second.size()) <
-                config_.min_eval_samples) {
+        const DayAggregates::Target* fe_target = per_client.find_target(
+            group, TargetKey{false, prediction->front_end});
+        if (fe_target == nullptr ||
+            static_cast<int>(fe_target->count) < config_.min_eval_samples) {
           // Predicted front-end unmeasured on the evaluation day.
           metric_count("eval.skipped_unmeasured_fe");
           return;
         }
 
         const double qs[] = {0.50, 0.75};
-        const auto anycast_q = quantiles(anycast_it->second, qs);
-        const auto fe_q = quantiles(fe_it->second, qs);
+        const auto anycast_q =
+            quantiles(per_client.samples(*anycast_target), qs);
+        const auto fe_q = quantiles(per_client.samples(*fe_target), qs);
         outcome.predicted_anycast = false;
         outcome.improvement_p50 = anycast_q[0] - fe_q[0];
         outcome.improvement_p75 = anycast_q[1] - fe_q[1];

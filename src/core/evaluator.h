@@ -64,9 +64,13 @@ class PredictionEvaluator {
                       const LdnsPopulation& ldns)
       : PredictionEvaluator(clients, ldns, Config{}) {}
 
-  /// Evaluates `predictor`'s current mapping on `eval_day_measurements`.
-  /// Every /24 with qualifying anycast samples appears; /24s whose
-  /// predicted front-end lacks next-day samples are skipped.
+  /// Evaluates `predictor`'s current mapping on the evaluation day's
+  /// measurements — columnar (the hot path) or as row structs. Every /24
+  /// with qualifying anycast samples appears; /24s whose predicted
+  /// front-end lacks next-day samples are skipped.
+  [[nodiscard]] std::vector<EvalOutcome> evaluate(
+      const HistoryPredictor& predictor,
+      const MeasurementColumns& eval_day) const;
   [[nodiscard]] std::vector<EvalOutcome> evaluate(
       const HistoryPredictor& predictor,
       std::span<const BeaconMeasurement> eval_day_measurements) const;
@@ -75,6 +79,11 @@ class PredictionEvaluator {
       std::span<const EvalOutcome> outcomes) const;
 
  private:
+  /// Scores one per-/24 aggregate against the predictor's mapping.
+  [[nodiscard]] std::vector<EvalOutcome> evaluate_groups(
+      const HistoryPredictor& predictor, const DayAggregates& per_client)
+      const;
+
   const ClientPopulation* clients_;
   const LdnsPopulation* ldns_;
   Config config_;

@@ -43,43 +43,57 @@ Milliseconds HistoryPredictor::metric_value(
   return quantile(samples, metric_quantile(metric));
 }
 
+void HistoryPredictor::train(const MeasurementColumns& columns) {
+  const PhaseSpan train_phase("predictor.train");
+  const ScopedTimer train_timer("predictor.train_ms");
+  score(DayAggregates::build(columns, config_.grouping, config_.threads));
+}
+
+void HistoryPredictor::train(const DayAggregates& aggregates) {
+  const PhaseSpan train_phase("predictor.train");
+  const ScopedTimer train_timer("predictor.train_ms");
+  require(aggregates.grouping() == config_.grouping,
+          "trained aggregates must use the configured grouping");
+  score(aggregates);
+}
+
 void HistoryPredictor::train(
     std::span<const BeaconMeasurement> measurements) {
   const PhaseSpan train_phase("predictor.train");
   const ScopedTimer train_timer("predictor.train_ms");
-  predictions_.clear();
-  const DayAggregates agg =
-      DayAggregates::build(measurements, config_.grouping, config_.threads);
+  score(DayAggregates::build(measurements, config_.grouping,
+                             config_.threads));
+}
 
-  // Snapshot the groups so every one can be scored independently on the
-  // pool; results are collected back in ascending group order, making the
-  // mapping identical for any thread count.
-  std::vector<const std::pair<const std::uint32_t, GroupSamples>*> groups;
-  groups.reserve(agg.groups().size());
-  for (const auto& entry : agg.groups()) groups.push_back(&entry);
+void HistoryPredictor::score(const DayAggregates& agg) {
+  predictions_.clear();
+  // Every group scores independently on the pool; results are collected
+  // back in ascending group order — the aggregate's native order — making
+  // the mapping identical for any thread count.
+  const std::span<const DayAggregates::Group> groups = agg.groups();
   std::vector<std::optional<Prediction>> scored(groups.size());
 
   Executor::global().parallel_for(
       0, groups.size(), config_.threads, [&](std::size_t i) {
-        const GroupSamples& samples = groups[i]->second;
         std::optional<Prediction> best;
         std::optional<Milliseconds> anycast_metric;
         std::size_t gated = 0;
-        for (const auto& [key, rtts] : samples.by_target) {
-          if (static_cast<int>(rtts.size()) < config_.min_measurements) {
+        for (const DayAggregates::Target& target : agg.targets(groups[i])) {
+          if (static_cast<int>(target.count) < config_.min_measurements) {
             ++gated;  // below the >= min_measurements qualification rule
             continue;
           }
           // §4 qualification rule: no target may be scored on fewer than
           // min_measurements (default 20) samples.
-          ACDN_DCHECK_GE(static_cast<int>(rtts.size()),
+          ACDN_DCHECK_GE(static_cast<int>(target.count),
                          config_.min_measurements)
               << "qualification gate leaked an under-measured target";
-          const Milliseconds value = metric_value(rtts, config_.metric);
-          if (key.anycast) anycast_metric = value;
+          const Milliseconds value =
+              metric_value(agg.samples(target), config_.metric);
+          if (target.key.anycast) anycast_metric = value;
           if (!best || value < best->predicted_ms) {
-            best =
-                Prediction{key.anycast, key.front_end, value, std::nullopt};
+            best = Prediction{target.key.anycast, target.key.front_end,
+                              value, std::nullopt};
           }
         }
         if (gated > 0) metric_count("predictor.targets_gated", gated);
@@ -89,11 +103,11 @@ void HistoryPredictor::train(
       });
 
   std::size_t predicted_anycast = 0;
+  predictions_.reserve(groups.size());
   for (std::size_t i = 0; i < groups.size(); ++i) {
     if (!scored[i]) continue;
     if (scored[i]->anycast) ++predicted_anycast;
-    predictions_.emplace_hint(predictions_.end(), groups[i]->first,
-                              *scored[i]);
+    predictions_.append(groups[i].key, *scored[i]);
   }
   metric_count("predictor.groups_seen", groups.size());
   metric_count("predictor.groups_trained", predictions_.size());

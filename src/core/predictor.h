@@ -11,12 +11,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <span>
 
 #include "analysis/aggregate.h"
 #include "beacon/measurement.h"
+#include "common/flat_group.h"
 #include "common/types.h"
 
 namespace acdn {
@@ -56,15 +56,21 @@ class HistoryPredictor {
  public:
   explicit HistoryPredictor(const PredictorConfig& config);
 
-  /// Replaces the mapping with one trained on `measurements` (one
-  /// prediction interval's worth of joined beacon data).
+  /// Replaces the mapping with one trained on one prediction interval's
+  /// worth of joined beacon data — columnar (the hot path) or as row
+  /// structs (converted, same algorithm). The DayAggregates overload
+  /// scores an already-built aggregation (grouping must match the
+  /// config), so one build per day can feed both the predictor and the
+  /// figure passes.
+  void train(const MeasurementColumns& columns);
+  void train(const DayAggregates& aggregates);
   void train(std::span<const BeaconMeasurement> measurements);
 
   /// The trained mapping for a group (client id under ECS grouping, LDNS
   /// id under LDNS grouping); nullopt if the group had no qualifying data.
   [[nodiscard]] std::optional<Prediction> predict(std::uint32_t group) const;
 
-  [[nodiscard]] const std::map<std::uint32_t, Prediction>& predictions()
+  [[nodiscard]] const FlatMap<std::uint32_t, Prediction>& predictions()
       const {
     return predictions_;
   }
@@ -75,8 +81,11 @@ class HistoryPredictor {
       std::span<const Milliseconds> samples, PredictionMetric metric);
 
  private:
+  /// Scores every group of `agg` and fills predictions_.
+  void score(const DayAggregates& agg);
+
   PredictorConfig config_;
-  std::map<std::uint32_t, Prediction> predictions_;
+  FlatMap<std::uint32_t, Prediction> predictions_;
 };
 
 }  // namespace acdn

@@ -28,44 +28,53 @@ void StreamingTrainer::observe(const BeaconMeasurement& measurement) {
   ++observed_;
 }
 
-std::map<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
+FlatMap<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
   // Regroup the flat state map by group, then apply the batch trainer's
   // selection rule. Keys are visited in sorted order — by the pack()
-  // layout that is exactly the batch trainer's std::map<TargetKey>
-  // sequence (group ascending, unicast front-ends ascending, anycast
-  // last) — so equal-metric ties break identically to the batch path
-  // instead of following unordered_map hash order.
+  // layout that is exactly the batch trainer's TargetKey sequence (group
+  // ascending, unicast front-ends ascending, anycast last) — so
+  // equal-metric ties break identically to the batch path instead of
+  // following unordered_map hash order. Because one group's keys are
+  // consecutive in that walk, the prediction map builds with pure
+  // ascending appends.
   std::vector<std::uint64_t> keys;
   keys.reserve(states_.size());
   // NOLINT-ACDN(unordered-iter): keys are sorted on the next line
   for (const auto& [key, estimator] : states_) keys.push_back(key);
   std::sort(keys.begin(), keys.end());
 
-  std::map<std::uint32_t, Prediction> predictions;
-  std::map<std::uint32_t, std::optional<Milliseconds>> anycast_metric;
+  FlatMap<std::uint32_t, Prediction> predictions;
+  std::optional<std::uint32_t> open_group;
+  std::optional<Prediction> best;
+  std::optional<Milliseconds> anycast_metric;
+  const auto flush = [&] {
+    if (open_group && best) {
+      best->anycast_ms = anycast_metric;
+      predictions.append(*open_group, *best);
+    }
+    best.reset();
+    anycast_metric.reset();
+  };
 
   for (const std::uint64_t key : keys) {
+    const auto group = static_cast<std::uint32_t>(key >> 32);
+    if (open_group && *open_group != group) flush();
+    open_group = group;
     const P2Quantile& estimator = states_.find(key)->second;
     if (static_cast<int>(estimator.count()) < config_.min_measurements) {
       continue;
     }
-    const auto group = static_cast<std::uint32_t>(key >> 32);
     const bool anycast = ((key >> 31) & 1) != 0;
     const FrontEndId fe(static_cast<std::uint32_t>(key & 0x7fffffffu));
     const Milliseconds value = estimator.value();
 
-    if (anycast) anycast_metric[group] = value;
-    auto it = predictions.find(group);
-    if (it == predictions.end() || value < it->second.predicted_ms) {
-      predictions[group] =
-          Prediction{anycast, anycast ? FrontEndId{} : fe, value,
-                     std::nullopt};
+    if (anycast) anycast_metric = value;
+    if (!best || value < best->predicted_ms) {
+      best = Prediction{anycast, anycast ? FrontEndId{} : fe, value,
+                        std::nullopt};
     }
   }
-  for (auto& [group, prediction] : predictions) {
-    auto it = anycast_metric.find(group);
-    if (it != anycast_metric.end()) prediction.anycast_ms = it->second;
-  }
+  flush();
   return predictions;
 }
 

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 
 #include "beacon/measurement.h"
 #include "common/check.h"
 #include "common/error.h"
+#include "common/flat_group.h"
 #include "core/predictor.h"
 #include "stats/p2.h"
 
@@ -31,7 +31,7 @@ class StreamingTrainer {
   /// Prediction map from the current estimates — same shape and selection
   /// rule as HistoryPredictor (metric minimum among targets that meet the
   /// measurement gate).
-  [[nodiscard]] std::map<std::uint32_t, Prediction> snapshot() const;
+  [[nodiscard]] FlatMap<std::uint32_t, Prediction> snapshot() const;
 
   /// Trains a HistoryPredictor-compatible object in place: predictions()
   /// of the returned predictor equal snapshot().

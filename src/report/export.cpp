@@ -91,16 +91,20 @@ void export_measurements(const MeasurementStore& store,
   csv.write_header({"beacon_id", "day", "hour", "client", "ldns", "anycast",
                     "front_end", "rtt_ms"});
   for (DayIndex d = 0; d < store.days(); ++d) {
-    for (const BeaconMeasurement& m : store.by_day(d)) {
-      for (const BeaconMeasurement::Target& t : m.targets) {
-        const double row[] = {double(m.beacon_id),
-                              double(m.day),
-                              m.hour,
-                              double(m.client.value),
-                              double(m.ldns.value),
-                              t.anycast ? 1.0 : 0.0,
-                              t.anycast ? 0.0 : double(t.front_end.value),
-                              t.rtt_ms};
+    const MeasurementColumns& cols = store.columns(d);
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+      for (std::size_t t = cols.row_targets_begin(i);
+           t < cols.row_targets_end(i); ++t) {
+        const bool anycast = cols.target_anycast[t] != 0;
+        const double row[] = {
+            double(cols.beacon_id[i]),
+            double(cols.day[i]),
+            cols.hour[i],
+            double(cols.client[i].value),
+            double(cols.ldns[i].value),
+            anycast ? 1.0 : 0.0,
+            anycast ? 0.0 : double(cols.target_front_end[t].value),
+            cols.target_rtt[t]};
         csv.write_row(row);
       }
     }

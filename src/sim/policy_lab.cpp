@@ -27,7 +27,7 @@ std::vector<StrategyOutcome> PolicyLab::run(int days) {
   for (DayIndex day = 0; day < days; ++day) {
     sim.run_day();
     if (retrain_ && day > 0) {
-      retrain_->train(sim.measurements().by_day(day - 1));
+      retrain_->train(sim.measurements().columns(day - 1));
     }
 
     for (const Client24& client : world.clients().clients()) {

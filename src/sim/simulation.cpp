@@ -46,7 +46,19 @@ DayStats Simulation::run_day() {
 
   const QuerySchedule& schedule = w.schedule();
   const auto clients = w.clients().clients();
-  std::vector<ClientDayOutput> outputs(clients.size());
+  // Per-client outputs come from the arena: raw_buffer keeps each slot's
+  // nested vector capacity across days, so only day 0 pays allocation.
+  // Reset the slots we are about to use in place instead of clear()ing.
+  std::vector<ClientDayOutput>& outputs =
+      scratch_.raw_buffer<ClientDayOutput>("sim.outputs");
+  if (outputs.size() < clients.size()) outputs.resize(clients.size());
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    outputs[i].active = false;
+    outputs[i].flapping = false;
+    outputs[i].passive.clear();
+    outputs[i].dns_log.clear();
+    outputs[i].http_log.clear();
+  }
 
   {
   const PhaseSpan clients_phase("clients");
@@ -101,12 +113,26 @@ DayStats Simulation::run_day() {
   }  // close the "clients" phase before merging and joining
 
   // Merge in client order: byte-identical output for any thread count.
-  std::vector<DnsLogEntry> dns_log;
-  std::vector<HttpLogEntry> http_log;
+  // The merged vectors are arena-backed and sized in one pass up front.
+  std::vector<DnsLogEntry>& dns_log =
+      scratch_.buffer<DnsLogEntry>("sim.dns_log");
+  std::vector<HttpLogEntry>& http_log =
+      scratch_.buffer<HttpLogEntry>("sim.http_log");
+  {
+    std::size_t dns_total = 0;
+    std::size_t http_total = 0;
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      dns_total += outputs[i].dns_log.size();
+      http_total += outputs[i].http_log.size();
+    }
+    dns_log.reserve(dns_total);
+    http_log.reserve(http_total);
+  }
   DayStats stats;
   stats.day = day;
   std::size_t clients_active = 0;
-  for (const ClientDayOutput& out : outputs) {
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    const ClientDayOutput& out = outputs[i];
     if (!out.active) continue;
     ++clients_active;
     for (const PassiveLogEntry& e : out.passive) passive_.add(e);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "beacon/store.h"
+#include "common/arena.h"
 #include "sim/world.h"
 
 namespace acdn {
@@ -39,11 +40,21 @@ class Simulation {
   [[nodiscard]] const PassiveLog& passive() const { return passive_; }
   [[nodiscard]] World& world() { return *world_; }
 
+  /// Bytes of reusable day-loop scratch currently retained (this driver's
+  /// per-client buffers plus the store's join shards). Warm after the
+  /// first day; steady across subsequent days of similar size.
+  [[nodiscard]] std::size_t scratch_capacity_bytes() const {
+    return scratch_.capacity_bytes() + measurements_.scratch_capacity_bytes();
+  }
+
  private:
   World* world_;
   DayIndex next_day_ = 0;
   MeasurementStore measurements_;
   PassiveLog passive_;
+  /// Per-day scratch (client outputs, merged log vectors): allocated on
+  /// day 0, reused — not reallocated — by every later run_day().
+  ScratchArena scratch_;
 };
 
 }  // namespace acdn

@@ -91,7 +91,14 @@ double P2Quantile::value() const {
   require(count_ > 0, "P2Quantile::value with no samples");
   if (count_ >= 5) return heights_[2];
   std::array<double, 5> sorted = heights_;
-  std::sort(sorted.begin(), sorted.begin() + static_cast<long>(count_));
+  // count_ < 5 here; a bounded insertion sort instead of std::sort, whose
+  // inlined introsort trips GCC's array-bounds analysis on tiny arrays.
+  for (std::size_t i = 1; i < count_; ++i) {
+    const double v = sorted[i];
+    std::size_t j = i;
+    for (; j > 0 && sorted[j - 1] > v; --j) sorted[j] = sorted[j - 1];
+    sorted[j] = v;
+  }
   const double pos = q_ * static_cast<double>(count_ - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const auto hi = std::min(lo + 1, count_ - 1);

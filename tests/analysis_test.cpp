@@ -2,6 +2,7 @@
 
 #include "analysis/aggregate.h"
 #include "analysis/figures.h"
+#include "common/error.h"
 #include "test_fixtures.h"
 
 namespace acdn {
@@ -19,10 +20,11 @@ TEST(DayAggregates, GroupsByClientUnderEcs) {
 
   const DayAggregates agg = DayAggregates::build(ms, Grouping::kEcsPrefix);
   ASSERT_EQ(agg.groups().size(), 2u);
-  const GroupSamples& g1 = agg.groups().at(1);
-  EXPECT_EQ(g1.sample_count(TargetKey{true, FrontEndId{}}), 2u);
-  EXPECT_EQ(g1.sample_count(TargetKey{false, FrontEndId(0)}), 2u);
-  EXPECT_EQ(g1.sample_count(TargetKey{false, FrontEndId(1)}), 0u);
+  const DayAggregates::Group* g1 = agg.find(1);
+  ASSERT_NE(g1, nullptr);
+  EXPECT_EQ(agg.sample_count(*g1, TargetKey{true, FrontEndId{}}), 2u);
+  EXPECT_EQ(agg.sample_count(*g1, TargetKey{false, FrontEndId(0)}), 2u);
+  EXPECT_EQ(agg.sample_count(*g1, TargetKey{false, FrontEndId(1)}), 0u);
 }
 
 TEST(DayAggregates, GroupsByLdns) {
@@ -33,8 +35,9 @@ TEST(DayAggregates, GroupsByLdns) {
 
   const DayAggregates agg = DayAggregates::build(ms, Grouping::kLdns);
   ASSERT_EQ(agg.groups().size(), 2u);
-  EXPECT_EQ(agg.groups().at(10).sample_count(TargetKey{true, FrontEndId{}}),
-            2u);
+  const DayAggregates::Group* g10 = agg.find(10);
+  ASSERT_NE(g10, nullptr);
+  EXPECT_EQ(agg.sample_count(*g10, TargetKey{true, FrontEndId{}}), 2u);
 }
 
 // ------------------------------------------------------------------ Fig 1
@@ -108,6 +111,29 @@ TEST(Fig5, BestFrontEndWins) {
   ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 25.0}, {1, 15.0}}));
   const auto improvements = daily_improvement(ms, config);
   EXPECT_DOUBLE_EQ(improvements.at(1), 15.0);  // vs the better FE1
+}
+
+TEST(Fig5, SharedAggregatesMatchRowPath) {
+  // The DayAggregates overload scores a prebuilt aggregation identically
+  // to the row-struct path (which builds its own).
+  Fig5Config config;
+  config.min_samples_per_target = 1;
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 25.0}, {1, 15.0}}));
+  ms.push_back(make_measurement(2, 10, 0, 12.0, {{0, 40.0}}));
+
+  const auto from_rows = daily_improvement(ms, config);
+  const DayAggregates agg = DayAggregates::build(ms, Grouping::kEcsPrefix);
+  const auto from_agg = daily_improvement(agg, config);
+  ASSERT_EQ(from_agg.size(), from_rows.size());
+  for (const auto& [group, improvement] : from_rows) {
+    ASSERT_TRUE(from_agg.contains(group));
+    EXPECT_DOUBLE_EQ(from_agg.at(group), improvement);
+  }
+
+  // Per-LDNS aggregates are the wrong granularity for a per-/24 figure.
+  const DayAggregates ldns = DayAggregates::build(ms, Grouping::kLdns);
+  EXPECT_THROW(daily_improvement(ldns, config), ConfigError);
 }
 
 TEST(Fig5, PrevalenceCountsThresholds) {

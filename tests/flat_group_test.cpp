@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/flat_group.h"
+#include "common/rng.h"
+
+namespace acdn {
+namespace {
+
+// ---------------------------------------------------------- parallel_sort
+
+struct Keyed {
+  std::uint32_t key = 0;
+  std::uint32_t seq = 0;
+
+  [[nodiscard]] bool operator==(const Keyed&) const = default;
+};
+
+std::vector<Keyed> random_keyed(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Keyed> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Few distinct keys: long duplicate runs stress the tie-breaker.
+    v.push_back(Keyed{std::uint32_t(rng.uniform_int(0, 99)),
+                      std::uint32_t(i)});
+  }
+  return v;
+}
+
+TEST(ParallelSort, MatchesSerialSortForAnyThreadCount) {
+  // Larger than one sort grain so the merge tree actually runs.
+  const std::size_t n = (kSortGrain * 5) / 2;
+  const auto less = [](const Keyed& a, const Keyed& b) {
+    return std::tie(a.key, a.seq) < std::tie(b.key, b.seq);
+  };
+  std::vector<Keyed> expected = random_keyed(n, 42);
+  std::sort(expected.begin(), expected.end(), less);
+
+  for (int threads : {1, 2, 5, 16}) {
+    std::vector<Keyed> v = random_keyed(n, 42);
+    parallel_sort(std::span<Keyed>(v), threads, less);
+    EXPECT_EQ(v, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelSort, EmptyAndSingleElement) {
+  std::vector<int> empty;
+  parallel_sort(std::span<int>(empty), 4);
+  EXPECT_TRUE(empty.empty());
+
+  std::vector<int> one{7};
+  parallel_sort(std::span<int>(one), 4);
+  EXPECT_EQ(one, std::vector<int>{7});
+}
+
+// ----------------------------------------------------------- for_each_run
+
+TEST(ForEachRun, VisitsMaximalRunsInOrder) {
+  const std::vector<int> v{1, 1, 2, 3, 3, 3};
+  std::vector<acdn::Run> runs;
+  for_each_run(
+      std::span<const int>(v), [](int a, int b) { return a == b; },
+      [&](acdn::Run r) { runs.push_back(r); });
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0].begin, 0u);
+  EXPECT_EQ(runs[0].end, 2u);
+  EXPECT_EQ(runs[1].begin, 2u);
+  EXPECT_EQ(runs[1].end, 3u);
+  EXPECT_EQ(runs[2].begin, 3u);
+  EXPECT_EQ(runs[2].end, 6u);
+  EXPECT_EQ(runs[2].size(), 3u);
+}
+
+TEST(ForEachRun, EmptySpanVisitsNothing) {
+  const std::vector<int> v;
+  std::size_t calls = 0;
+  for_each_run(
+      std::span<const int>(v), [](int a, int b) { return a == b; },
+      [&](acdn::Run) { ++calls; });
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(SortGroupBy, GroupsAscending) {
+  std::vector<std::pair<int, int>> v{{3, 0}, {1, 1}, {3, 2}, {1, 3}};
+  std::vector<int> keys;
+  std::vector<std::size_t> sizes;
+  sort_group_by(
+      std::span<std::pair<int, int>>(v), 2,
+      [](const auto& a, const auto& b) { return a < b; },
+      [](const auto& a, const auto& b) { return a.first == b.first; },
+      [&](acdn::Run r) {
+        keys.push_back(v[r.begin].first);
+        sizes.push_back(r.size());
+      });
+  EXPECT_EQ(keys, (std::vector<int>{1, 3}));
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{2, 2}));
+}
+
+// ---------------------------------------------------------------- FlatMap
+
+TEST(FlatMap, AppendFindIterate) {
+  FlatMap<std::uint32_t, double> m;
+  EXPECT_TRUE(m.empty());
+  m.reserve(3);
+  m.append(2, 20.0);
+  m.append(5, 50.0);
+  m.append(9, 90.0);
+  EXPECT_EQ(m.size(), 3u);
+
+  EXPECT_EQ(m.count(5), 1u);
+  EXPECT_EQ(m.count(4), 0u);
+  EXPECT_TRUE(m.contains(9));
+  EXPECT_DOUBLE_EQ(m.at(2), 20.0);
+  EXPECT_EQ(m.find(7), m.end());
+  ASSERT_NE(m.find(5), m.end());
+  EXPECT_DOUBLE_EQ(m.find(5)->second, 50.0);
+
+  // Ascending iteration, like the std::map it replaces.
+  std::vector<std::uint32_t> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::uint32_t>{2, 5, 9}));
+}
+
+TEST(FlatMap, SubscriptInsertsSorted) {
+  FlatMap<std::string, int> m;
+  ++m["us"];
+  ++m["de"];
+  ++m["us"];
+  m["br"] += 3;
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.at("us"), 2);
+  EXPECT_EQ(m.at("de"), 1);
+  EXPECT_EQ(m.at("br"), 3);
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : m) keys.push_back(k);
+  EXPECT_EQ(keys, (std::vector<std::string>{"br", "de", "us"}));
+}
+
+TEST(FlatMap, ClearKeepsNothing) {
+  FlatMap<int, int> m;
+  m.append(1, 1);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), m.end());
+}
+
+}  // namespace
+}  // namespace acdn

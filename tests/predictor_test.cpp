@@ -31,6 +31,35 @@ TEST(Predictor, PicksLowestMetricTarget) {
   EXPECT_DOUBLE_EQ(*p->anycast_ms, 30.0);
 }
 
+TEST(Predictor, SharedAggregatesMatchRowPathAndPinGrouping) {
+  // One DayAggregates build can feed the predictor and the figure passes;
+  // training on it must match training from the raw rows exactly.
+  std::vector<BeaconMeasurement> ms;
+  ms.push_back(make_measurement(1, 10, 0, 30.0, {{0, 20.0}, {1, 45.0}}));
+  ms.push_back(make_measurement(2, 10, 0, 18.0, {{0, 25.0}}));
+
+  HistoryPredictor from_rows(ecs_config());
+  from_rows.train(ms);
+
+  const DayAggregates agg = DayAggregates::build(ms, Grouping::kEcsPrefix);
+  HistoryPredictor from_agg(ecs_config());
+  from_agg.train(agg);
+
+  ASSERT_EQ(from_agg.predictions().size(), from_rows.predictions().size());
+  for (const auto& [group, p] : from_rows.predictions()) {
+    const auto q = from_agg.predict(group);
+    ASSERT_TRUE(q.has_value()) << "group " << group;
+    EXPECT_EQ(q->anycast, p.anycast);
+    EXPECT_EQ(q->front_end, p.front_end);
+    EXPECT_DOUBLE_EQ(q->predicted_ms, p.predicted_ms);
+  }
+
+  // Aggregates built under the wrong grouping are rejected.
+  const DayAggregates ldns = DayAggregates::build(ms, Grouping::kLdns);
+  HistoryPredictor mismatched(ecs_config());
+  EXPECT_THROW(mismatched.train(ldns), ConfigError);
+}
+
 TEST(Predictor, PicksAnycastWhenItIsBest) {
   HistoryPredictor predictor(ecs_config());
   std::vector<BeaconMeasurement> ms;

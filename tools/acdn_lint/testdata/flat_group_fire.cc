@@ -1,0 +1,36 @@
+// Must-fire: the node-map aggregation idiom that common/flat_group.h
+// replaces. Iterating the unordered_map leaks hash order into results,
+// and the compound += inside the parallel_for body makes the sum depend
+// on the thread schedule.
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace acdn {
+class Executor {
+ public:
+  static Executor& global();
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, int threads, Fn fn);
+};
+}  // namespace acdn
+
+struct GroupTotals {
+  std::unordered_map<unsigned, double> rtt_by_group;
+};
+
+double fold_groups(const GroupTotals& totals, std::vector<double>* out) {
+  double sum = 0.0;
+  for (const auto& [group, rtt] : totals.rtt_by_group) {
+    out->push_back(rtt);
+    sum += rtt;
+  }
+  return sum;
+}
+
+double total_rtt(const std::vector<double>& rtts, int threads) {
+  double total = 0.0;
+  acdn::Executor::global().parallel_for(
+      0, rtts.size(), threads, [&](std::size_t i) { total += rtts[i]; });
+  return total;
+}

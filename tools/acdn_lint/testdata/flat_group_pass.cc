@@ -1,0 +1,55 @@
+// Must-pass: the sorted flat-vector group-by from common/flat_group.h.
+// Rows append to a plain vector, parallel_sort orders them by a total
+// order (sequence tie-breaker), and the serial run walk accumulates in
+// deterministic index order — no hash iteration, no cross-iteration
+// accumulation inside a parallel_for body, no suppressions needed.
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace acdn {
+
+struct Run {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+template <typename T, typename Less>
+void parallel_sort(std::span<T> v, int threads, Less less);
+
+template <typename T, typename Less, typename Eq, typename Fn>
+void sort_group_by(std::span<T> v, int threads, Less less, Eq eq, Fn fn);
+
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  void append(Key key, Value value);
+  const std::vector<std::pair<Key, Value>>& entries() const;
+};
+
+}  // namespace acdn
+
+struct RttRow {
+  unsigned group = 0;
+  unsigned seq = 0;
+  double rtt = 0.0;
+};
+
+acdn::FlatMap<unsigned, double> group_totals(std::vector<RttRow>& rows,
+                                             int threads) {
+  acdn::FlatMap<unsigned, double> totals;
+  acdn::sort_group_by(
+      std::span<RttRow>(rows), threads,
+      [](const RttRow& a, const RttRow& b) {
+        return a.group < b.group || (a.group == b.group && a.seq < b.seq);
+      },
+      [](const RttRow& a, const RttRow& b) { return a.group == b.group; },
+      [&](acdn::Run run) {
+        double total = 0.0;
+        for (std::size_t i = run.begin; i < run.end; ++i) {
+          total += rows[i].rtt;  // serial run walk, ascending index order
+        }
+        totals.append(rows[run.begin].group, total);
+      });
+  return totals;
+}
