@@ -11,17 +11,28 @@
 // range, output list and the full metrics snapshot. --metrics additionally
 // prints the snapshot as a summary table.
 //
+// --chaos arms the canned fault schedule (front-end outages, a mid-week
+// BGP reset/withdrawal burst, 10% beacon sample loss, sporadic CSV write
+// errors), runs the degraded train/evaluate pipeline on top of the
+// simulation, and records the schedule plus per-fail-point trigger counts
+// in the manifest. --fault-seed N replays a different draw of the same
+// schedule; everything stays deterministic per (seed, fault-seed).
+//
 // Unknown flags exit with usage.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 
 #include "analysis/catchment.h"
 #include "analysis/figures.h"
+#include "common/error.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "core/resilience.h"
 #include "report/export.h"
 #include "report/run_report.h"
 #include "report/series.h"
@@ -42,6 +53,9 @@ struct Flags {
   std::string csv_prefix = "scenario_";
   bool verbose = false;
   bool metrics = false;
+  bool chaos = false;
+  std::uint64_t fault_seed = 0;
+  bool fault_seed_set = false;
 };
 
 void usage(const char* argv0) {
@@ -49,8 +63,28 @@ void usage(const char* argv0) {
       stderr,
       "usage: %s [--seed N] [--days N] [--clients N] [--sampling F]\n"
       "          [--remote-peering F] [--threads N] [--csv-prefix STR]\n"
-      "          [--metrics] [--verbose]\n",
+      "          [--metrics] [--verbose] [--chaos] [--fault-seed N]\n",
       argv0);
+}
+
+/// The canned chaos schedule: permanent low-rate front-end outages and
+/// beacon sample loss, a two-day BGP reset + withdrawal burst mid-run,
+/// and sporadic CSV write errors at export time.
+FaultSchedule chaos_schedule(std::uint64_t fault_seed, int days) {
+  const DayIndex burst = days / 2;
+  FaultSchedule faults;
+  faults.seed = fault_seed;
+  faults.rules.push_back(
+      {"cdn/front_end", FaultKind::kError, 0.02, 0, kFaultWindowOpen, 0.0});
+  faults.rules.push_back(
+      {"bgp/session", FaultKind::kError, 0.5, burst, burst + 1, 0.0});
+  faults.rules.push_back(
+      {"bgp/withdrawal", FaultKind::kDrop, 0.25, burst, burst + 1, 0.0});
+  faults.rules.push_back({"beacon/http_fetch", FaultKind::kDrop, 0.10, 0,
+                          kFaultWindowOpen, 0.0});
+  faults.rules.push_back(
+      {"csv/write", FaultKind::kError, 0.05, 0, kFaultWindowOpen, 0.0});
+  return faults;
 }
 
 bool parse(int argc, char** argv, Flags& flags) {
@@ -91,6 +125,13 @@ bool parse(int argc, char** argv, Flags& flags) {
       flags.verbose = true;
     } else if (arg == "--metrics") {
       flags.metrics = true;
+    } else if (arg == "--chaos") {
+      flags.chaos = true;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v) return false;
+      flags.fault_seed = std::strtoull(v, nullptr, 10);
+      flags.fault_seed_set = true;
     } else {
       return false;
     }
@@ -114,6 +155,13 @@ int main(int argc, char** argv) {
   config.schedule.beacon_sampling = flags.sampling;
   config.topology.remote_peering_fraction = flags.remote_peering;
   config.simulation_threads = flags.threads;
+  if (flags.chaos) {
+    // Derive the fault seed from the scenario seed unless pinned, so
+    // plain `--chaos` runs are reproducible from the command line alone.
+    config.faults = chaos_schedule(
+        flags.fault_seed_set ? flags.fault_seed : flags.seed ^ 0xfa017ull,
+        flags.days);
+  }
 
   // The manifest wants a full picture, so recording is always on for the
   // runner; --metrics only controls the console table.
@@ -168,10 +216,50 @@ int main(int argc, char** argv) {
                 c.countries.size());
   }
 
-  // --- CSV exports.
+  // --- Degraded train/evaluate pipeline (chaos mode): exercises the
+  // fallback paths under the armed schedule and feeds the staleness
+  // counters into the manifest.
+  std::uint64_t stale_train_days = 0;
+  std::uint64_t stale_eval_days = 0;
+  if (flags.chaos && flags.days >= 2) {
+    ResilienceConfig rc;
+    rc.predictor.threads = flags.threads;
+    rc.evaluator.threads = flags.threads;
+    DegradedPipeline pipeline(world.clients(), world.ldns(), rc);
+    std::printf("\nchaos: degraded prediction pipeline\n");
+    for (DayIndex d = 1; d < flags.days; ++d) {
+      const DegradedPipeline::DayOutcome out =
+          pipeline.step(sim.measurements(), d - 1, d);
+      std::printf("  day %d: trained=%s evaluated=%s staleness=%d "
+                  "improved_p50=%.1f%%\n",
+                  d, out.trained_fresh ? "fresh" : "stale",
+                  out.evaluated_fresh ? "fresh" : "carried", out.staleness,
+                  100.0 * out.summary.fraction_improved_p50);
+    }
+    stale_train_days = pipeline.stale_train_days();
+    stale_eval_days = pipeline.stale_eval_days();
+  }
+
+  // --- CSV exports. Under an armed "csv/write" schedule an export can
+  // fail; the run degrades to the outputs that survived instead of dying.
+  std::vector<std::string> outputs;
+  std::vector<std::string> failed_outputs;
+  auto write_output = [&](const std::string& path,
+                          const std::function<void(const std::string&)>& fn) {
+    try {
+      fn(path);
+      outputs.push_back(path);
+    } catch (const Error& e) {
+      failed_outputs.push_back(path);
+      std::fprintf(stderr, "warning: output failed, continuing: %s\n",
+                   e.what());
+    }
+  };
+
   Figure fig3("anycast vs unicast", "difference_ms", "ccdf");
   fig3.add_series(Series{"world", diff.ccdf()});
-  fig3.write_csv(flags.csv_prefix + "anycast_vs_unicast.csv");
+  write_output(flags.csv_prefix + "anycast_vs_unicast.csv",
+               [&](const std::string& p) { fig3.write_csv(p); });
 
   const Fig4Distances d4 =
       fig4_distances(sim.passive(), 0, world.clients(),
@@ -180,7 +268,8 @@ int main(int argc, char** argv) {
   Figure fig4("client to front-end distance", "km", "cdf");
   fig4.add_series(Series{"to_front_end", d4.to_front_end.cdf()});
   fig4.add_series(Series{"past_closest", d4.past_closest.cdf()});
-  fig4.write_csv(flags.csv_prefix + "distance.csv");
+  write_output(flags.csv_prefix + "distance.csv",
+               [&](const std::string& p) { fig4.write_csv(p); });
 
   const auto switched = fig7_cumulative_switched(sim.passive(), flags.days);
   Figure fig7("front-end affinity", "day", "cumulative switched");
@@ -189,13 +278,19 @@ int main(int argc, char** argv) {
     s7.points.push_back({double(i), switched[i]});
   }
   fig7.add_series(std::move(s7));
-  fig7.write_csv(flags.csv_prefix + "affinity.csv");
+  write_output(flags.csv_prefix + "affinity.csv",
+               [&](const std::string& p) { fig7.write_csv(p); });
 
   // Raw logs, for analysis in external tooling (re-importable with
   // report/export.h).
-  export_passive_log(sim.passive(), flags.csv_prefix + "passive_log.csv");
-  export_measurements(sim.measurements(),
-                      flags.csv_prefix + "measurements.csv");
+  write_output(flags.csv_prefix + "passive_log.csv",
+               [&](const std::string& p) {
+                 export_passive_log(sim.passive(), p);
+               });
+  write_output(flags.csv_prefix + "measurements.csv",
+               [&](const std::string& p) {
+                 export_measurements(sim.measurements(), p);
+               });
 
   // --- Run manifest: the structured record of what this run was.
   RunManifest manifest;
@@ -205,15 +300,24 @@ int main(int argc, char** argv) {
   manifest.days = flags.days;
   manifest.start_date = world.calendar().date(0).to_string();
   manifest.end_date = world.calendar().date(flags.days - 1).to_string();
-  manifest.outputs = {flags.csv_prefix + "anycast_vs_unicast.csv",
-                      flags.csv_prefix + "distance.csv",
-                      flags.csv_prefix + "affinity.csv",
-                      flags.csv_prefix + "passive_log.csv",
-                      flags.csv_prefix + "measurements.csv"};
+  manifest.outputs = outputs;
+  manifest.fault_injection = FaultInjectionRecord::from_registry();
+  manifest.fault_injection.stale_train_days = stale_train_days;
+  manifest.fault_injection.stale_eval_days = stale_eval_days;
   manifest.metrics = MetricsRegistry::global().snapshot();
   const std::string manifest_path =
       flags.csv_prefix + "run_manifest.json";
-  write_run_manifest(manifest, manifest_path);
+  try {
+    write_run_manifest(manifest, manifest_path);
+  } catch (const Error& e) {
+    failed_outputs.push_back(manifest_path);
+    std::fprintf(stderr, "warning: manifest failed, continuing: %s\n",
+                 e.what());
+  }
+  if (!failed_outputs.empty()) {
+    std::printf("%zu output(s) failed (injected or real I/O errors)\n",
+                failed_outputs.size());
+  }
 
   if (flags.metrics) {
     std::printf("\n== pipeline metrics ==\n%s",

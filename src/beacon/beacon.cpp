@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace acdn {
@@ -54,10 +55,14 @@ RouteResult BeaconSystem::cached_unicast(AsId as, MetroId metro,
     auto it = unicast_cache_.find(key);
     if (it != unicast_cache_.end()) return it->second;
   }
-  const RouteResult result = router_->route_unicast(as, metro, fe);
+  // Re-check and compute under the exclusive lock: two threads racing on
+  // the same key must not both reach route_unicast, or the
+  // router.unicast_lookups counter varies with scheduling.
   std::unique_lock lock(unicast_cache_mutex_);
-  unicast_cache_.emplace(key, result);
-  return result;
+  auto it = unicast_cache_.find(key);
+  if (it != unicast_cache_.end()) return it->second;
+  const RouteResult result = router_->route_unicast(as, metro, fe);
+  return unicast_cache_.emplace(key, result).first->second;
 }
 
 Milliseconds BeaconSystem::route_rtt(const Client24& client,
@@ -114,21 +119,52 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
   metric_count("beacon.executions");
   metric_count("beacon.fetches", plan.size());
 
+  // Injected faults. Decisions hash (day, url_id) — never `rng` — so a
+  // disarmed run draws the exact same stream as a build without the
+  // fail-point layer, and an armed schedule hits the same url_ids no
+  // matter how clients are sharded across threads.
+  static const FailPoint fetch_fault("beacon/http_fetch");
+
   for (std::size_t k = 0; k < plan.size(); ++k) {
     const std::uint64_t url_id = beacon_id * 4 + k;
+
+    const LdnsFault dns_fault = ldns_resolution_fault(when.day, url_id);
+    if (dns_fault == LdnsFault::kServfail) {
+      // SERVFAIL / timeout: the lookup fails, so the fetch never
+      // happens — neither log side sees this target.
+      continue;
+    }
     // The warm-up fetch (not timed) populates the resolver cache, so the
-    // timed fetch below excludes DNS latency by construction.
-    dns_log.push_back(DnsLogEntry{url_id, client.ldns, when.day});
+    // timed fetch below excludes DNS latency by construction. Under
+    // kLogLoss the resolver answered but its log row is lost; the fetch
+    // proceeds and its HTTP row arrives as an orphan.
+    if (dns_fault == LdnsFault::kNone) {
+      dns_log.push_back(DnsLogEntry{url_id, client.ldns, when.day});
+    }
 
     // A fetch can fail outright (timeout, user navigated away, report
-    // lost); the DNS row stays, the HTTP row never arrives.
+    // lost); the DNS row stays, the HTTP row never arrives. This is
+    // modeled world behavior (BeaconConfig), not an injected fault.
+    // NOLINT-ACDN(failpoint): fetch_loss_prob models organic browser loss
     if (rng.bernoulli(config_.fetch_loss_prob)) continue;
+
+    std::optional<Fault> fetch_fired = fetch_fault.fire(when.day, url_id);
+    if (fetch_fired && (fetch_fired->kind == FaultKind::kDrop ||
+                        fetch_fired->kind == FaultKind::kError)) {
+      continue;  // beacon report lost in flight; DNS row stays
+    }
 
     const Milliseconds true_rtt =
         plan[k].anycast ? route_rtt(client, anycast_route, when, rng)
                         : unicast_rtt(client, plan[k].front_end, when, rng);
-    const Milliseconds observed =
-        timing_->observe(true_rtt, resource_timing, rng);
+    Milliseconds observed = timing_->observe(true_rtt, resource_timing, rng);
+    if (fetch_fired) {
+      if (fetch_fired->kind == FaultKind::kDelay) {
+        observed += fetch_fired->magnitude;
+      } else {  // kCorrupt: a skewed timer reading reaches the log
+        observed *= 1.0 + fetch_fired->magnitude;
+      }
+    }
     http_log.push_back(HttpLogEntry{url_id, client.id, plan[k].anycast,
                                     plan[k].front_end, observed, when.day,
                                     when.hour_of_day()});

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/executor.h"
+#include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace acdn {
@@ -168,6 +169,12 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
         // a distinct DNS url; the remainder never matched.
         metric_count("join.orphan_dns", distinct_urls - joined);
         metric_count("join.measurements", out.size());
+        // Conservation ledger (chaos invariants): per join call,
+        //   http_rows    == joined_targets + orphan_http
+        //   distinct_dns == joined_targets + orphan_dns
+        //   joined_targets == stored_targets + dropped_targets
+        metric_count("join.joined_targets", joined);
+        metric_count("join.distinct_dns", distinct_urls);
       });
 
   // Reserve the target day's columns when the whole batch lands on one
@@ -197,6 +204,18 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
   // ids are globally unique, so repeatedly taking the smallest head
   // appends rows in ascending beacon id — the order the old concat+sort
   // produced.
+  // The "beacon/store" fail point models measurement ingestion failures:
+  // whole joined rows lost (drop/error) or RTTs mangled on the way to
+  // storage (delay/corrupt). It is evaluated here in the serial merge —
+  // keyed by (day, beacon id) — so drops hit the same beacons for any
+  // shard count, and the dropped/stored ledger stays exact.
+  static const FailPoint store_fault("beacon/store");
+  const bool faults_armed = fail_points_armed();
+  std::size_t stored_rows = 0;
+  std::size_t stored_targets = 0;
+  std::size_t dropped_rows = 0;
+  std::size_t dropped_targets = 0;
+
   auto& cursors = scratch_.buffer<std::size_t>("join.cursors");
   cursors.assign(shard_count, 0);
   for (;;) {
@@ -215,11 +234,40 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
     const std::size_t i = cursors[best]++;
     const DayIndex day = src.day[i];
     require(day >= 0, "measurement day must be non-negative");
+    const std::size_t row_targets =
+        src.row_targets_end(i) - src.row_targets_begin(i);
+
+    std::optional<Fault> fault;
+    if (faults_armed) fault = store_fault.fire(day, best_id);
+    if (fault && (fault->kind == FaultKind::kDrop ||
+                  fault->kind == FaultKind::kError)) {
+      ++dropped_rows;
+      dropped_targets += row_targets;
+      continue;
+    }
+
     if (static_cast<std::size_t>(day) >= by_day_.size()) {
       by_day_.resize(static_cast<std::size_t>(day) + 1);
     }
-    by_day_[static_cast<std::size_t>(day)].append_from(src, i);
+    MeasurementColumns& dest = by_day_[static_cast<std::size_t>(day)];
+    dest.append_from(src, i);
+    ++stored_rows;
+    stored_targets += row_targets;
+    if (fault) {  // kDelay / kCorrupt: ingestion skews the stored RTTs
+      for (std::size_t t = dest.target_count() - row_targets;
+           t < dest.target_count(); ++t) {
+        if (fault->kind == FaultKind::kDelay) {
+          dest.target_rtt[t] += fault->magnitude;
+        } else {
+          dest.target_rtt[t] *= 1.0 + fault->magnitude;
+        }
+      }
+    }
   }
+  metric_count("join.stored_rows", stored_rows);
+  metric_count("join.stored_targets", stored_targets);
+  metric_count("join.dropped_rows", dropped_rows);
+  metric_count("join.dropped_targets", dropped_targets);
 }
 
 void MeasurementStore::add(BeaconMeasurement measurement) {

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace acdn {
 
@@ -100,6 +101,11 @@ std::optional<FrontEndId> Deployment::site_for_prefix(
     if (s.unicast_prefix == prefix) return s.id;
   }
   return std::nullopt;
+}
+
+bool Deployment::site_up(FrontEndId id, DayIndex day) const {
+  static const FailPoint outage("cdn/front_end");
+  return !outage.fire(day, std::uint64_t(id.value)).has_value();
 }
 
 }  // namespace acdn

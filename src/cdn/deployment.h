@@ -13,6 +13,7 @@
 
 #include "cdn/front_end.h"
 #include "common/rng.h"
+#include "common/types.h"
 #include "geo/metro.h"
 #include "net/allocator.h"
 
@@ -61,6 +62,12 @@ class Deployment {
   /// The site whose /24 is `prefix`, if any.
   [[nodiscard]] std::optional<FrontEndId> site_for_prefix(
       const Prefix& prefix) const;
+
+  /// False while a "cdn/front_end" fault has this site down on `day`.
+  /// The fire decision hashes (day, front-end id), so an outage covers
+  /// the whole day and is seen identically by every client and every
+  /// worker thread. Always true when fail points are disarmed.
+  [[nodiscard]] bool site_up(FrontEndId id, DayIndex day) const;
 
  private:
   std::vector<FrontEndSite> sites_;

@@ -3,11 +3,22 @@
 #include <charconv>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace acdn {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) throw Error("csv: cannot open " + path);
+  // Injected I/O error ("csv/write", kind error): simulates EIO/ENOSPC at
+  // open. Export code runs outside the day loop, so the fire decision is
+  // keyed by the output path at day 0 — a schedule window must cover day
+  // 0 to arm it.
+  static const FailPoint write_fault("csv/write");
+  if (const auto fault = write_fault.fire(0, fault_coordinate(path))) {
+    if (fault->kind == FaultKind::kError) {
+      throw Error("csv: injected write failure: " + path);
+    }
+  }
 }
 
 void CsvWriter::write_field(std::string_view field, bool first) {

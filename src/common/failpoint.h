@@ -1,0 +1,185 @@
+// Deterministic, seeded fault injection.
+//
+// A process-wide registry of named fail points (slash-paths like
+// "dns/resolve" or "beacon/http_fetch") that scenario config arms with a
+// FaultSchedule: per-point probability, a sim-day window, and a failure
+// kind (drop, delay, corrupt, error-return). Call sites construct a
+// FailPoint handle once and ask it whether to fail for a given
+// (day, coordinate) pair.
+//
+// Determinism contract (docs/ARCHITECTURE.md, "Fault injection"): a fire
+// decision is a pure hash of (schedule seed, point path, day, caller
+// coordinate) — no shared RNG stream is consumed. Two consequences the
+// tests pin:
+//   1. Thread-count independence. The same call sites evaluate the same
+//      coordinates regardless of how clients are sharded, so a fault
+//      schedule is byte-reproducible for 1, 2, or 64 worker threads.
+//   2. Zero cost when off. A disarmed registry (or an armed schedule at
+//      probability 0) perturbs no Rng draws anywhere, so golden figure
+//      digests are identical to a build without the layer.
+//
+// Arming and disarming are phase operations: call them only while no
+// simulation is running (World's constructor syncs the registry to its
+// scenario's schedule). FailPoint::fire() itself is safe to call from
+// executor workers; the only mutation on the fire path is a relaxed
+// atomic trigger counter per point.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace acdn {
+
+/// What an armed fail point does to its call site when it fires.
+enum class FaultKind : std::uint8_t {
+  kDrop,     ///< the operation's output is silently lost
+  kDelay,    ///< the operation completes late by `magnitude_ms`
+  kCorrupt,  ///< the operation's value is skewed by factor (1 + magnitude)
+  kError,    ///< the operation fails loudly (error return / throw)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+/// Parses "drop" / "delay" / "corrupt" / "error"; throws ConfigError
+/// otherwise.
+[[nodiscard]] FaultKind parse_fault_kind(std::string_view text);
+
+/// Sentinel for FaultRule::last_day: the window never closes.
+inline constexpr DayIndex kFaultWindowOpen = -1;
+
+/// One armed fail point: which point, what happens, how often, and when.
+struct FaultRule {
+  /// Slash-path of the fail point; must be one of known_fail_points().
+  std::string point;
+  FaultKind kind = FaultKind::kDrop;
+  /// Per-evaluation fire probability in [0, 1]. 1.0 means always.
+  double probability = 0.0;
+  /// Inclusive sim-day window. last_day == kFaultWindowOpen leaves the
+  /// window open-ended. Points evaluated outside the simulated day loop
+  /// (csv/write) are evaluated at day 0.
+  DayIndex first_day = 0;
+  DayIndex last_day = kFaultWindowOpen;
+  /// kDelay: added milliseconds. kCorrupt: relative skew (0.5 = +50%).
+  /// Ignored for kDrop / kError.
+  double magnitude = 0.0;
+};
+
+/// A full fault schedule: the dedicated seed for the decision stream plus
+/// every armed rule. Value type; lives in ScenarioConfig.
+struct FaultSchedule {
+  /// Seed of the fault-decision hash stream. Independent from the
+  /// scenario seed so the same world can be replayed under different
+  /// fault schedules (and vice versa).
+  std::uint64_t seed = 0;
+  std::vector<FaultRule> rules;
+
+  [[nodiscard]] bool empty() const { return rules.empty(); }
+
+  /// Throws ConfigError on: unknown point, probability outside [0, 1] or
+  /// non-finite, negative first_day, last_day before first_day (empty
+  /// range), non-finite or negative magnitude, a delay/corrupt rule with
+  /// zero magnitude, or two rules for the same point with overlapping day
+  /// windows (at most one rule may govern a (point, day) pair).
+  void validate() const;
+};
+
+/// A fired fault, as seen by the call site.
+struct Fault {
+  FaultKind kind = FaultKind::kDrop;
+  double magnitude = 0.0;
+};
+
+/// The slash-paths wired through the pipeline, sorted. Rules naming any
+/// other path are rejected by validate() so a typo cannot silently arm
+/// nothing.
+[[nodiscard]] std::span<const std::string_view> known_fail_points();
+
+namespace detail {
+extern std::atomic<bool> g_fail_points_armed;
+}  // namespace detail
+
+/// True iff a non-empty schedule is armed. The one-load fast path every
+/// call site checks before doing any fault work.
+[[nodiscard]] inline bool fail_points_armed() {
+  return detail::g_fail_points_armed.load(std::memory_order_relaxed);
+}
+
+/// Process-wide fail-point registry. Leaky singleton, same lifetime
+/// policy as MetricsRegistry (worker threads may still be draining at
+/// exit).
+class FailPointRegistry {
+ public:
+  static FailPointRegistry& global();
+
+  /// Validates and installs `schedule`, resetting trigger counts. An
+  /// empty schedule disarms. Phase operation: no concurrent fire().
+  void arm(const FaultSchedule& schedule);
+  void disarm();
+
+  /// The schedule as armed (empty when disarmed).
+  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+
+  /// Fires recorded per point since the last arm(), for every known
+  /// point (zero when never fired). Deterministic for a deterministic
+  /// call-site sequence: counts are order-independent sums.
+  [[nodiscard]] std::map<std::string, std::uint64_t> trigger_counts() const;
+
+  /// Sum of trigger_counts() values.
+  [[nodiscard]] std::uint64_t total_triggered() const;
+
+  FailPointRegistry(const FailPointRegistry&) = delete;
+  FailPointRegistry& operator=(const FailPointRegistry&) = delete;
+
+ private:
+  friend class FailPoint;
+  FailPointRegistry();
+
+  [[nodiscard]] std::optional<Fault> evaluate(std::size_t point_index,
+                                              DayIndex day,
+                                              std::uint64_t coordinate);
+
+  FaultSchedule schedule_;
+  /// rules_by_point_[i]: rules of known_fail_points()[i], sorted by
+  /// first_day. Windows are disjoint (validate()), so the first window
+  /// containing `day` is the only one.
+  std::vector<std::vector<FaultRule>> rules_by_point_;
+  /// "fault.fired.<point>" names, precomputed so the fire path does not
+  /// allocate.
+  std::vector<std::string> metric_names_;
+  std::vector<std::atomic<std::uint64_t>> fired_;
+};
+
+/// Call-site handle. Construct once (a function-local static is the
+/// common idiom) and call fire() per operation.
+class FailPoint {
+ public:
+  /// `path` must be one of known_fail_points(); anything else is a
+  /// programming error (ACDN_CHECK).
+  explicit FailPoint(std::string_view path);
+
+  /// Decides whether this point fails for (day, coordinate). The
+  /// coordinate identifies the operation within the day — a url_id, a
+  /// front-end id, a routing-unit hash — and must be derived from
+  /// simulation state, never from thread identity or iteration order.
+  [[nodiscard]] std::optional<Fault> fire(DayIndex day,
+                                          std::uint64_t coordinate) const {
+    if (!fail_points_armed()) return std::nullopt;
+    return FailPointRegistry::global().evaluate(index_, day, coordinate);
+  }
+
+ private:
+  std::size_t index_ = 0;
+};
+
+/// FNV-1a of `text`, for deriving fire coordinates from string keys
+/// (e.g. an output path for csv/write).
+[[nodiscard]] std::uint64_t fault_coordinate(std::string_view text);
+
+}  // namespace acdn

@@ -72,6 +72,7 @@ void HistoryPredictor::score(const DayAggregates& agg) {
   // the mapping identical for any thread count.
   const std::span<const DayAggregates::Group> groups = agg.groups();
   std::vector<std::optional<Prediction>> scored(groups.size());
+  std::vector<std::uint8_t> gate_empty(groups.size(), 0);
 
   Executor::global().parallel_for(
       0, groups.size(), config_.threads, [&](std::size_t i) {
@@ -97,18 +98,27 @@ void HistoryPredictor::score(const DayAggregates& agg) {
           }
         }
         if (gated > 0) metric_count("predictor.targets_gated", gated);
-        if (!best) return;  // nothing qualified: group stays on anycast
+        if (!best) {
+          // Nothing qualified: the group gets no mapping entry and its
+          // clients stay on anycast — the graceful fallback when sample
+          // loss empties the gate.
+          gate_empty[i] = gated > 0;
+          return;
+        }
         best->anycast_ms = anycast_metric;
         scored[i] = *best;
       });
 
   std::size_t predicted_anycast = 0;
+  gate_empty_groups_ = 0;
   predictions_.reserve(groups.size());
   for (std::size_t i = 0; i < groups.size(); ++i) {
+    gate_empty_groups_ += gate_empty[i];
     if (!scored[i]) continue;
     if (scored[i]->anycast) ++predicted_anycast;
     predictions_.append(groups[i].key, *scored[i]);
   }
+  metric_count("predictor.groups_gated_empty", gate_empty_groups_);
   metric_count("predictor.groups_seen", groups.size());
   metric_count("predictor.groups_trained", predictions_.size());
   metric_count("predictor.predicted_anycast", predicted_anycast);

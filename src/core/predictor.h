@@ -76,6 +76,15 @@ class HistoryPredictor {
   }
   [[nodiscard]] const PredictorConfig& config() const { return config_; }
 
+  /// Groups in the last training interval that had beacon data but whose
+  /// every target fell below the min_measurements gate (e.g. under
+  /// injected sample loss). These groups get no mapping entry — predict()
+  /// returns nullopt and the consumer stays on anycast, the documented
+  /// degraded mode. Also counted as "predictor.groups_gated_empty".
+  [[nodiscard]] std::size_t gate_empty_groups() const {
+    return gate_empty_groups_;
+  }
+
   /// The configured metric over a sample set.
   [[nodiscard]] static Milliseconds metric_value(
       std::span<const Milliseconds> samples, PredictionMetric metric);
@@ -86,6 +95,7 @@ class HistoryPredictor {
 
   PredictorConfig config_;
   FlatMap<std::uint32_t, Prediction> predictions_;
+  std::size_t gate_empty_groups_ = 0;
 };
 
 }  // namespace acdn

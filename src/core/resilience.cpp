@@ -1,0 +1,51 @@
+#include "core/resilience.h"
+
+#include "common/metrics.h"
+
+namespace acdn {
+
+DegradedPipeline::DegradedPipeline(const ClientPopulation& clients,
+                                   const LdnsPopulation& ldns,
+                                   const ResilienceConfig& config)
+    : config_(config),
+      predictor_(config.predictor),
+      evaluator_(clients, ldns, config.evaluator) {}
+
+DegradedPipeline::DayOutcome DegradedPipeline::step(
+    const MeasurementStore& store, DayIndex train_day, DayIndex eval_day) {
+  DayOutcome outcome;
+  outcome.eval_day = eval_day;
+
+  const MeasurementColumns& train = store.columns(train_day);
+  if (train.size() >= config_.min_healthy_rows) {
+    predictor_.train(train);
+    has_mapping_ = true;
+    outcome.trained_fresh = true;
+  } else {
+    // Unhealthy training day: keep yesterday's mapping (possibly none —
+    // then every group implicitly stays on anycast).
+    ++stale_train_days_;
+    metric_count("resilience.stale_train_days");
+  }
+
+  const MeasurementColumns& eval = store.columns(eval_day);
+  if (has_mapping_ && eval.size() >= config_.min_healthy_rows) {
+    const std::vector<EvalOutcome> outcomes =
+        evaluator_.evaluate(predictor_, eval);
+    last_summary_ = evaluator_.summarize(outcomes);
+    staleness_ = 0;
+    outcome.evaluated_fresh = true;
+  } else {
+    // Carry the last healthy day's aggregates forward, explicitly stale.
+    ++staleness_;
+    ++stale_eval_days_;
+    metric_count("resilience.stale_eval_days");
+  }
+  metric_gauge("resilience.staleness", double(staleness_));
+
+  outcome.staleness = staleness_;
+  outcome.summary = last_summary_;
+  return outcome;
+}
+
+}  // namespace acdn

@@ -1,0 +1,88 @@
+// Degraded-mode train/evaluate pipeline (fault-injection tentpole).
+//
+// The happy-path pipeline trains a HistoryPredictor on day D and
+// evaluates it on day D+1. Under injected faults a day's measurements
+// can thin out or vanish entirely (beacon sample loss, store drops,
+// SERVFAIL bursts); rather than crashing or silently reporting numbers
+// built on near-empty data, DegradedPipeline:
+//
+//   * keeps the previous day's trained mapping when the training day is
+//     unhealthy (fewer rows than `min_healthy_rows`), counting the skip,
+//   * carries the last healthy day's evaluation summary forward when the
+//     evaluation day is unhealthy or no mapping exists yet, with an
+//     explicit staleness counter (consecutive stale evaluation days),
+//   * reports every degradation through the metrics registry
+//     ("resilience.*") so it lands in the run manifest.
+//
+// Gate-empty groups inside a healthy training day are already handled by
+// the predictor itself: they get no mapping entry and fall back to
+// anycast (HistoryPredictor::gate_empty_groups()).
+#pragma once
+
+#include <cstdint>
+
+#include "beacon/store.h"
+#include "core/evaluator.h"
+#include "core/predictor.h"
+
+namespace acdn {
+
+struct ResilienceConfig {
+  PredictorConfig predictor;
+  PredictionEvaluator::Config evaluator;
+  /// A day with fewer joined measurement rows than this is "unhealthy":
+  /// training skips it and evaluation carries the last summary forward.
+  std::size_t min_healthy_rows = 1;
+};
+
+class DegradedPipeline {
+ public:
+  /// What one step produced, and how fresh it is.
+  struct DayOutcome {
+    DayIndex eval_day = 0;
+    /// False when the training day was unhealthy and the previous
+    /// mapping was kept.
+    bool trained_fresh = false;
+    /// False when `summary` is carried forward from an earlier day.
+    bool evaluated_fresh = false;
+    /// Consecutive stale evaluation days ending at eval_day (0 = fresh).
+    int staleness = 0;
+    EvalSummary summary;
+  };
+
+  DegradedPipeline(const ClientPopulation& clients,
+                   const LdnsPopulation& ldns,
+                   const ResilienceConfig& config);
+
+  /// Trains on `train_day` and evaluates on `eval_day` (both from
+  /// `store`), degrading as documented above. Never throws on thin or
+  /// missing data.
+  DayOutcome step(const MeasurementStore& store, DayIndex train_day,
+                  DayIndex eval_day);
+
+  [[nodiscard]] const HistoryPredictor& predictor() const {
+    return predictor_;
+  }
+  /// Consecutive stale evaluation days as of the last step().
+  [[nodiscard]] int staleness() const { return staleness_; }
+  /// Lifetime totals, mirrored as "resilience.stale_train_days" and
+  /// "resilience.stale_eval_days" in the metrics registry.
+  [[nodiscard]] std::uint64_t stale_train_days() const {
+    return stale_train_days_;
+  }
+  [[nodiscard]] std::uint64_t stale_eval_days() const {
+    return stale_eval_days_;
+  }
+
+ private:
+  ResilienceConfig config_;
+  HistoryPredictor predictor_;
+  PredictionEvaluator evaluator_;
+  bool has_mapping_ = false;
+  EvalSummary last_summary_;
+  int staleness_ = 0;
+  std::uint64_t stale_train_days_ = 0;
+  std::uint64_t stale_eval_days_ = 0;
+};
+
+}  // namespace acdn

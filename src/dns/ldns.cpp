@@ -4,8 +4,19 @@
 #include <map>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace acdn {
+
+LdnsFault ldns_resolution_fault(DayIndex day, std::uint64_t query_coord) {
+  static const FailPoint resolve_fault("dns/resolve");
+  const auto fault = resolve_fault.fire(day, query_coord);
+  if (!fault) return LdnsFault::kNone;
+  if (fault->kind == FaultKind::kError || fault->kind == FaultKind::kDelay) {
+    return LdnsFault::kServfail;
+  }
+  return LdnsFault::kLogLoss;
+}
 
 void DnsConfig::validate() const {
   require(metros_per_resolver_site >= 1,

@@ -30,6 +30,20 @@ struct LdnsServer {
   AsId owner;
 };
 
+/// Outcome of the "dns/resolve" fail point for one lookup.
+enum class LdnsFault {
+  kNone,      ///< resolution succeeded and was logged
+  kLogLoss,   ///< resolution succeeded but its DNS log row is lost
+  kServfail,  ///< SERVFAIL / timeout: the lookup (and its fetch) fails
+};
+
+/// Consults the "dns/resolve" fail point for the lookup identified by
+/// `query_coord` (the beacon target's url_id) on `day`. Fault kinds
+/// error/delay map to kServfail; drop/corrupt to kLogLoss. Always kNone
+/// when fail points are disarmed.
+[[nodiscard]] LdnsFault ldns_resolution_fault(DayIndex day,
+                                              std::uint64_t query_coord);
+
 struct DnsConfig {
   /// ISPs centralize resolution: one resolver site per this many PoP
   /// metros (at the most populous ones), so clients of a national ISP are

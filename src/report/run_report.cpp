@@ -51,6 +51,16 @@ class JsonWriter {
   explicit JsonWriter(const std::string& path)
       : path_(path), out_(path, std::ios::trunc) {
     if (!out_) throw Error("manifest: cannot open " + path);
+    // Shares the "csv/write" fail point with CsvWriter: the manifest is
+    // an output artifact like any figure CSV. Fires after the trigger
+    // counts were snapshotted into the manifest body, which is fine —
+    // a failed manifest write produces no manifest to disagree with.
+    static const FailPoint write_fault("csv/write");
+    if (const auto fault = write_fault.fire(0, fault_coordinate(path))) {
+      if (fault->kind == FaultKind::kError) {
+        throw Error("manifest: injected write failure: " + path);
+      }
+    }
   }
 
   void line(int indent, std::string_view text) {
@@ -92,6 +102,58 @@ void write_object_map(JsonWriter& w, int indent, std::string_view key,
 
 }  // namespace
 
+FaultInjectionRecord FaultInjectionRecord::from_registry() {
+  const FailPointRegistry& registry = FailPointRegistry::global();
+  FaultInjectionRecord record;
+  record.armed = fail_points_armed();
+  record.seed = registry.schedule().seed;
+  record.rules = registry.schedule().rules;
+  record.trigger_counts = registry.trigger_counts();
+  return record;
+}
+
+std::string format_fault_injection(const FaultInjectionRecord& record,
+                                   int indent) {
+  const std::string pad(std::size_t(indent) * 2, ' ');
+  std::string out;
+  auto line = [&](int extra, const std::string& text) {
+    out += pad + std::string(std::size_t(extra) * 2, ' ') + text + '\n';
+  };
+  line(0, "\"fault_injection\": {");
+  line(1, std::string("\"armed\": ") + (record.armed ? "true" : "false") +
+              ",");
+  line(1, "\"seed\": " + std::to_string(record.seed) + ",");
+  if (record.rules.empty()) {
+    line(1, "\"rules\": [],");
+  } else {
+    line(1, "\"rules\": [");
+    for (std::size_t i = 0; i < record.rules.size(); ++i) {
+      const FaultRule& rule = record.rules[i];
+      line(2, "{\"point\": " + quoted(rule.point) + ", \"kind\": " +
+                  quoted(to_string(rule.kind)) + ", \"probability\": " +
+                  json_number(rule.probability) + ", \"first_day\": " +
+                  std::to_string(rule.first_day) + ", \"last_day\": " +
+                  std::to_string(rule.last_day) + ", \"magnitude\": " +
+                  json_number(rule.magnitude) + "}" +
+                  (i + 1 == record.rules.size() ? "" : ","));
+    }
+    line(1, "],");
+  }
+  line(1, "\"trigger_counts\": {");
+  std::size_t i = 0;
+  for (const auto& [point, count] : record.trigger_counts) {
+    const bool last = ++i == record.trigger_counts.size();
+    line(2, quoted(point) + ": " + std::to_string(count) +
+                (last ? "" : ","));
+  }
+  line(1, "},");
+  line(1, "\"stale_train_days\": " + std::to_string(record.stale_train_days) +
+              ",");
+  line(1, "\"stale_eval_days\": " + std::to_string(record.stale_eval_days));
+  line(0, "}");
+  return out;
+}
+
 void write_run_manifest(const RunManifest& manifest,
                         const std::string& path) {
   JsonWriter w(path);
@@ -109,6 +171,22 @@ void write_run_manifest(const RunManifest& manifest,
     w.line(2, quoted(manifest.outputs[i]) + (last ? "" : ","));
   }
   w.line(1, "],");
+
+  // The fault_injection section is rendered by format_fault_injection so
+  // the golden-fragment test pins exactly the bytes the manifest holds.
+  {
+    std::string section =
+        format_fault_injection(manifest.fault_injection, 1);
+    if (!section.empty() && section.back() == '\n') section.pop_back();
+    section += ",";  // not the manifest's final key
+    std::size_t begin = 0;
+    while (begin <= section.size()) {
+      std::size_t end = section.find('\n', begin);
+      if (end == std::string::npos) end = section.size();
+      w.line(0, section.substr(begin, end - begin));
+      begin = end + 1;
+    }
+  }
 
   const MetricsSnapshot& m = manifest.metrics;
   write_object_map(w, 1, "counters", m.counters, true,

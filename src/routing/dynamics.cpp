@@ -1,6 +1,7 @@
 #include "routing/dynamics.h"
 
 #include "common/error.h"
+#include "common/failpoint.h"
 
 namespace acdn {
 
@@ -37,7 +38,11 @@ void RouteDynamics::step_one_day(DayIndex day) {
   const double change_prob =
       weekend ? config_.weekend_change_prob : config_.weekday_change_prob;
 
+  static const FailPoint session_fault("bgp/session");
+  static const FailPoint withdrawal_fault("bgp/withdrawal");
+
   flaps_today_.clear();
+  withdrawn_today_.clear();
   for (const RoutingUnit& unit : order_) {
     UnitState& state = units_[unit];
     if (state.candidates < 2) continue;
@@ -69,10 +74,35 @@ void RouteDynamics::step_one_day(DayIndex day) {
                                   : state.selected - 1;
       flaps_today_[unit] = alt;
     }
+
+    // Injected faults. Decisions hash (day, unit), never rng_, so a
+    // disarmed run's draw sequence is untouched and an armed schedule is
+    // identical for any thread count (this loop is serial regardless).
+    if (fail_points_armed()) {
+      const std::uint64_t coord = RoutingUnitHash{}(unit);
+      const std::size_t next_best = state.selected + 1 < state.candidates
+                                        ? state.selected + 1
+                                        : state.selected - 1;
+      // Session reset: the session carrying the selected route bounces;
+      // part of the day's traffic rides the adjacent candidate while BGP
+      // re-converges — an intra-day flap.
+      if (session_fault.fire(day, coord)) {
+        flaps_today_[unit] = next_best;
+      }
+      // Withdrawal: the selected route is gone for the whole day; the
+      // unit falls back to its next-best candidate until re-announcement.
+      if (withdrawal_fault.fire(day, coord)) {
+        withdrawn_today_[unit] = next_best;
+      }
+    }
   }
 }
 
 std::size_t RouteDynamics::selected_candidate(const RoutingUnit& unit) const {
+  if (!withdrawn_today_.empty()) {
+    auto withdrawn = withdrawn_today_.find(unit);
+    if (withdrawn != withdrawn_today_.end()) return withdrawn->second;
+  }
   auto it = units_.find(unit);
   if (it == units_.end()) return 0;
   return it->second.selected;

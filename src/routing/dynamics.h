@@ -67,7 +67,9 @@ class RouteDynamics {
   /// gaps are simulated). Day 0 is the initial state: no changes yet.
   void advance_to(DayIndex day);
 
-  /// The candidate index the unit's selected route has today.
+  /// The candidate index the unit's selected route has today. A
+  /// "bgp/withdrawal" fault overrides the selection with the next-best
+  /// candidate for just that day (the route returns on re-announcement).
   [[nodiscard]] std::size_t selected_candidate(const RoutingUnit& unit) const;
 
   /// If the unit flaps today, the alternate candidate index seen by a
@@ -98,6 +100,11 @@ class RouteDynamics {
   std::unordered_map<RoutingUnit, UnitState, RoutingUnitHash> units_;
   // NOLINT-ACDN(unordered-decl): keyed lookups; walks go through order_
   std::unordered_map<RoutingUnit, std::size_t, RoutingUnitHash> flaps_today_;
+  /// Units whose selected route was withdrawn by a "bgp/withdrawal" fault
+  /// today, mapped to the fallback candidate they ride instead.
+  // NOLINT-ACDN(unordered-decl): keyed lookups; walks go through order_
+  std::unordered_map<RoutingUnit, std::size_t, RoutingUnitHash>
+      withdrawn_today_;
 };
 
 }  // namespace acdn

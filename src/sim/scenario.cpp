@@ -34,6 +34,7 @@ class KnobSerializer {
   void add(std::string_view key, const Date& d) {
     add_raw(key, d.to_string());
   }
+  void add(std::string_view key, std::string_view v) { add_raw(key, v); }
 
   [[nodiscard]] const std::string& text() const { return text_; }
 
@@ -190,6 +191,21 @@ std::string ScenarioConfig::digest() const {
   s.add("flap_traffic_share", flap_traffic_share);
   s.add("max_route_alternatives", max_route_alternatives);
 
+  // The fault schedule shapes results, so its rules are part of the world
+  // digest. Like `seed`, `faults.seed` is excluded: it picks one draw of
+  // the schedule, not the schedule's shape, and is recorded separately in
+  // the run manifest.
+  for (std::size_t i = 0; i < faults.rules.size(); ++i) {
+    const FaultRule& rule = faults.rules[i];
+    const std::string prefix = "faults." + std::to_string(i) + ".";
+    s.add(prefix + "point", rule.point);
+    s.add(prefix + "kind", to_string(rule.kind));
+    s.add(prefix + "probability", rule.probability);
+    s.add(prefix + "first_day", rule.first_day);
+    s.add(prefix + "last_day", rule.last_day);
+    s.add(prefix + "magnitude", rule.magnitude);
+  }
+
   const std::uint64_t h = fnv1a64(s.text());
   char buf[17];
   const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), h, 16);
@@ -209,6 +225,7 @@ void ScenarioConfig::validate() const {
           "max_route_alternatives must be at least 1");
   require(simulation_threads >= 1,
           "simulation_threads must be at least 1");
+  faults.validate();
 }
 
 }  // namespace acdn

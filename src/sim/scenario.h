@@ -10,6 +10,7 @@
 
 #include "beacon/beacon.h"
 #include "cdn/network.h"
+#include "common/failpoint.h"
 #include "common/sim_clock.h"
 #include "dns/ldns.h"
 #include "geo/geolocation.h"
@@ -38,6 +39,11 @@ struct ScenarioConfig {
   TimingConfig timing;
   BeaconConfig beacon;
   DynamicsConfig dynamics;
+
+  /// Fault-injection schedule. Empty by default (no fail point armed);
+  /// World's constructor syncs the global FailPointRegistry to this, so
+  /// constructing a World fully determines the process's fault state.
+  FaultSchedule faults;
 
   /// Share of a flapping routing unit's daily traffic on the alternate
   /// route.

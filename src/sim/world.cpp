@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <set>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace acdn {
 
 World::World(const ScenarioConfig& config)
     : config_(config), calendar_(config.start_date) {
   config_.validate();
+  // Sync the process-wide fail-point registry to this scenario: arming
+  // (or disarming, for an empty schedule) here means constructing a World
+  // fully determines the fault state any later simulation sees.
+  FailPointRegistry::global().arm(config_.faults);
   Rng rng(config_.seed);
 
   const MetroDatabase& metro_db = MetroDatabase::world();
@@ -63,13 +69,43 @@ const MetroDatabase& World::metros() const { return MetroDatabase::world(); }
 World::DayRoute World::anycast_today(const Client24& client) const {
   const RoutingUnit unit{client.access_as, client.metro};
   const std::size_t selected = dynamics_->selected_candidate(unit);
+  const DayIndex day = dynamics_->current_day();
   DayRoute route;
   route.primary = router_->route_anycast(client.access_as, client.metro,
                                          selected);
+
+  // Front-end outage ("cdn/front_end"): when the primary's site is down
+  // today, its anycast announcement is gone and BGP converges on the next
+  // candidate whose site is up — graceful degradation, not lost traffic.
+  if (fail_points_armed() && route.primary.valid &&
+      !cdn_->deployment().site_up(route.primary.front_end, day)) {
+    const std::size_t n =
+        router_->anycast_candidate_count(client.access_as);
+    bool rerouted = false;
+    for (std::size_t k = 1; k < n && !rerouted; ++k) {
+      const RouteResult fallback = router_->route_anycast(
+          client.access_as, client.metro, (selected + k) % n);
+      if (fallback.valid &&
+          cdn_->deployment().site_up(fallback.front_end, day)) {
+        route.primary = fallback;
+        rerouted = true;
+      }
+    }
+    if (rerouted) {
+      metric_count("fault.frontend_reroutes");
+    } else {
+      // Every candidate is down: anycast still answers somewhere, so the
+      // primary serves (degraded) rather than blackholing the client.
+      metric_count("fault.frontend_no_failover");
+    }
+  }
+
   if (const auto alt = dynamics_->flap_alternate(unit)) {
     const RouteResult alternate =
         router_->route_anycast(client.access_as, client.metro, *alt);
-    if (alternate.valid && alternate.front_end != route.primary.front_end) {
+    if (alternate.valid && alternate.front_end != route.primary.front_end &&
+        (!fail_points_armed() ||
+         cdn_->deployment().site_up(alternate.front_end, day))) {
       route.alternate = alternate;
       route.alternate_share = config_.flap_traffic_share;
     }

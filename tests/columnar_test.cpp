@@ -8,6 +8,8 @@
 #include "beacon/columns.h"
 #include "beacon/store.h"
 #include "common/arena.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "sim/scenario.h"
 #include "sim/simulation.h"
@@ -257,6 +259,77 @@ TEST(SortMergeJoin, EmptyLogsProduceNoDays) {
   store.join({}, {}, 4);
   EXPECT_EQ(store.days(), 0);
   EXPECT_EQ(store.total(), 0u);
+}
+
+// ----------------------------------------- fault-drop conservation property
+
+/// Per-join counter deltas under an armed beacon/store drop schedule.
+std::map<std::string, std::uint64_t> join_counters(MeasurementStore& store,
+                                                   const Logs& logs,
+                                                   int threads) {
+  MetricsRegistry::global().reset();
+  store.join(logs.dns, logs.http, threads);
+  return MetricsRegistry::global().snapshot().counters;
+}
+
+TEST(SortMergeJoin, FaultDropAccountingBalancesPerDayAcrossThreads) {
+  // One Logs batch per simulated day, the way the day loop drives join().
+  std::vector<Logs> days;
+  for (std::uint64_t d = 0; d < 3; ++d) {
+    days.push_back(make_random_logs(200, 0xd00d + d, DayIndex(d),
+                                    DayIndex(d)));
+  }
+  FaultSchedule schedule;
+  schedule.seed = 42;
+  schedule.rules = {{"beacon/store", FaultKind::kDrop, 0.3, 0,
+                     kFaultWindowOpen, 0.0}};
+
+  set_metrics_enabled(true);
+  std::vector<std::vector<std::map<std::string, std::uint64_t>>> per_run;
+  for (const int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    FailPointRegistry::global().arm(schedule);
+    MeasurementStore store;
+    std::vector<std::map<std::string, std::uint64_t>> per_day;
+    for (const Logs& logs : days) {
+      auto c = join_counters(store, logs, threads);
+      // executor.* scales with the thread count by design; the ledger
+      // comparison below is about join/fault accounting only.
+      std::erase_if(c, [](const auto& kv) {
+        return kv.first.rfind("executor.", 0) == 0;
+      });
+      const auto v = [&](const char* name) {
+        const auto it = c.find(name);
+        return it == c.end() ? std::uint64_t{0} : it->second;
+      };
+      // Exact per-day ledger: every HTTP row joins or orphans, every
+      // joined target (and row) is stored or dropped by the fault.
+      EXPECT_EQ(v("join.http_rows"),
+                v("join.joined_targets") + v("join.orphan_http"));
+      EXPECT_EQ(v("join.distinct_dns"),
+                v("join.joined_targets") + v("join.orphan_dns"));
+      EXPECT_EQ(v("join.joined_targets"),
+                v("join.stored_targets") + v("join.dropped_targets"));
+      EXPECT_EQ(v("join.measurements"),
+                v("join.stored_rows") + v("join.dropped_rows"));
+      EXPECT_GT(v("join.dropped_rows"), 0u);  // p=0.3 on ~200 beacons
+      EXPECT_EQ(v("join.dropped_rows"), v("fault.fired.beacon/store"));
+      per_day.push_back(std::move(c));
+    }
+    FailPointRegistry::global().disarm();
+    per_run.push_back(std::move(per_day));
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+
+  // The ledger — including which rows were injected-dropped — is
+  // identical for 1, 2, and 8 threads.
+  for (std::size_t run = 1; run < per_run.size(); ++run) {
+    for (std::size_t d = 0; d < per_run[run].size(); ++d) {
+      EXPECT_EQ(per_run[run][d], per_run[0][d])
+          << "run " << run << " day " << d;
+    }
+  }
 }
 
 // -------------------------------------------------------------- arena reuse

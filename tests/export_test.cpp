@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "analysis/figures.h"
 #include "core/evaluator.h"
 #include "core/predictor.h"
@@ -134,8 +135,16 @@ std::string render_csv(const Figure& figure, const char* name) {
   return bytes;
 }
 
-std::string fig01_csv(int threads) {
-  World world(ScenarioConfig::small_test());
+/// small_test with a fault schedule attached — the differential tests
+/// arm every fail point at probability zero and expect golden bytes.
+ScenarioConfig small_test_with(const FaultSchedule& faults) {
+  ScenarioConfig config = ScenarioConfig::small_test();
+  config.faults = faults;
+  return config;
+}
+
+std::string fig01_csv(int threads, const FaultSchedule& faults = {}) {
+  World world(small_test_with(faults));
   Rng rng = world.fork_rng("fig1");
   constexpr int kRounds = 3;
   std::vector<std::vector<Milliseconds>> per_client;
@@ -166,8 +175,8 @@ std::string fig01_csv(int threads) {
   return render_csv(figure, "acdn_fig01_golden.csv");
 }
 
-std::string fig03_csv(int threads) {
-  World world(ScenarioConfig::small_test());
+std::string fig03_csv(int threads, const FaultSchedule& faults = {}) {
+  World world(small_test_with(faults));
   Simulation sim(world);
   sim.run_days(2);
   std::vector<BeaconMeasurement> all;
@@ -186,8 +195,8 @@ std::string fig03_csv(int threads) {
   return render_csv(figure, "acdn_fig03_golden.csv");
 }
 
-std::string fig09_csv(int threads) {
-  ScenarioConfig config = ScenarioConfig::small_test();
+std::string fig09_csv(int threads, const FaultSchedule& faults = {}) {
+  ScenarioConfig config = small_test_with(faults);
   config.schedule.beacon_sampling = 0.15;
   World world(config);
   Simulation sim(world);
@@ -241,6 +250,24 @@ TEST(GoldenFigures, Fig09SerialParallelAndDigestAgree) {
   ASSERT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
   EXPECT_EQ(fnv1a64(serial), 0x58a16c56097e98caull);
+}
+
+TEST(GoldenFigures, ArmedAtZeroProbabilityIsByteIdenticalToDisarmed) {
+  // Differential guarantee of the fault-injection layer: arming every
+  // known fail point at p = 0.0 walks all the armed code paths (site-up
+  // checks, per-fetch and per-row decisions, writer checks) yet changes
+  // no decision and consumes no randomness — the exported figure bytes
+  // must match the disarmed golden digests exactly.
+  FaultSchedule zero;
+  zero.seed = 0xd1ffull;
+  for (const std::string_view point : known_fail_points()) {
+    zero.rules.push_back({std::string(point), FaultKind::kDrop, 0.0, 0,
+                          kFaultWindowOpen, 0.0});
+  }
+  EXPECT_EQ(fnv1a64(fig01_csv(3, zero)), 0x19aa0673cd067cd4ull);
+  EXPECT_EQ(fnv1a64(fig03_csv(3, zero)), 0xde0b818736d362f4ull);
+  EXPECT_EQ(fnv1a64(fig09_csv(3, zero)), 0x58a16c56097e98caull);
+  FailPointRegistry::global().disarm();
 }
 
 TEST(Export, ImportRejectsMalformedInput) {

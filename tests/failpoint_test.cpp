@@ -1,0 +1,235 @@
+// Unit coverage for the fail-point registry: schedule validation, the
+// pure-hash determinism contract, window semantics, trigger accounting,
+// and the zero-cost-when-off guarantee at the registry level.
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/metrics.h"
+
+namespace acdn {
+namespace {
+
+/// Arms `rules` under `seed` and disarms again when the test ends, so
+/// the process-wide registry never leaks state across tests.
+class ArmedSchedule {
+ public:
+  ArmedSchedule(std::uint64_t seed, std::vector<FaultRule> rules) {
+    FaultSchedule schedule;
+    schedule.seed = seed;
+    schedule.rules = std::move(rules);
+    FailPointRegistry::global().arm(schedule);
+  }
+  ~ArmedSchedule() { FailPointRegistry::global().disarm(); }
+};
+
+FaultRule rule(std::string point, FaultKind kind, double p,
+               DayIndex first = 0, DayIndex last = kFaultWindowOpen,
+               double magnitude = 0.0) {
+  return FaultRule{std::move(point), kind, p, first, last, magnitude};
+}
+
+TEST(FaultKindNames, RoundTrip) {
+  for (const FaultKind k : {FaultKind::kDrop, FaultKind::kDelay,
+                            FaultKind::kCorrupt, FaultKind::kError}) {
+    EXPECT_EQ(parse_fault_kind(to_string(k)), k);
+  }
+  EXPECT_THROW((void)parse_fault_kind("explode"), ConfigError);
+}
+
+TEST(FaultScheduleValidate, AcceptsEmptyAndFullProbability) {
+  FaultSchedule empty;
+  EXPECT_NO_THROW(empty.validate());
+
+  FaultSchedule always;
+  always.rules = {rule("dns/resolve", FaultKind::kError, 1.0)};
+  EXPECT_NO_THROW(always.validate());
+}
+
+TEST(FaultScheduleValidate, RejectsMalformedRules) {
+  const auto expect_bad = [](FaultRule r) {
+    FaultSchedule s;
+    s.rules = {std::move(r)};
+    EXPECT_THROW(s.validate(), ConfigError);
+  };
+  expect_bad(rule("not/a/point", FaultKind::kDrop, 0.5));
+  expect_bad(rule("dns/resolve", FaultKind::kDrop, -0.1));
+  expect_bad(rule("dns/resolve", FaultKind::kDrop, 1.5));
+  expect_bad(rule("dns/resolve", FaultKind::kDrop, 0.0 / 0.0));  // NaN
+  expect_bad(rule("dns/resolve", FaultKind::kDrop, 0.5, -1));
+  expect_bad(rule("dns/resolve", FaultKind::kDrop, 0.5, 5, 3));  // empty
+  expect_bad(rule("dns/resolve", FaultKind::kDelay, 0.5, 0,
+                  kFaultWindowOpen, 0.0));  // delay needs magnitude
+  expect_bad(rule("dns/resolve", FaultKind::kCorrupt, 0.5, 0,
+                  kFaultWindowOpen, -2.0));
+}
+
+TEST(FaultScheduleValidate, RejectsOverlappingWindowsPerPoint) {
+  FaultSchedule s;
+  s.rules = {rule("dns/resolve", FaultKind::kDrop, 0.1, 0, 5),
+             rule("dns/resolve", FaultKind::kError, 0.2, 5, 9)};
+  EXPECT_THROW(s.validate(), ConfigError);  // day 5 governed twice
+
+  // Disjoint windows on one point, overlapping on different points: fine.
+  s.rules = {rule("dns/resolve", FaultKind::kDrop, 0.1, 0, 4),
+             rule("dns/resolve", FaultKind::kError, 0.2, 5, 9),
+             rule("beacon/http_fetch", FaultKind::kDrop, 0.3, 0,
+                  kFaultWindowOpen)};
+  EXPECT_NO_THROW(s.validate());
+
+  // Open-ended windows overlap everything at or after first_day.
+  s.rules = {rule("dns/resolve", FaultKind::kDrop, 0.1, 3, kFaultWindowOpen),
+             rule("dns/resolve", FaultKind::kError, 0.2, 7, 8)};
+  EXPECT_THROW(s.validate(), ConfigError);
+}
+
+TEST(FailPointRegistry, ArmRejectsBadSchedulesAtomically) {
+  FaultSchedule bad;
+  bad.rules = {rule("dns/resolve", FaultKind::kDrop, 2.0)};
+  EXPECT_THROW(FailPointRegistry::global().arm(bad), ConfigError);
+  EXPECT_FALSE(fail_points_armed());
+}
+
+TEST(FailPoint, DisarmedNeverFires) {
+  FailPointRegistry::global().disarm();
+  const FailPoint fp("dns/resolve");
+  for (std::uint64_t c = 0; c < 100; ++c) {
+    EXPECT_FALSE(fp.fire(0, c).has_value());
+  }
+  EXPECT_EQ(FailPointRegistry::global().total_triggered(), 0u);
+}
+
+TEST(FailPoint, ProbabilityZeroNeverFiresAndProbabilityOneAlwaysFires) {
+  const ArmedSchedule armed(
+      99, {rule("dns/resolve", FaultKind::kDrop, 0.0),
+           rule("beacon/http_fetch", FaultKind::kError, 1.0)});
+  const FailPoint never("dns/resolve");
+  const FailPoint always("beacon/http_fetch");
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    EXPECT_FALSE(never.fire(0, c).has_value());
+    const auto fault = always.fire(0, c);
+    ASSERT_TRUE(fault.has_value());
+    EXPECT_EQ(fault->kind, FaultKind::kError);
+  }
+  const auto counts = FailPointRegistry::global().trigger_counts();
+  EXPECT_EQ(counts.at("dns/resolve"), 0u);
+  EXPECT_EQ(counts.at("beacon/http_fetch"), 200u);
+}
+
+TEST(FailPoint, DecisionsArePureInSeedDayAndCoordinate) {
+  // Same (seed, day, coordinate) always decides the same way, in any call
+  // order — the property that makes schedules thread-count independent.
+  std::vector<std::uint64_t> coords;
+  for (std::uint64_t c = 0; c < 512; ++c) coords.push_back(c * 7919);
+
+  const auto fired_set = [&](bool reversed) {
+    const ArmedSchedule armed(
+        1234, {rule("beacon/store", FaultKind::kDrop, 0.3)});
+    const FailPoint fp("beacon/store");
+    std::set<std::uint64_t> fired;
+    auto order = coords;
+    if (reversed) std::reverse(order.begin(), order.end());
+    for (const std::uint64_t c : order) {
+      if (fp.fire(2, c)) fired.insert(c);
+    }
+    return fired;
+  };
+  const auto forward = fired_set(false);
+  const auto backward = fired_set(true);
+  EXPECT_EQ(forward, backward);
+  // ~30% of 512 coordinates; loose bounds, deterministic given the seed.
+  EXPECT_GT(forward.size(), 100u);
+  EXPECT_LT(forward.size(), 220u);
+}
+
+TEST(FailPoint, DifferentSeedsDecideDifferently) {
+  const auto fired_count = [](std::uint64_t seed) {
+    const ArmedSchedule armed(
+        seed, {rule("beacon/store", FaultKind::kDrop, 0.5)});
+    const FailPoint fp("beacon/store");
+    std::set<std::uint64_t> fired;
+    for (std::uint64_t c = 0; c < 256; ++c) {
+      if (fp.fire(0, c)) fired.insert(c);
+    }
+    return fired;
+  };
+  EXPECT_NE(fired_count(1), fired_count(2));
+}
+
+TEST(FailPoint, WindowsGateByDay) {
+  const ArmedSchedule armed(
+      7, {rule("bgp/session", FaultKind::kError, 1.0, 2, 4)});
+  const FailPoint fp("bgp/session");
+  EXPECT_FALSE(fp.fire(0, 1).has_value());
+  EXPECT_FALSE(fp.fire(1, 1).has_value());
+  EXPECT_TRUE(fp.fire(2, 1).has_value());
+  EXPECT_TRUE(fp.fire(4, 1).has_value());
+  EXPECT_FALSE(fp.fire(5, 1).has_value());
+}
+
+TEST(FailPoint, DisjointWindowsPickTheCoveringRule) {
+  const ArmedSchedule armed(
+      7, {rule("bgp/session", FaultKind::kDrop, 1.0, 0, 1),
+          rule("bgp/session", FaultKind::kError, 1.0, 2, 3)});
+  const FailPoint fp("bgp/session");
+  EXPECT_EQ(fp.fire(1, 0)->kind, FaultKind::kDrop);
+  EXPECT_EQ(fp.fire(2, 0)->kind, FaultKind::kError);
+  EXPECT_FALSE(fp.fire(4, 0).has_value());
+}
+
+TEST(FailPoint, TriggerCountsMatchFiredMetrics) {
+  MetricsRegistry::global().reset();
+  set_metrics_enabled(true);
+  {
+    const ArmedSchedule armed(
+        5, {rule("csv/write", FaultKind::kError, 0.5)});
+    const FailPoint fp("csv/write");
+    std::uint64_t fired = 0;
+    for (std::uint64_t c = 0; c < 300; ++c) {
+      if (fp.fire(0, c)) ++fired;
+    }
+    EXPECT_GT(fired, 0u);
+    const auto counts = FailPointRegistry::global().trigger_counts();
+    EXPECT_EQ(counts.at("csv/write"), fired);
+    const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+    EXPECT_EQ(snap.counters.at("fault.fired.csv/write"), fired);
+  }
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+
+TEST(FailPoint, ArmResetsTriggerCounts) {
+  const ArmedSchedule armed(5,
+                            {rule("csv/write", FaultKind::kError, 1.0)});
+  const FailPoint fp("csv/write");
+  (void)fp.fire(0, 0);
+  EXPECT_EQ(FailPointRegistry::global().trigger_counts().at("csv/write"),
+            1u);
+  FaultSchedule again;
+  again.rules = {rule("csv/write", FaultKind::kError, 1.0)};
+  FailPointRegistry::global().arm(again);
+  EXPECT_EQ(FailPointRegistry::global().trigger_counts().at("csv/write"),
+            0u);
+}
+
+TEST(FailPoint, KnownPointsAreSortedAndConstructible) {
+  const auto points = known_fail_points();
+  EXPECT_TRUE(std::is_sorted(points.begin(), points.end()));
+  for (const std::string_view p : points) {
+    EXPECT_NO_THROW(FailPoint{p});
+  }
+}
+
+TEST(FailPoint, CoordinateHelperIsStable) {
+  EXPECT_EQ(fault_coordinate("fig01.csv"), fault_coordinate("fig01.csv"));
+  EXPECT_NE(fault_coordinate("fig01.csv"), fault_coordinate("fig03.csv"));
+}
+
+}  // namespace
+}  // namespace acdn

@@ -5,9 +5,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/error.h"
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "net/ipv4.h"
 #include "report/export.h"
@@ -100,6 +103,82 @@ TEST(FuzzRobustness, PassiveImportSurvivesMutations) {
   }
   EXPECT_GT(exceptions, 0);  // corrupting the header or numbers must throw
   std::remove(path.c_str());
+}
+
+TEST(FuzzRobustness, FaultScheduleValidationSurvivesRandomConfigs) {
+  // Random fault schedules — garbage points, out-of-range and NaN
+  // probabilities, inverted and overlapping windows, p = 1.0 storms —
+  // must either arm cleanly (and then disarm) or throw ConfigError.
+  // Nothing may crash or leave the registry half-armed.
+  Rng rng(1005);
+  const auto points = known_fail_points();
+  int armed = 0;
+  int rejected = 0;
+  for (int round = 0; round < 4000; ++round) {
+    FaultSchedule schedule;
+    schedule.seed = rng.next_u64();
+    const int rules = rng.uniform_int(0, 5);
+    for (int r = 0; r < rules; ++r) {
+      FaultRule rule;
+      if (rng.bernoulli(0.8)) {
+        rule.point = std::string(points[rng.uniform_index(points.size())]);
+      } else {
+        rule.point = random_text(rng, 24);  // almost surely unknown
+      }
+      rule.kind = static_cast<FaultKind>(rng.uniform_int(0, 3));
+      switch (rng.uniform_int(0, 3)) {
+        case 0: rule.probability = rng.uniform(-0.5, 1.5); break;
+        case 1: rule.probability = rng.bernoulli(0.5) ? 0.0 : 1.0; break;
+        case 2: rule.probability =
+            std::numeric_limits<double>::quiet_NaN(); break;
+        default: rule.probability = rng.uniform(0.0, 1.0); break;
+      }
+      rule.first_day = rng.uniform_int(-2, 6);
+      rule.last_day = rng.bernoulli(0.3)
+                          ? kFaultWindowOpen
+                          : rng.uniform_int(-2, 6);  // often inverted/empty
+      rule.magnitude = rng.bernoulli(0.8) ? rng.uniform(0.0, 50.0) : -1.0;
+      schedule.rules.push_back(std::move(rule));
+    }
+    try {
+      FailPointRegistry::global().arm(schedule);
+      ++armed;
+      EXPECT_EQ(fail_points_armed(), !schedule.rules.empty());
+      // An armed schedule is usable: probing every point never throws.
+      for (const std::string_view point : points) {
+        const FailPoint fp(point);
+        (void)fp.fire(0, 17);
+      }
+      FailPointRegistry::global().disarm();
+    } catch (const ConfigError&) {
+      ++rejected;
+      EXPECT_FALSE(fail_points_armed());  // arm() validates before install
+    }
+  }
+  EXPECT_GT(armed, 0);
+  EXPECT_GT(rejected, 0);
+  FailPointRegistry::global().disarm();
+}
+
+TEST(FuzzRobustness, FaultScheduleRejectsTheDocumentedShapes) {
+  const auto rejects = [](FaultRule rule) {
+    FaultSchedule s;
+    s.rules = {std::move(rule)};
+    EXPECT_THROW(s.validate(), ConfigError);
+  };
+  // Empty window (last < first, not open-ended).
+  rejects({"dns/resolve", FaultKind::kDrop, 0.5, 4, 2, 0.0});
+  // p outside [0, 1] either side.
+  rejects({"dns/resolve", FaultKind::kDrop, 1.0001, 0, kFaultWindowOpen,
+           0.0});
+  rejects({"dns/resolve", FaultKind::kDrop, -0.0001, 0, kFaultWindowOpen,
+           0.0});
+  // Overlapping windows for one point, including p = 1.0 storms.
+  FaultSchedule overlap;
+  overlap.rules = {
+      {"bgp/session", FaultKind::kError, 1.0, 0, kFaultWindowOpen, 0.0},
+      {"bgp/session", FaultKind::kError, 1.0, 3, 4, 0.0}};
+  EXPECT_THROW(overlap.validate(), ConfigError);
 }
 
 TEST(FuzzRobustness, MeasurementImportSurvivesMutations) {

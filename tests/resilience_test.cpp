@@ -1,0 +1,199 @@
+// Degraded-mode pipeline tests (fault-injection tentpole): the predictor's
+// gate-empty fallback to anycast, DegradedPipeline's stale carry-forward
+// with its explicit staleness counter, and the golden manifest fragment
+// that records both.
+#include "core/resilience.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/failpoint.h"
+#include "common/metrics.h"
+#include "report/run_report.h"
+#include "sim/scenario.h"
+#include "sim/simulation.h"
+#include "sim/world.h"
+
+namespace acdn {
+namespace {
+
+ResilienceConfig lenient_config() {
+  ResilienceConfig config;
+  config.predictor.min_measurements = 1;
+  config.evaluator.min_eval_samples = 1;
+  config.evaluator.epsilon_ms = 0.0;
+  return config;
+}
+
+TEST(DegradedPipeline, HealthyDaysTrainAndEvaluateFresh) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+
+  DegradedPipeline pipeline(world.clients(), world.ldns(), lenient_config());
+  const auto outcome = pipeline.step(sim.measurements(), 0, 1);
+  EXPECT_TRUE(outcome.trained_fresh);
+  EXPECT_TRUE(outcome.evaluated_fresh);
+  EXPECT_EQ(outcome.staleness, 0);
+  EXPECT_GT(outcome.summary.evaluated, 0u);
+  EXPECT_EQ(pipeline.stale_train_days(), 0u);
+  EXPECT_EQ(pipeline.stale_eval_days(), 0u);
+}
+
+TEST(DegradedPipeline, EmptyDaysCarryLastHealthySummaryForward) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+
+  DegradedPipeline pipeline(world.clients(), world.ldns(), lenient_config());
+  const auto fresh = pipeline.step(sim.measurements(), 0, 1);
+  ASSERT_TRUE(fresh.evaluated_fresh);
+
+  // Days 5/6 never ran: both unhealthy. The previous mapping is kept and
+  // the last healthy summary is carried forward, explicitly stale.
+  const auto stale1 = pipeline.step(sim.measurements(), 5, 6);
+  EXPECT_FALSE(stale1.trained_fresh);
+  EXPECT_FALSE(stale1.evaluated_fresh);
+  EXPECT_EQ(stale1.staleness, 1);
+  EXPECT_EQ(stale1.summary.evaluated, fresh.summary.evaluated);
+  EXPECT_EQ(stale1.summary.improvement_p50.count(),
+            fresh.summary.improvement_p50.count());
+
+  const auto stale2 = pipeline.step(sim.measurements(), 5, 6);
+  EXPECT_EQ(stale2.staleness, 2);
+  EXPECT_EQ(pipeline.stale_train_days(), 2u);
+  EXPECT_EQ(pipeline.stale_eval_days(), 2u);
+
+  // A healthy pair resets the staleness run (the totals keep counting).
+  const auto recovered = pipeline.step(sim.measurements(), 0, 1);
+  EXPECT_TRUE(recovered.evaluated_fresh);
+  EXPECT_EQ(recovered.staleness, 0);
+  EXPECT_EQ(pipeline.stale_eval_days(), 2u);
+}
+
+TEST(DegradedPipeline, NoMappingYetMeansStaleEvenOnHealthyEvalDay) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+
+  DegradedPipeline pipeline(world.clients(), world.ldns(), lenient_config());
+  // Training day is empty and no mapping exists yet: nothing to evaluate
+  // with, even though the evaluation day itself has data.
+  const auto outcome = pipeline.step(sim.measurements(), 7, 1);
+  EXPECT_FALSE(outcome.trained_fresh);
+  EXPECT_FALSE(outcome.evaluated_fresh);
+  EXPECT_EQ(outcome.staleness, 1);
+  EXPECT_EQ(outcome.summary.evaluated, 0u);
+}
+
+TEST(DegradedPipeline, StalenessMetricsLandInRegistry) {
+  MetricsRegistry::global().reset();
+  set_metrics_enabled(true);
+
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+  DegradedPipeline pipeline(world.clients(), world.ldns(), lenient_config());
+  (void)pipeline.step(sim.measurements(), 0, 1);
+  (void)pipeline.step(sim.measurements(), 5, 6);
+  (void)pipeline.step(sim.measurements(), 5, 6);
+
+  const MetricsSnapshot snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("resilience.stale_train_days"), 2u);
+  EXPECT_EQ(snap.counters.at("resilience.stale_eval_days"), 2u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("resilience.staleness"), 2.0);
+
+  set_metrics_enabled(false);
+  MetricsRegistry::global().reset();
+}
+
+TEST(GateEmptyFallback, ImpossibleGateLeavesEveryGroupOnAnycast) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(2);
+
+  PredictorConfig config;
+  config.min_measurements = 1000000;  // nothing can qualify
+  HistoryPredictor predictor(config);
+  predictor.train(sim.measurements().columns(0));
+
+  // Every group with data fell below the gate: no mapping entries, the
+  // gate-empty counter owns them all, and predict() sends consumers to
+  // anycast (nullopt).
+  EXPECT_EQ(predictor.predictions().size(), 0u);
+  EXPECT_GT(predictor.gate_empty_groups(), 0u);
+
+  // Evaluation still works — every /24 is scored as anycast.
+  PredictionEvaluator::Config eval_config;
+  eval_config.min_eval_samples = 1;
+  const PredictionEvaluator evaluator(world.clients(), world.ldns(),
+                                      eval_config);
+  const auto outcomes =
+      evaluator.evaluate(predictor, sim.measurements().columns(1));
+  ASSERT_GT(outcomes.size(), 0u);
+  for (const EvalOutcome& o : outcomes) {
+    EXPECT_TRUE(o.predicted_anycast);
+    EXPECT_DOUBLE_EQ(o.improvement_p50, 0.0);
+  }
+}
+
+TEST(GateEmptyFallback, LooseGateRestoresUnicastPredictions) {
+  World world(ScenarioConfig::small_test());
+  Simulation sim(world);
+  sim.run_days(1);
+
+  PredictorConfig config;
+  config.min_measurements = 1;
+  HistoryPredictor predictor(config);
+  predictor.train(sim.measurements().columns(0));
+  EXPECT_GT(predictor.predictions().size(), 0u);
+  EXPECT_EQ(predictor.gate_empty_groups(), 0u);
+}
+
+TEST(ManifestFragment, GoldenFaultInjectionSection) {
+  FaultInjectionRecord record;
+  record.armed = true;
+  record.seed = 7;
+  record.rules = {
+      {"dns/resolve", FaultKind::kError, 0.25, 1, 3, 0.0},
+      {"beacon/store", FaultKind::kCorrupt, 0.5, 0, kFaultWindowOpen, 2.5},
+  };
+  record.trigger_counts = {{"beacon/store", 4}, {"dns/resolve", 12}};
+  record.stale_train_days = 2;
+  record.stale_eval_days = 3;
+
+  const std::string expected =
+      "  \"fault_injection\": {\n"
+      "    \"armed\": true,\n"
+      "    \"seed\": 7,\n"
+      "    \"rules\": [\n"
+      "      {\"point\": \"dns/resolve\", \"kind\": \"error\", "
+      "\"probability\": 0.25, \"first_day\": 1, \"last_day\": 3, "
+      "\"magnitude\": 0},\n"
+      "      {\"point\": \"beacon/store\", \"kind\": \"corrupt\", "
+      "\"probability\": 0.5, \"first_day\": 0, \"last_day\": -1, "
+      "\"magnitude\": 2.5}\n"
+      "    ],\n"
+      "    \"trigger_counts\": {\n"
+      "      \"beacon/store\": 4,\n"
+      "      \"dns/resolve\": 12\n"
+      "    },\n"
+      "    \"stale_train_days\": 2,\n"
+      "    \"stale_eval_days\": 3\n"
+      "  }\n";
+  EXPECT_EQ(format_fault_injection(record, 1), expected);
+}
+
+TEST(ManifestFragment, DisarmedRecordIsExplicit) {
+  FailPointRegistry::global().disarm();
+  const FaultInjectionRecord record = FaultInjectionRecord::from_registry();
+  EXPECT_FALSE(record.armed);
+  EXPECT_TRUE(record.rules.empty());
+  const std::string text = format_fault_injection(record, 0);
+  EXPECT_NE(text.find("\"armed\": false"), std::string::npos);
+  EXPECT_NE(text.find("\"rules\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace acdn

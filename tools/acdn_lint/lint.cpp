@@ -560,6 +560,44 @@ void rule_parallel_fp_accum(const Stripped& s, const std::string& label,
   }
 }
 
+void rule_failpoint(const Stripped& s, const std::string& label,
+                    std::vector<Finding>* out) {
+  if (starts_with(label, "src/common/failpoint")) return;
+  // Ad-hoc failure modelling: a bernoulli draw whose probability
+  // expression names failure-ish state. Injected failures belong behind a
+  // named common/failpoint fail point, where they are seeded from the
+  // scenario, windowed by day, and trigger-counted into the manifest;
+  // an rng draw is invisible to the chaos accounting and perturbs the
+  // deterministic stream. Organic world behavior (modeled loss rates)
+  // stays on rng with a NOLINT-ACDN justification.
+  static const std::vector<std::string> kFailureWords = {
+      "fail",  "fault", "outage",  "corrupt", "loss",
+      "drop",  "error", "timeout", "servfail"};
+  for (std::size_t pos : find_words(s.code, "bernoulli")) {
+    const std::size_t open =
+        skip_space(s.code, pos + std::string("bernoulli").size());
+    if (open >= s.code.size() || s.code[open] != '(') continue;
+    const std::size_t close = match_parens(s.code, open);
+    if (close == std::string::npos) continue;
+    std::string arg = s.code.substr(open, close - open);
+    std::transform(arg.begin(), arg.end(), arg.begin(), [](char c) {
+      return static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c)));
+    });
+    for (const std::string& word : kFailureWords) {
+      if (arg.find(word) == std::string::npos) continue;
+      out->push_back({"", s.line_of(pos), "failpoint",
+                      "failure probability ('" + word +
+                          "') drawn from rng — injected failures go "
+                          "through a named common/failpoint fail point "
+                          "(seeded, day-windowed, trigger-counted); "
+                          "justify if this models organic world "
+                          "behavior"});
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
@@ -568,7 +606,7 @@ const std::vector<std::string>& known_rules() {
   static const std::vector<std::string> kRules = {
       "unordered-iter",    "unordered-decl", "raw-thread",
       "banned-random",     "wall-clock",     "parallel-fp-accum",
-      "nolint-justification"};
+      "failpoint",         "nolint-justification"};
   return kRules;
 }
 
@@ -598,6 +636,7 @@ std::vector<Finding> lint_file(
   rule_banned_random(s, file.label, &findings);
   rule_wall_clock(s, file.label, &findings);
   rule_parallel_fp_accum(s, file.label, &findings);
+  rule_failpoint(s, file.label, &findings);
 
   // Suppression: a well-formed directive covers its own line and the next.
   const std::set<std::string> rules(known_rules().begin(),

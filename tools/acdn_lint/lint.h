@@ -26,6 +26,13 @@
 //   parallel-fp-accum compound accumulation (+=, -=) inside a
 //                     parallel_for body — cross-iteration accumulation
 //                     belongs in parallel_reduce's ordered fold
+//   failpoint         rng.bernoulli(...) whose probability expression
+//                     names failure-ish state (fail/fault/loss/outage/
+//                     corrupt/drop/error/timeout) outside
+//                     common/failpoint — injected failures go through a
+//                     named fail point (seeded, day-windowed,
+//                     trigger-counted); organic loss rates justify via
+//                     NOLINT-ACDN
 //   nolint-justification  every NOLINT-ACDN directive must name a known
 //                     rule and carry `: <justification>`
 //

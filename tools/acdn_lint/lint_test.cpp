@@ -54,6 +54,7 @@ constexpr RuleFixture kRuleFixtures[] = {
     {"banned-random", "banned_random"},
     {"wall-clock", "wall_clock"},
     {"parallel-fp-accum", "parallel_fp_accum"},
+    {"failpoint", "failpoint"},
     // The pre-flat_group aggregation idiom: both hazards in one fixture,
     // with the sorted-vector rewrite as the sanctioned must-pass twin.
     {"unordered-iter", "flat_group"},

@@ -1,0 +1,22 @@
+// Must-fire: ad-hoc injected failures drawn from the rng stream. A
+// failure probability belongs behind a named common/failpoint fail point
+// so it is seeded from the scenario, windowed by day, and trigger-counted
+// into the run manifest; an rng draw is invisible to chaos accounting and
+// perturbs the deterministic stream for everything drawn after it.
+#include <cstdint>
+
+namespace acdn {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  bool bernoulli(double p);
+};
+}  // namespace acdn
+
+bool row_survives(acdn::Rng& rng, double drop_prob) {
+  return !rng.bernoulli(drop_prob);
+}
+
+bool resolver_answers(acdn::Rng& rng, double timeout_fraction) {
+  return !rng.bernoulli(timeout_fraction);
+}

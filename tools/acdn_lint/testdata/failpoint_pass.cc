@@ -1,0 +1,32 @@
+// Must-pass: injected failures flow through a named fail point; organic
+// modeled loss stays on rng with a mandatory justification; ordinary
+// probability draws (sampling, presence) never trip the rule.
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace acdn {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+  bool bernoulli(double p);
+};
+struct Fault {};
+class FailPoint {
+ public:
+  explicit FailPoint(std::string_view path);
+  std::optional<Fault> fire(int day, std::uint64_t coordinate) const;
+};
+}  // namespace acdn
+
+bool fetch_delivers(acdn::Rng& rng, int day, std::uint64_t url_id,
+                    double fetch_loss_prob) {
+  static const acdn::FailPoint fault("beacon/http_fetch");
+  if (fault.fire(day, url_id)) return false;  // injected, counted
+  // NOLINT-ACDN(failpoint): fetch_loss_prob models organic browser loss
+  return !rng.bernoulli(fetch_loss_prob);
+}
+
+bool beacon_sampled(acdn::Rng& rng, double beacon_sampling) {
+  return rng.bernoulli(beacon_sampling);
+}

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Coverage gate for the CI coverage leg.
+#
+# Expects a build tree configured with the "coverage" preset (clang +
+# -fprofile-instr-generate -fcoverage-mapping) whose tests already ran
+# with LLVM_PROFILE_FILE="<build>/profiles/%p.profraw". Merges the raw
+# profiles, writes an lcov trace (the CI artifact), and fails if line
+# coverage over src/common + src/core drops below the floor recorded in
+# COVERAGE_FLOOR at the repository root.
+#
+# Usage: tools/coverage_gate.sh [build-dir] [floor-file]
+set -euo pipefail
+
+build="${1:-build-coverage}"
+floor_file="${2:-COVERAGE_FLOOR}"
+
+profdata="$build/coverage.profdata"
+llvm-profdata merge -sparse "$build"/profiles/*.profraw -o "$profdata"
+
+# Every test binary contributes its mapping; the first is the primary
+# object, the rest ride along as -object arguments.
+objects=()
+for bin in "$build"/tests/*_test; do
+  [ -x "$bin" ] && objects+=("$bin")
+done
+if [ "${#objects[@]}" -eq 0 ]; then
+  echo "coverage_gate: no test binaries under $build/tests" >&2
+  exit 1
+fi
+object_args=("${objects[0]}")
+for bin in "${objects[@]:1}"; do
+  object_args+=(-object "$bin")
+done
+
+# Full lcov trace for the artifact (whole tree), then a summary scoped to
+# the gated directories.
+llvm-cov export -format=lcov -instr-profile="$profdata" \
+  "${object_args[@]}" > "$build/coverage.lcov"
+llvm-cov export -summary-only -format=text \
+  -instr-profile="$profdata" "${object_args[@]}" \
+  src/common src/core > "$build/coverage_summary.json"
+
+floor="$(grep -v '^#' "$floor_file" | head -1 | tr -d '[:space:]')"
+python3 - "$floor" "$build/coverage_summary.json" <<'EOF'
+import json, sys
+floor = float(sys.argv[1])
+with open(sys.argv[2]) as f:
+    totals = json.load(f)["data"][0]["totals"]["lines"]
+percent = totals["percent"]
+print(f"src/common + src/core line coverage: {percent:.2f}% "
+      f"({totals['covered']}/{totals['count']} lines, floor {floor:.2f}%)")
+if percent < floor:
+    print(f"coverage_gate: FAIL — {percent:.2f}% is below the recorded "
+          f"floor of {floor:.2f}%", file=sys.stderr)
+    sys.exit(1)
+EOF
