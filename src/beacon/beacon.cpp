@@ -1,13 +1,28 @@
 #include "beacon/beacon.h"
 
 #include <algorithm>
+#include <array>
 #include <mutex>
 
+#include "common/check.h"
 #include "common/error.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
 
 namespace acdn {
+
+namespace {
+
+/// Field widths: 24 bits of AS above 20 of metro above 20 of front-end.
+std::uint64_t unicast_key(AsId as, MetroId metro, FrontEndId fe) {
+  ACDN_DCHECK_LT(std::uint64_t(as.value), std::uint64_t(1) << 24);
+  ACDN_DCHECK_LT(std::uint64_t(metro.value), std::uint64_t(1) << 20);
+  ACDN_DCHECK_LT(std::uint64_t(fe.value), std::uint64_t(1) << 20);
+  return (std::uint64_t(as.value) << 40) |
+         (std::uint64_t(metro.value) << 20) | std::uint64_t(fe.value);
+}
+
+}  // namespace
 
 BeaconSystem::BeaconSystem(const CdnRouter& router,
                            const MetroDatabase& metros,
@@ -24,8 +39,12 @@ BeaconSystem::BeaconSystem(const CdnRouter& router,
       timing_(&timing),
       config_(config) {
   require(config_.candidate_pool >= 1, "candidate pool must be positive");
+  require(config_.candidate_pool <= kMaxCandidatePool,
+          "candidate pool exceeds kMaxCandidatePool");
   require(config_.targets_per_beacon >= 2,
           "beacon needs at least anycast + one unicast target");
+  require(config_.targets_per_beacon <= kMaxTargetsPerBeacon,
+          "targets_per_beacon exceeds the url_id fetch-ordinal stride");
 
   // Candidate selection per LDNS (paper §3.3): the N front-ends closest to
   // the LDNS *according to the geolocation database*.
@@ -38,6 +57,35 @@ BeaconSystem::BeaconSystem(const CdnRouter& router,
         metros, estimated,
         static_cast<std::size_t>(config_.candidate_pool));
   }
+
+  client_local_km_.reserve(clients.size());
+  for (const Client24& c : clients.clients()) {
+    client_local_km_.push_back(
+        haversine_km(c.location, metros.metro(c.metro).location));
+  }
+
+  // Pre-resolve the unicast route for every (client unit, pool candidate)
+  // pair a beacon can fetch: the hot path then reads an immutable table
+  // with no locking. Serial and client-ordered, so the
+  // router.unicast_lookups count is deterministic. Clients sharing an
+  // (access AS, metro) unit share resolutions through the keyed map; the
+  // flat per-(client, pool slot) copy is what run_beacon indexes.
+  const std::size_t stride = static_cast<std::size_t>(config_.candidate_pool);
+  pool_routes_.resize(clients.size() * stride);
+  for (const Client24& c : clients.clients()) {
+    const std::span<const FrontEndId> pool = candidates_for(c.ldns);
+    for (std::size_t j = 0; j < pool.size(); ++j) {
+      const std::uint64_t key = unicast_key(c.access_as, c.metro, pool[j]);
+      auto it = unicast_warm_.find(key);
+      if (it == unicast_warm_.end()) {
+        it = unicast_warm_
+                 .emplace(key,
+                          router_->route_unicast(c.access_as, c.metro, pool[j]))
+                 .first;
+      }
+      pool_routes_[c.id.value * stride + j] = it->second;
+    }
+  }
 }
 
 std::span<const FrontEndId> BeaconSystem::candidates_for(LdnsId ldns) const {
@@ -47,9 +95,11 @@ std::span<const FrontEndId> BeaconSystem::candidates_for(LdnsId ldns) const {
 
 RouteResult BeaconSystem::cached_unicast(AsId as, MetroId metro,
                                          FrontEndId fe) const {
-  const std::uint64_t key = (std::uint64_t(as.value) << 40) |
-                            (std::uint64_t(metro.value) << 20) |
-                            std::uint64_t(fe.value);
+  const std::uint64_t key = unicast_key(as, metro, fe);
+  // Lock-free fast path: the warm map is immutable after construction.
+  if (auto it = unicast_warm_.find(key); it != unicast_warm_.end()) {
+    return it->second;
+  }
   {
     std::shared_lock lock(unicast_cache_mutex_);
     auto it = unicast_cache_.find(key);
@@ -68,13 +118,28 @@ RouteResult BeaconSystem::cached_unicast(AsId as, MetroId metro,
 Milliseconds BeaconSystem::route_rtt(const Client24& client,
                                      const RouteResult& route,
                                      const SimTime& when, Rng& rng) const {
+  return route_rtt_at(client, route, rtt_->diurnal_factor(when), rng);
+}
+
+Milliseconds BeaconSystem::route_rtt_at(const Client24& client,
+                                        const RouteResult& route,
+                                        double diurnal, Rng& rng) const {
   require(route.valid, "route_rtt over an invalid route");
-  const Kilometers local = haversine_km(
-      client.location, metros_->metro(client.metro).location);
+  // Memoized for population clients (identified by id + unchanged
+  // coordinates); synthetic clients fall back to the direct computation.
+  const auto clients = clients_->clients();
+  const bool memoized =
+      client.id.value < client_local_km_.size() &&
+      clients[client.id.value].metro == client.metro &&
+      clients[client.id.value].location == client.location;
+  const Kilometers local =
+      memoized ? client_local_km_[client.id.value]
+               : haversine_km(client.location,
+                              metros_->metro(client.metro).location);
   const Milliseconds base = rtt_->base_rtt(local + route.total_km(),
                                            route.as_hops,
                                            client.last_mile_ms);
-  return rtt_->sample(base, when, rng);
+  return rtt_->sample_at(base, diurnal, rng);
 }
 
 Milliseconds BeaconSystem::unicast_rtt(const Client24& client, FrontEndId fe,
@@ -85,6 +150,20 @@ Milliseconds BeaconSystem::unicast_rtt(const Client24& client, FrontEndId fe,
   return route_rtt(client, route, when, rng);
 }
 
+Milliseconds BeaconSystem::pooled_unicast_rtt(const Client24& client,
+                                              std::size_t pool_index,
+                                              double diurnal,
+                                              Rng& rng) const {
+  const std::size_t stride =
+      static_cast<std::size_t>(config_.candidate_pool);
+  const std::size_t slot = client.id.value * stride + pool_index;
+  ACDN_DCHECK_LT(pool_index, candidates_for(client.ldns).size());
+  ACDN_DCHECK_LT(slot, pool_routes_.size());
+  const RouteResult& route = pool_routes_[slot];
+  require(route.valid, "unicast prefix unreachable from client");
+  return route_rtt_at(client, route, diurnal, rng);
+}
+
 void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
                               const SimTime& when,
                               const RouteResult& anycast_route, Rng& rng,
@@ -93,31 +172,67 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
   const std::span<const FrontEndId> pool = candidates_for(client.ldns);
 
   // Target list: anycast, closest-to-LDNS, then weighted randoms from the
-  // rest of the pool (closer candidates more likely, §3.3).
-  std::vector<BeaconMeasurement::Target> plan;
-  plan.push_back({true, anycast_route.front_end, 0.0});
-  if (!pool.empty()) plan.push_back({false, pool.front(), 0.0});
+  // rest of the pool (closer candidates more likely, §3.3). Planning runs
+  // on fixed-capacity stack arrays (bounds enforced at construction) so
+  // the per-beacon hot path performs no heap allocation; the draw
+  // sequence — one weighted_index over the surviving weights per pick —
+  // is exactly the old vector-based one.
+  // Pool position of each unicast target (kNoPool for the anycast slot):
+  // population clients resolve unicast routes by direct pool_routes_
+  // index instead of the keyed cache.
+  constexpr std::uint8_t kNoPool = 0xff;
+  std::array<BeaconMeasurement::Target, kMaxTargetsPerBeacon> plan;
+  std::array<std::uint8_t, kMaxTargetsPerBeacon> plan_pool;
+  std::size_t plan_n = 0;
+  plan_pool[plan_n] = kNoPool;
+  plan[plan_n++] = {true, anycast_route.front_end, 0.0};
+  if (!pool.empty()) {
+    plan_pool[plan_n] = 0;
+    plan[plan_n++] = {false, pool.front(), 0.0};
+  }
 
-  std::vector<FrontEndId> rest(pool.begin() + (pool.empty() ? 0 : 1),
-                               pool.end());
-  std::vector<double> weights;
-  weights.reserve(rest.size());
-  for (std::size_t i = 0; i < rest.size(); ++i) {
-    weights.push_back(1.0 / double(i + 2));  // rank-weighted: 3rd > 4th > ...
+  std::array<FrontEndId, kMaxCandidatePool> rest;
+  std::array<std::uint8_t, kMaxCandidatePool> rest_pool;
+  std::array<double, kMaxCandidatePool> weights;
+  std::size_t rest_n = pool.empty() ? 0 : pool.size() - 1;
+  for (std::size_t i = 0; i < rest_n; ++i) {
+    rest[i] = pool[i + 1];
+    rest_pool[i] = static_cast<std::uint8_t>(i + 1);
+    weights[i] = 1.0 / double(i + 2);  // rank-weighted: 3rd > 4th > ...
   }
-  while (static_cast<int>(plan.size()) < config_.targets_per_beacon &&
-         !rest.empty()) {
-    const std::size_t pick = rng.weighted_index(weights);
-    plan.push_back({false, rest[pick], 0.0});
-    rest.erase(rest.begin() + static_cast<long>(pick));
-    weights.erase(weights.begin() + static_cast<long>(pick));
+  while (plan_n < static_cast<std::size_t>(config_.targets_per_beacon) &&
+         rest_n > 0) {
+    const std::size_t pick =
+        rng.weighted_index(std::span<const double>(weights.data(), rest_n));
+    plan_pool[plan_n] = rest_pool[pick];
+    plan[plan_n++] = {false, rest[pick], 0.0};
+    // Erase-by-index, order preserved — same survivor order (and thus the
+    // same subsequent weighted draws) as the old vector::erase.
+    for (std::size_t j = pick; j + 1 < rest_n; ++j) {
+      rest[j] = rest[j + 1];
+      rest_pool[j] = rest_pool[j + 1];
+      weights[j] = weights[j + 1];
+    }
+    --rest_n;
   }
+
+  // The flat route table is keyed by population identity; a synthetic
+  // client (different coordinates under a reused id) falls back to the
+  // keyed cache.
+  const auto population = clients_->clients();
+  const bool pooled = client.id.value < population.size() &&
+                      population[client.id.value].ldns == client.ldns &&
+                      population[client.id.value].access_as ==
+                          client.access_as &&
+                      population[client.id.value].metro == client.metro;
 
   // One browser per page load: Resource Timing support is per-beacon.
   const bool resource_timing = timing_->supports_resource_timing(rng);
+  // All of a beacon's fetches happen at `when`: one diurnal cosine.
+  const double diurnal = rtt_->diurnal_factor(when);
 
   metric_count("beacon.executions");
-  metric_count("beacon.fetches", plan.size());
+  metric_count("beacon.fetches", plan_n);
 
   // Injected faults. Decisions hash (day, url_id) — never `rng` — so a
   // disarmed run draws the exact same stream as a build without the
@@ -125,7 +240,7 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
   // matter how clients are sharded across threads.
   static const FailPoint fetch_fault("beacon/http_fetch");
 
-  for (std::size_t k = 0; k < plan.size(); ++k) {
+  for (std::size_t k = 0; k < plan_n; ++k) {
     const std::uint64_t url_id = beacon_id * 4 + k;
 
     const LdnsFault dns_fault = ldns_resolution_fault(when.day, url_id);
@@ -155,8 +270,11 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
     }
 
     const Milliseconds true_rtt =
-        plan[k].anycast ? route_rtt(client, anycast_route, when, rng)
-                        : unicast_rtt(client, plan[k].front_end, when, rng);
+        plan[k].anycast
+            ? route_rtt_at(client, anycast_route, diurnal, rng)
+            : (pooled
+                   ? pooled_unicast_rtt(client, plan_pool[k], diurnal, rng)
+                   : unicast_rtt(client, plan[k].front_end, when, rng));
     Milliseconds observed = timing_->observe(true_rtt, resource_timing, rng);
     if (fetch_fired) {
       if (fetch_fired->kind == FaultKind::kDelay) {

@@ -30,11 +30,21 @@
 
 namespace acdn {
 
+/// Upper bound on BeaconConfig::candidate_pool: target planning runs on
+/// fixed-capacity stack arrays so the per-beacon hot path allocates
+/// nothing.
+inline constexpr int kMaxCandidatePool = 32;
+/// Upper bound on BeaconConfig::targets_per_beacon: the url_id layout
+/// packs the fetch ordinal into beacon_id * 4 + k.
+inline constexpr int kMaxTargetsPerBeacon = 4;
+
 struct BeaconConfig {
   /// Candidate pool: front-ends nearest the LDNS considered for this
-  /// LDNS's clients (§3.3 uses the ten closest).
+  /// LDNS's clients (§3.3 uses the ten closest; at most
+  /// kMaxCandidatePool).
   int candidate_pool = 10;
-  /// Fetches per beacon execution (anycast + closest + weighted randoms).
+  /// Fetches per beacon execution (anycast + closest + weighted randoms;
+  /// at most kMaxTargetsPerBeacon).
   int targets_per_beacon = 4;
   /// Probability a fetch fails (timeout, aborted page, lost report): its
   /// DNS row exists but no HTTP row arrives, so the join drops it and the
@@ -98,6 +108,20 @@ class BeaconSystem {
   [[nodiscard]] RouteResult cached_unicast(AsId as, MetroId metro,
                                            FrontEndId fe) const;
 
+  /// Hot-path unicast RTT for a population client's pool candidate: the
+  /// route comes straight out of pool_routes_. `pool_index` must address
+  /// a real candidate of the client's LDNS (DCHECKed).
+  [[nodiscard]] Milliseconds pooled_unicast_rtt(const Client24& client,
+                                                std::size_t pool_index,
+                                                double diurnal,
+                                                Rng& rng) const;
+
+  /// route_rtt with the diurnal factor precomputed: a beacon's fetches
+  /// share one instant, so run_beacon computes it once per beacon.
+  [[nodiscard]] Milliseconds route_rtt_at(const Client24& client,
+                                          const RouteResult& route,
+                                          double diurnal, Rng& rng) const;
+
   const CdnRouter* router_;
   const MetroDatabase* metros_;
   const ClientPopulation* clients_;
@@ -107,10 +131,25 @@ class BeaconSystem {
   BeaconConfig config_;
 
   std::vector<std::vector<FrontEndId>> candidates_;  // per LdnsId
+  /// Per-client great-circle distance to its metro center, precomputed:
+  /// route_rtt would otherwise re-run haversine for every fetch of every
+  /// beacon of the same /24. Indexed by ClientId.
+  std::vector<Kilometers> client_local_km_;
   std::uint64_t next_beacon_id_ = 0;  // convenience-overload counter only
-  /// (access AS, metro, front-end) -> unicast route; resolution is
-  /// deterministic, so memoization is safe. Guarded for concurrent
-  /// simulation days.
+  /// (access AS, metro, front-end) -> unicast route, pre-resolved at
+  /// construction for every population client x its LDNS candidate pool.
+  /// Immutable afterwards, so the per-fetch hot path reads it with no
+  /// lock at all. Resolution is deterministic, so memoization is safe.
+  // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
+  std::unordered_map<std::uint64_t, RouteResult> unicast_warm_;
+  /// The same pre-resolved routes as a flat table indexed
+  /// `client.id * candidate_pool + pool_index`: run_beacon knows each
+  /// unicast target's pool position, so its fetch loop trades the hash
+  /// probe for one array load. Slots past a pool's real candidate count
+  /// stay invalid and are never indexed.
+  std::vector<RouteResult> pool_routes_;
+  /// Overflow cache for keys outside the pre-warmed set (synthetic
+  /// clients, ad-hoc probes). Guarded for concurrent simulation days.
   mutable std::shared_mutex unicast_cache_mutex_;
   // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
   mutable std::unordered_map<std::uint64_t, RouteResult> unicast_cache_;

@@ -66,6 +66,30 @@ void MeasurementColumns::append_from(const MeasurementColumns& other,
   }
 }
 
+void MeasurementColumns::append_all(const MeasurementColumns& other) {
+  if (other.empty()) return;
+  beacon_id.insert(beacon_id.end(), other.beacon_id.begin(),
+                   other.beacon_id.end());
+  client.insert(client.end(), other.client.begin(), other.client.end());
+  ldns.insert(ldns.end(), other.ldns.begin(), other.ldns.end());
+  day.insert(day.end(), other.day.begin(), other.day.end());
+  hour.insert(hour.end(), other.hour.begin(), other.hour.end());
+  // CSR offsets rebase onto this table's current target count.
+  const auto base = static_cast<std::uint32_t>(target_rtt.size());
+  if (target_begin.empty()) target_begin.push_back(0);
+  target_begin.reserve(target_begin.size() + other.size());
+  for (std::size_t i = 1; i < other.target_begin.size(); ++i) {
+    target_begin.push_back(base + other.target_begin[i]);
+  }
+  target_anycast.insert(target_anycast.end(), other.target_anycast.begin(),
+                        other.target_anycast.end());
+  target_front_end.insert(target_front_end.end(),
+                          other.target_front_end.begin(),
+                          other.target_front_end.end());
+  target_rtt.insert(target_rtt.end(), other.target_rtt.begin(),
+                    other.target_rtt.end());
+}
+
 BeaconMeasurement MeasurementColumns::row(std::size_t i) const {
   BeaconMeasurement m;
   m.beacon_id = beacon_id[i];

@@ -58,6 +58,9 @@ struct MeasurementColumns {
   void push_back(const BeaconMeasurement& m);
   /// Appends row i of `other`.
   void append_from(const MeasurementColumns& other, std::size_t i);
+  /// Appends every row of `other` in order — one bulk column concat,
+  /// equivalent to append_from(other, 0..other.size()).
+  void append_all(const MeasurementColumns& other);
 
   /// Materializes row i as the row struct.
   [[nodiscard]] BeaconMeasurement row(std::size_t i) const;

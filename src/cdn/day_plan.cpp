@@ -1,0 +1,256 @@
+#include "cdn/day_plan.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/error.h"
+#include "common/executor.h"
+#include "common/failpoint.h"
+#include "common/metrics.h"
+
+namespace acdn {
+
+namespace {
+
+/// Units are few (hundreds to low thousands); a modest grain keeps the
+/// chunk plan short while still amortising dispatch.
+constexpr std::size_t kUnitGrain = 64;
+
+}  // namespace
+
+DayRoutePlan::DayRoutePlan(const CdnRouter& router,
+                           std::span<const Client24> clients,
+                           int max_route_alternatives,
+                           double flap_traffic_share)
+    : router_(&router),
+      cdn_(&router.cdn()),
+      flap_traffic_share_(flap_traffic_share),
+      walk_cache_(router.anycast_table()) {
+  require(max_route_alternatives >= 1, "max_route_alternatives must be >= 1");
+
+  // Sorted, deduplicated (AS, metro) pairs: identical to iterating the
+  // std::set World historically built, so dynamics registration order —
+  // and with it the flappy-draw RNG sequence — is unchanged.
+  std::vector<std::pair<AsId, MetroId>> pairs;
+  pairs.reserve(clients.size());
+  for (const Client24& c : clients) pairs.emplace_back(c.access_as, c.metro);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+
+  units_.reserve(pairs.size());
+  reg_candidates_.reserve(pairs.size());
+  cand_offset_.reserve(pairs.size() + 1);
+  cand_offset_.push_back(0);
+  for (const auto& [as, metro] : pairs) {
+    units_.push_back(RoutingUnit{as, metro});
+    const std::size_t full = router_->anycast_candidate_count(as);
+    reg_candidates_.push_back(std::min<std::size_t>(
+        full, static_cast<std::size_t>(max_route_alternatives)));
+    // At least one slot even for unreachable ASes: candidate 0 resolves
+    // to the (invalid) empty-chain route once instead of every day.
+    const std::size_t slots = std::max<std::size_t>(1, full);
+    cand_offset_.push_back(cand_offset_.back() +
+                           static_cast<std::uint32_t>(slots));
+  }
+  route_cache_.resize(cand_offset_.back());
+  route_gen_.assign(cand_offset_.back(), 0);  // generation starts at 1
+
+  client_unit_.assign(clients.size(), 0);
+  for (const Client24& c : clients) {
+    ACDN_CHECK_LT(std::size_t(c.id.value), clients.size());
+    const auto it = std::lower_bound(
+        pairs.begin(), pairs.end(), std::make_pair(c.access_as, c.metro));
+    client_unit_[c.id.value] =
+        static_cast<std::uint32_t>(it - pairs.begin());
+  }
+}
+
+void DayRoutePlan::register_units(RouteDynamics& dynamics) const {
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    dynamics.register_unit(units_[u], reg_candidates_[u]);
+  }
+}
+
+std::size_t DayRoutePlan::unit_of(const Client24& client) const {
+  ACDN_CHECK_LT(std::size_t(client.id.value), client_unit_.size());
+  return client_unit_[client.id.value];
+}
+
+bool DayRoutePlan::current_for(const RouteDynamics& dynamics) const {
+  return built_ && built_epoch_ == dynamics.epoch() &&
+         built_day_ == dynamics.current_day();
+}
+
+const DayRoute& DayRoutePlan::route_for(const Client24& client) const {
+  ACDN_CHECK(day_routes_ != nullptr);
+  return (*day_routes_)[unit_of(client)];
+}
+
+void DayRoutePlan::invalidate_routes() {
+  walk_cache_.invalidate();
+  built_ = false;
+  metric_count("route_plan.invalidations");
+}
+
+const RouteResult& DayRoutePlan::cached_route(std::size_t unit_index,
+                                              const RoutingUnit& unit,
+                                              std::size_t candidate,
+                                              std::uint64_t gen,
+                                              BuildShard& shard) {
+  const std::uint32_t base = cand_offset_[unit_index];
+  const std::size_t slots = cand_offset_[unit_index + 1] - base;
+  // Clamp exactly like BgpRouteTable::walk so cached answers match the
+  // uncached reference for any requested index.
+  const std::size_t k = candidate < slots ? candidate : slots - 1;
+  RouteResult& entry = route_cache_[base + k];
+  std::uint64_t& tag = route_gen_[base + k];
+  if (tag == gen) {
+    ++shard.cache_hits;
+    return entry;
+  }
+  entry = router_->route_anycast_prewalked(walk_cache_.chain(unit.as, k),
+                                           unit.metro);
+  tag = gen;
+  ++shard.resolves;
+  return entry;
+}
+
+DayRoute DayRoutePlan::plan_unit(std::size_t unit_index,
+                                 const RouteDynamics& dynamics, DayIndex day,
+                                 std::uint64_t gen, BuildShard& shard) {
+  const RoutingUnit& unit = units_[unit_index];
+  const std::size_t selected = dynamics.selected_candidate(unit);
+  DayRoute route;
+  route.primary = cached_route(unit_index, unit, selected, gen, shard);
+
+  // Front-end outage ("cdn/front_end"): when the primary's site is down
+  // today, its anycast announcement is gone and BGP converges on the next
+  // candidate whose site is up — evaluated once per unit, since every
+  // client behind the unit sees the same convergence.
+  if (fail_points_armed() && route.primary.valid &&
+      !cdn_->deployment().site_up(route.primary.front_end, day)) {
+    const std::size_t n = cand_offset_[unit_index + 1] -
+                          cand_offset_[unit_index];
+    bool rerouted = false;
+    for (std::size_t k = 1; k < n && !rerouted; ++k) {
+      const RouteResult& fallback =
+          cached_route(unit_index, unit, (selected + k) % n, gen, shard);
+      if (fallback.valid &&
+          cdn_->deployment().site_up(fallback.front_end, day)) {
+        route.primary = fallback;
+        rerouted = true;
+      }
+    }
+    if (rerouted) {
+      ++shard.reroutes;
+    } else {
+      // Every candidate is down: anycast still answers somewhere, so the
+      // primary serves (degraded) rather than blackholing the unit.
+      ++shard.no_failover;
+    }
+  }
+
+  if (const auto alt = dynamics.flap_alternate(unit)) {
+    const RouteResult& alternate =
+        cached_route(unit_index, unit, *alt, gen, shard);
+    if (alternate.valid && alternate.front_end != route.primary.front_end &&
+        (!fail_points_armed() ||
+         cdn_->deployment().site_up(alternate.front_end, day))) {
+      route.alternate = alternate;
+      route.alternate_share = flap_traffic_share_;
+    }
+  }
+  return route;
+}
+
+void DayRoutePlan::build(const RouteDynamics& dynamics, int threads) {
+  const DayIndex day = dynamics.current_day();
+
+  // Prime every access AS's walks serially: chain() below is then a pure
+  // read from any worker. A no-op after the first build of a generation.
+  for (const RoutingUnit& unit : units_) {
+    if (!walk_cache_.primed(unit.as)) walk_cache_.prime(unit.as);
+  }
+
+  std::vector<DayRoute>& routes =
+      arena_.raw_buffer<DayRoute>("day_plan.routes");
+  routes.resize(units_.size());
+  day_routes_ = &routes;
+
+  const std::uint64_t gen = walk_cache_.generation();
+  const BuildShard totals = Executor::global().parallel_reduce(
+      0, units_.size(), threads, kUnitGrain, BuildShard{},
+      [&](BuildShard& shard, std::size_t u) {
+        routes[u] = plan_unit(u, dynamics, day, gen, shard);
+      },
+      [](BuildShard& acc, BuildShard&& shard) {
+        acc.resolves += shard.resolves;
+        acc.cache_hits += shard.cache_hits;
+        acc.reroutes += shard.reroutes;
+        acc.no_failover += shard.no_failover;
+      });
+
+  built_ = true;
+  built_day_ = day;
+  built_epoch_ = dynamics.epoch();
+
+  metric_count("route_plan.builds");
+  metric_count("route_plan.resolves", totals.resolves);
+  metric_count("route_plan.cache_hits", totals.cache_hits);
+  if (totals.reroutes) {
+    metric_count("fault.frontend_reroutes", totals.reroutes);
+  }
+  if (totals.no_failover) {
+    metric_count("fault.frontend_no_failover", totals.no_failover);
+  }
+  metric_gauge("route_plan.units", static_cast<double>(units_.size()));
+  metric_gauge("route_plan.cache_entries",
+               static_cast<double>(route_cache_.size()));
+  metric_gauge("route_plan.walks", static_cast<double>(walk_cache_.walks()));
+}
+
+DayRoute DayRoutePlan::resolve_reference(const Client24& client,
+                                         const RouteDynamics& dynamics)
+    const {
+  const RoutingUnit unit{client.access_as, client.metro};
+  const std::size_t selected = dynamics.selected_candidate(unit);
+  const DayIndex day = dynamics.current_day();
+  DayRoute route;
+  route.primary =
+      router_->route_anycast(client.access_as, client.metro, selected);
+
+  if (fail_points_armed() && route.primary.valid &&
+      !cdn_->deployment().site_up(route.primary.front_end, day)) {
+    const std::size_t n = router_->anycast_candidate_count(client.access_as);
+    bool rerouted = false;
+    for (std::size_t k = 1; k < n && !rerouted; ++k) {
+      const RouteResult fallback = router_->route_anycast(
+          client.access_as, client.metro, (selected + k) % n);
+      if (fallback.valid &&
+          cdn_->deployment().site_up(fallback.front_end, day)) {
+        route.primary = fallback;
+        rerouted = true;
+      }
+    }
+    if (rerouted) {
+      metric_count("fault.frontend_reroutes");
+    } else {
+      metric_count("fault.frontend_no_failover");
+    }
+  }
+
+  if (const auto alt = dynamics.flap_alternate(unit)) {
+    const RouteResult alternate =
+        router_->route_anycast(client.access_as, client.metro, *alt);
+    if (alternate.valid && alternate.front_end != route.primary.front_end &&
+        (!fail_points_armed() ||
+         cdn_->deployment().site_up(alternate.front_end, day))) {
+      route.alternate = alternate;
+      route.alternate_share = flap_traffic_share_;
+    }
+  }
+  return route;
+}
+
+}  // namespace acdn

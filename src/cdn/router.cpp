@@ -1,17 +1,33 @@
 #include "cdn/router.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/metrics.h"
 
 namespace acdn {
 
+namespace {
+
+std::vector<MetroId> sorted_copy(std::span<const MetroId> metros) {
+  std::vector<MetroId> out(metros.begin(), metros.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
 CdnRouter::CdnRouter(const AsGraph& graph, const CdnNetwork& cdn)
     : cdn_(&cdn), unfolder_(graph, cdn.as_id()) {
   const BgpSimulator sim(graph, cdn.as_id());
   anycast_table_ = sim.compute(cdn.anycast_announce_metros());
+  anycast_announce_sorted_ = sorted_copy(cdn.anycast_announce_metros());
   unicast_tables_.reserve(cdn.deployment().size());
+  unicast_announce_sorted_.reserve(cdn.deployment().size());
   for (const FrontEndSite& s : cdn.deployment().sites()) {
     unicast_tables_.push_back(sim.compute(cdn.unicast_announce_metros(s.id)));
+    unicast_announce_sorted_.push_back(
+        sorted_copy(cdn.unicast_announce_metros(s.id)));
   }
 }
 
@@ -24,9 +40,11 @@ RouteResult CdnRouter::route_anycast(AsId access, MetroId metro,
 CdnRouter::Trace CdnRouter::trace_anycast(AsId access, MetroId metro,
                                           std::size_t candidate_index) const {
   Trace trace;
-  trace.path = unfolder_.unfold(access, metro, anycast_table_,
-                                cdn_->anycast_announce_metros(),
-                                candidate_index);
+  const std::vector<AsId> chain =
+      anycast_table_.walk(access, candidate_index);
+  trace.path = unfolder_.unfold_chain(chain, metro,
+                                      cdn_->anycast_announce_metros(),
+                                      anycast_announce_sorted_);
   if (!trace.path.valid) return trace;
   RouteResult& result = trace.result;
   result.valid = true;
@@ -37,6 +55,24 @@ CdnRouter::Trace CdnRouter::trace_anycast(AsId access, MetroId metro,
       cdn_->backbone_km(trace.path.ingress_metro, result.front_end);
   result.as_hops = trace.path.as_hops;
   return trace;
+}
+
+RouteResult CdnRouter::route_anycast_prewalked(std::span<const AsId> chain,
+                                               MetroId metro) const {
+  metric_count("router.anycast_lookups");
+  RouteResult result;
+  const ForwardingPath path = unfolder_.unfold_chain(
+      chain, metro, cdn_->anycast_announce_metros(),
+      anycast_announce_sorted_);
+  if (!path.valid) return result;
+  result.valid = true;
+  result.ingress_metro = path.ingress_metro;
+  result.front_end = cdn_->nearest_front_end(path.ingress_metro);
+  result.path_km = path.total_km;
+  result.backbone_km = cdn_->backbone_km(path.ingress_metro,
+                                         result.front_end);
+  result.as_hops = path.as_hops;
+  return result;
 }
 
 std::size_t CdnRouter::anycast_candidate_count(AsId access) const {
@@ -50,8 +86,9 @@ RouteResult CdnRouter::route_unicast(AsId access, MetroId metro,
           "unknown front-end");
   RouteResult result;
   const auto& announce = cdn_->unicast_announce_metros(fe);
-  const ForwardingPath path =
-      unfolder_.unfold(access, metro, unicast_tables_[fe.value], announce);
+  const std::vector<AsId> chain = unicast_tables_[fe.value].walk(access);
+  const ForwardingPath path = unfolder_.unfold_chain(
+      chain, metro, announce, unicast_announce_sorted_[fe.value]);
   if (!path.valid) return result;
   result.valid = true;
   result.ingress_metro = path.ingress_metro;

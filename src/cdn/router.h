@@ -43,6 +43,20 @@ class CdnRouter {
   /// of freedom route dynamics can exercise.
   [[nodiscard]] std::size_t anycast_candidate_count(AsId access) const;
 
+  /// The anycast-prefix route table, for callers that memoize walks over
+  /// it (routing/walk_cache.h feeding the day-route plan).
+  [[nodiscard]] const BgpRouteTable& anycast_table() const {
+    return anycast_table_;
+  }
+
+  /// route_anycast with the AS-level walk already done: `chain` is the
+  /// anycast-table walk for the desired (access, candidate). Skips the
+  /// per-call table walk and announce-set build; the result is identical
+  /// to route_anycast for the same inputs. This is the day-route plan's
+  /// resolution path.
+  [[nodiscard]] RouteResult route_anycast_prewalked(
+      std::span<const AsId> chain, MetroId metro) const;
+
   /// Like route_anycast, but also returns the geographic path — hop-by-hop
   /// detail for traceroute emulation and diagnosis.
   struct Trace {
@@ -64,6 +78,10 @@ class CdnRouter {
   PathUnfolder unfolder_;
   BgpRouteTable anycast_table_;
   std::vector<BgpRouteTable> unicast_tables_;  // indexed by FrontEndId
+  /// Announce metros in ascending order, precomputed once per table so
+  /// the unfolder's membership tests need no per-call set build.
+  std::vector<MetroId> anycast_announce_sorted_;
+  std::vector<std::vector<MetroId>> unicast_announce_sorted_;
 };
 
 }  // namespace acdn

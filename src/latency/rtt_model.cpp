@@ -29,11 +29,18 @@ Milliseconds RttModel::base_rtt(Kilometers one_way_path_km, int as_hops,
 
 Milliseconds RttModel::sample(Milliseconds base, const SimTime& t,
                               Rng& rng) const {
+  return sample_at(base, diurnal_factor(t), rng);
+}
+
+double RttModel::diurnal_factor(const SimTime& t) const {
   // Diurnal multiplier: cosine with peak at peak_hour.
   const double phase =
       2.0 * std::numbers::pi * (t.hour_of_day() - config_.peak_hour) / 24.0;
-  const double diurnal = 1.0 + config_.diurnal_amplitude * std::cos(phase);
+  return 1.0 + config_.diurnal_amplitude * std::cos(phase);
+}
 
+Milliseconds RttModel::sample_at(Milliseconds base, double diurnal,
+                                 Rng& rng) const {
   // Multiplicative jitter centred on 1 (mean-corrected lognormal).
   const double jitter =
       rng.lognormal(-0.5 * config_.jitter_sigma * config_.jitter_sigma,

@@ -60,6 +60,16 @@ class RttModel {
   [[nodiscard]] Milliseconds sample(Milliseconds base, const SimTime& t,
                                     Rng& rng) const;
 
+  /// The diurnal load multiplier at `t` — the deterministic part of
+  /// sample(). Callers timing several fetches at the same instant (a
+  /// beacon's target plan) hoist it and use sample_at.
+  [[nodiscard]] double diurnal_factor(const SimTime& t) const;
+
+  /// sample() with the diurnal multiplier precomputed. Draw-for-draw
+  /// identical to sample(base, t, rng) when `diurnal == diurnal_factor(t)`.
+  [[nodiscard]] Milliseconds sample_at(Milliseconds base, double diurnal,
+                                       Rng& rng) const;
+
   /// Draws a client /24's fixed last-mile RTT contribution from `mix`.
   [[nodiscard]] static Milliseconds draw_last_mile(const LastMileMix& mix,
                                                    Rng& rng);

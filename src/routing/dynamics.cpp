@@ -1,5 +1,7 @@
 #include "routing/dynamics.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/failpoint.h"
 
@@ -8,15 +10,24 @@ namespace acdn {
 void RouteDynamics::register_unit(RoutingUnit unit,
                                   std::size_t candidate_count) {
   require(!started_, "register_unit after advance_to");
+  auto it = units_.find(unit);
+  if (it != units_.end()) {
+    // Draw-neutral update: consuming a bernoulli here would shift the
+    // flappy draw of every unit registered after this one, silently
+    // changing which units flap for the same seed.
+    it->second.candidates = candidate_count;
+    it->second.flappy = it->second.flappy && candidate_count >= 2;
+    it->second.selected =
+        std::min(it->second.selected,
+                 candidate_count == 0 ? 0 : candidate_count - 1);
+    return;
+  }
   UnitState state;
   state.candidates = candidate_count;
   state.flappy =
       candidate_count >= 2 && rng_.bernoulli(config_.flappy_unit_fraction);
-  if (units_.emplace(unit, state).second) {
-    order_.push_back(unit);
-  } else {
-    units_[unit] = state;
-  }
+  order_.push_back(unit);
+  units_.emplace(unit, state);
 }
 
 void RouteDynamics::advance_to(DayIndex day) {
@@ -34,6 +45,7 @@ void RouteDynamics::advance_to(DayIndex day) {
 }
 
 void RouteDynamics::step_one_day(DayIndex day) {
+  ++epoch_;
   const bool weekend = calendar_.is_weekend(day);
   const double change_prob =
       weekend ? config_.weekend_change_prob : config_.weekday_change_prob;

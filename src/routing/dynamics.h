@@ -61,6 +61,12 @@ class RouteDynamics {
 
   /// Declares a routing unit and how many route candidates its AS has.
   /// Units with fewer than two candidates never change.
+  ///
+  /// Re-registering an already-known unit updates its candidate count but
+  /// is draw-neutral: it consumes nothing from the RNG stream, so the
+  /// flappy draw of every unit registered afterwards is unaffected. (The
+  /// original flappy draw is kept; a unit that shrinks below two
+  /// candidates stops flapping.)
   void register_unit(RoutingUnit unit, std::size_t candidate_count);
 
   /// Advances the state to `day` (must be called with non-decreasing days;
@@ -79,6 +85,13 @@ class RouteDynamics {
 
   [[nodiscard]] DayIndex current_day() const { return day_; }
 
+  /// Monotone state-change counter: incremented on every simulated day
+  /// step (including day 0's initial flap draw). Consumers that snapshot
+  /// per-day state — the day-route plan — compare epochs to detect
+  /// staleness; current_day() alone cannot distinguish "day 0 not yet
+  /// started" from "day 0 stepped".
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   struct UnitState {
     std::size_t candidates = 1;
@@ -93,6 +106,7 @@ class RouteDynamics {
   Rng rng_;
   DayIndex day_ = 0;
   bool started_ = false;
+  std::uint64_t epoch_ = 0;
   /// Registration order; iterated instead of the hash map so that results
   /// do not depend on hash-table iteration order.
   std::vector<RoutingUnit> order_;

@@ -1,7 +1,6 @@
 #include "routing/path.h"
 
 #include <algorithm>
-#include <set>
 
 #include "common/error.h"
 
@@ -33,12 +32,26 @@ ForwardingPath PathUnfolder::unfold(AsId access_as, MetroId client_metro,
                                     const BgpRouteTable& table,
                                     std::span<const MetroId> announce_metros,
                                     std::size_t candidate_index) const {
-  ForwardingPath path;
   const std::vector<AsId> chain = table.walk(access_as, candidate_index);
+  if (chain.empty()) return {};  // unreachable
+
+  std::vector<MetroId> announce_sorted(announce_metros.begin(),
+                                       announce_metros.end());
+  std::sort(announce_sorted.begin(), announce_sorted.end());
+  return unfold_chain(chain, client_metro, announce_metros, announce_sorted);
+}
+
+ForwardingPath PathUnfolder::unfold_chain(
+    std::span<const AsId> chain, MetroId client_metro,
+    std::span<const MetroId> announce_metros,
+    std::span<const MetroId> announce_sorted) const {
+  ForwardingPath path;
   if (chain.empty()) return path;  // unreachable
 
-  const std::set<MetroId> announce(announce_metros.begin(),
-                                   announce_metros.end());
+  const auto announced = [&](MetroId m) {
+    return std::binary_search(announce_sorted.begin(), announce_sorted.end(),
+                              m);
+  };
 
   MetroId current = client_metro;
   for (std::size_t i = 0; i + 1 < chain.size(); ++i) {
@@ -57,8 +70,7 @@ ForwardingPath PathUnfolder::unfold(AsId access_as, MetroId client_metro,
       // interconnected at that peering point, §3.1). The same sessions
       // serve the anycast and unicast prefixes; only the announce scope
       // differs.
-      std::erase_if(options,
-                    [&](MetroId m) { return announce.count(m) == 0; });
+      std::erase_if(options, [&](MetroId m) { return !announced(m); });
       for (MetroId m : announce_metros) {
         if (node.present_in(m) &&
             std::find(options.begin(), options.end(), m) == options.end()) {

@@ -49,6 +49,16 @@ class PathUnfolder {
       std::span<const MetroId> announce_metros,
       std::size_t candidate_index = 0) const;
 
+  /// Same unfolding with the AS-level walk already done (routing/
+  /// walk_cache.h memoizes them): `chain` is the path BgpRouteTable::walk
+  /// would return for the selected candidate. `announce_sorted` holds the
+  /// same metros as `announce_metros` in ascending order — callers on the
+  /// hot path precompute it once per table instead of per unfold.
+  [[nodiscard]] ForwardingPath unfold_chain(
+      std::span<const AsId> chain, MetroId client_metro,
+      std::span<const MetroId> announce_metros,
+      std::span<const MetroId> announce_sorted) const;
+
  private:
   /// `cdn_handoff` is true when the next hop is the CDN itself: the
   /// remote-peering policy concerns where an ISP interconnects with the

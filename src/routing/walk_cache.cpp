@@ -1,0 +1,47 @@
+#include "routing/walk_cache.h"
+
+#include "common/check.h"
+
+namespace acdn {
+
+void WalkCache::prime(AsId as) {
+  if (primed(as)) return;
+  Slot slot;
+  const std::size_t candidates = table_->candidates(as).size();
+  slot.offsets.reserve(candidates + 1);
+  slot.offsets.push_back(0);
+  // An unreachable AS has zero candidates; its slot holds one empty chain
+  // so chain() can answer without re-walking.
+  const std::size_t chains = candidates == 0 ? 1 : candidates;
+  for (std::size_t k = 0; k < chains; ++k) {
+    const std::vector<AsId> chain = table_->walk(as, k);
+    ++walks_;
+    slot.flat.insert(slot.flat.end(), chain.begin(), chain.end());
+    slot.offsets.push_back(static_cast<std::uint32_t>(slot.flat.size()));
+  }
+  slots_.emplace(as.value, std::move(slot));
+}
+
+bool WalkCache::primed(AsId as) const {
+  return slots_.find(as.value) != slots_.end();
+}
+
+std::span<const AsId> WalkCache::chain(AsId as, std::size_t candidate) const {
+  const auto it = slots_.find(as.value);
+  ACDN_CHECK(it != slots_.end()) << "WalkCache::chain before prime, AS "
+                                 << as.value;
+  const Slot& slot = it->second;
+  const std::size_t chains = slot.offsets.size() - 1;
+  // Clamp exactly like BgpRouteTable::walk: past-the-end candidate indices
+  // resolve to the last (worst) candidate.
+  const std::size_t k = candidate < chains ? candidate : chains - 1;
+  return std::span<const AsId>(slot.flat)
+      .subspan(slot.offsets[k], slot.offsets[k + 1] - slot.offsets[k]);
+}
+
+void WalkCache::invalidate() {
+  slots_.clear();
+  ++generation_;
+}
+
+}  // namespace acdn

@@ -1,0 +1,69 @@
+// Memoized BGP path walks, keyed by (AsId, candidate_index).
+//
+// BgpRouteTable::walk re-follows the customer/peer chain and allocates a
+// fresh vector on every call, yet the chain for a given (AS, candidate)
+// pair never changes while the table lives: the route tables are computed
+// once per World. The day-route plan (cdn/day_plan.h) resolves every
+// routing unit once per day, and units sharing an access AS share walks —
+// this cache makes each distinct (AS, candidate) chain a one-time cost.
+//
+// Concurrency contract: prime() mutates and must run single-threaded
+// (plan construction); chain() after priming is a read-only lookup that
+// is safe from any executor worker. Entries are generation-tagged:
+// invalidate() bumps the generation and drops every chain, for callers
+// that rebuild the underlying route table (a withdrawal-day or siting
+// change that re-runs BgpSimulator invalidates every memoized walk).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "routing/bgp.h"
+
+namespace acdn {
+
+class WalkCache {
+ public:
+  explicit WalkCache(const BgpRouteTable& table) : table_(&table) {}
+
+  /// Computes and stores the chain of every candidate of `as`. Idempotent;
+  /// re-priming an AS after invalidate() re-walks under the new
+  /// generation. Not thread-safe — prime before concurrent reads.
+  void prime(AsId as);
+
+  /// True when `as` has been primed under the current generation.
+  [[nodiscard]] bool primed(AsId as) const;
+
+  /// The AS path for (`as`, `candidate`), clamped to the available
+  /// candidates exactly like BgpRouteTable::walk. Empty if the AS is
+  /// unreachable. Requires `primed(as)`.
+  [[nodiscard]] std::span<const AsId> chain(AsId as,
+                                            std::size_t candidate) const;
+
+  /// Drops every memoized chain and bumps the generation. Call when the
+  /// underlying route table is recomputed.
+  void invalidate();
+
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+  /// Table walks performed since construction (cache fills, not hits).
+  [[nodiscard]] std::size_t walks() const { return walks_; }
+  [[nodiscard]] std::size_t primed_count() const { return slots_.size(); }
+
+ private:
+  /// All of one AS's candidate chains, flattened: chain k spans
+  /// [offsets[k], offsets[k + 1]) of `flat`.
+  struct Slot {
+    std::vector<AsId> flat;
+    std::vector<std::uint32_t> offsets;  // candidates + 1 entries
+  };
+
+  const BgpRouteTable* table_;
+  std::uint64_t generation_ = 1;
+  std::size_t walks_ = 0;
+  // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
+  std::unordered_map<std::uint32_t, Slot> slots_;
+};
+
+}  // namespace acdn

@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/check.h"
 #include "common/executor.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -26,10 +27,32 @@ std::uint64_t client_day_seed(std::uint64_t scenario_seed, DayIndex day,
 struct ClientDayOutput {
   bool active = false;
   bool flapping = false;
+  /// Beacons executed, counted directly: the dns-log row count is NOT a
+  /// proxy — dns/resolve faults suppress rows while the beacon still ran.
+  std::uint64_t beacons = 0;
   std::vector<PassiveLogEntry> passive;
   std::vector<DnsLogEntry> dns_log;
   std::vector<HttpLogEntry> http_log;
 };
+
+/// Beacon-id bit layout: day-major, client-major, ordinal-minor. The
+/// packing is order-preserving in (day, client, ordinal), which the
+/// sort-merge join relies on. 20 ordinal bits comfortably hold the
+/// heaviest /24's beacon draw; the old 12-bit field silently aliased ids
+/// past 4095 beacons per client-day.
+constexpr int kBeaconOrdinalBits = 20;
+constexpr int kBeaconClientBits = 26;
+
+std::uint64_t pack_beacon_id(DayIndex day, ClientId client, int ordinal) {
+  ACDN_CHECK_LT(std::uint64_t(day), std::uint64_t(1) << 16);
+  ACDN_CHECK_LT(std::uint64_t(client.value),
+                std::uint64_t(1) << kBeaconClientBits);
+  ACDN_CHECK_LT(std::uint64_t(ordinal),
+                std::uint64_t(1) << kBeaconOrdinalBits);
+  return (std::uint64_t(day) << (kBeaconClientBits + kBeaconOrdinalBits)) |
+         (std::uint64_t(client.value) << kBeaconOrdinalBits) |
+         std::uint64_t(ordinal);
+}
 
 }  // namespace
 
@@ -42,7 +65,10 @@ DayStats Simulation::run_day() {
   const ScopedTimer day_timer("sim.day_ms");
   const DayIndex day = next_day_++;
   World& w = *world_;
-  w.dynamics().advance_to(day);
+  // Advance dynamics and resolve every routing unit's route once: the
+  // client fan-out below answers anycast_today from the day plan's flat
+  // table instead of re-deriving routes per client.
+  w.prepare_day(day, w.config().simulation_threads);
 
   const QuerySchedule& schedule = w.schedule();
   const auto clients = w.clients().clients();
@@ -55,6 +81,7 @@ DayStats Simulation::run_day() {
   for (std::size_t i = 0; i < clients.size(); ++i) {
     outputs[i].active = false;
     outputs[i].flapping = false;
+    outputs[i].beacons = 0;
     outputs[i].passive.clear();
     outputs[i].dns_log.clear();
     outputs[i].http_log.clear();
@@ -96,11 +123,10 @@ DayStats Simulation::run_day() {
     Rng rng(client_day_seed(w.config().seed, day, client.id));
     const double beacon_mean = expected * schedule.config().beacon_sampling;
     const int beacons = rng.poisson(beacon_mean);
+    out.beacons = std::uint64_t(beacons);
     for (int b = 0; b < beacons; ++b) {
       // Globally unique, coordinate-derived beacon id: no shared counter.
-      const std::uint64_t beacon_id =
-          (std::uint64_t(day) << 44) | (std::uint64_t(client.id.value) << 12) |
-          std::uint64_t(b & 0xfff);
+      const std::uint64_t beacon_id = pack_beacon_id(day, client.id, b);
       const SimTime when = schedule.sample_query_time(day, rng);
       const RouteResult& anycast_route =
           (route.alternate && rng.bernoulli(route.alternate_share))
@@ -138,7 +164,7 @@ DayStats Simulation::run_day() {
     for (const PassiveLogEntry& e : out.passive) passive_.add(e);
     stats.passive_entries += out.passive.size();
     if (out.flapping) ++stats.clients_flapping;
-    stats.beacons += out.dns_log.size() / 4;
+    stats.beacons += out.beacons;
     dns_log.insert(dns_log.end(), out.dns_log.begin(), out.dns_log.end());
     http_log.insert(http_log.end(), out.http_log.begin(),
                     out.http_log.end());

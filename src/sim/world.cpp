@@ -1,8 +1,5 @@
 #include "sim/world.h"
 
-#include <algorithm>
-#include <set>
-
 #include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -47,70 +44,34 @@ World::World(const ScenarioConfig& config)
 
   dynamics_ = std::make_unique<RouteDynamics>(config_.dynamics, calendar_,
                                               config_.seed);
-  std::set<std::pair<AsId, MetroId>> units;
-  for (const Client24& c : clients_->clients()) {
-    units.emplace(c.access_as, c.metro);
-  }
-  for (const auto& [as, metro] : units) {
-    const std::size_t candidates = std::min<std::size_t>(
-        router_->anycast_candidate_count(as),
-        static_cast<std::size_t>(config_.max_route_alternatives));
-    dynamics_->register_unit(RoutingUnit{as, metro}, candidates);
-  }
+  plan_ = std::make_unique<DayRoutePlan>(*router_, clients_->clients(),
+                                         config_.max_route_alternatives,
+                                         config_.flap_traffic_share);
+  plan_->register_units(*dynamics_);
 
   Log(LogLevel::kInfo) << "world: " << graph_->as_count() << " ASes, "
                        << cdn_->deployment().size() << " front-ends, "
                        << clients_->size() << " client /24s, "
-                       << ldns_->size() << " resolvers";
+                       << ldns_->size() << " resolvers, "
+                       << plan_->unit_count() << " routing units";
 }
 
 const MetroDatabase& World::metros() const { return MetroDatabase::world(); }
 
+void World::prepare_day(DayIndex day, int threads) {
+  dynamics_->advance_to(day);
+  plan_->build(*dynamics_, threads);
+}
+
 World::DayRoute World::anycast_today(const Client24& client) const {
-  const RoutingUnit unit{client.access_as, client.metro};
-  const std::size_t selected = dynamics_->selected_candidate(unit);
-  const DayIndex day = dynamics_->current_day();
-  DayRoute route;
-  route.primary = router_->route_anycast(client.access_as, client.metro,
-                                         selected);
-
-  // Front-end outage ("cdn/front_end"): when the primary's site is down
-  // today, its anycast announcement is gone and BGP converges on the next
-  // candidate whose site is up — graceful degradation, not lost traffic.
-  if (fail_points_armed() && route.primary.valid &&
-      !cdn_->deployment().site_up(route.primary.front_end, day)) {
-    const std::size_t n =
-        router_->anycast_candidate_count(client.access_as);
-    bool rerouted = false;
-    for (std::size_t k = 1; k < n && !rerouted; ++k) {
-      const RouteResult fallback = router_->route_anycast(
-          client.access_as, client.metro, (selected + k) % n);
-      if (fallback.valid &&
-          cdn_->deployment().site_up(fallback.front_end, day)) {
-        route.primary = fallback;
-        rerouted = true;
-      }
-    }
-    if (rerouted) {
-      metric_count("fault.frontend_reroutes");
-    } else {
-      // Every candidate is down: anycast still answers somewhere, so the
-      // primary serves (degraded) rather than blackholing the client.
-      metric_count("fault.frontend_no_failover");
-    }
+  if (plan_->current_for(*dynamics_)) {
+    return plan_->route_for(client);
   }
-
-  if (const auto alt = dynamics_->flap_alternate(unit)) {
-    const RouteResult alternate =
-        router_->route_anycast(client.access_as, client.metro, *alt);
-    if (alternate.valid && alternate.front_end != route.primary.front_end &&
-        (!fail_points_armed() ||
-         cdn_->deployment().site_up(alternate.front_end, day))) {
-      route.alternate = alternate;
-      route.alternate_share = config_.flap_traffic_share;
-    }
-  }
-  return route;
+  // A caller advanced dynamics without prepare_day (ad-hoc probes, tests
+  // that step dynamics by hand): answer from the uncached reference path,
+  // which needs no plan state and is safe from any thread.
+  metric_count("route_plan.stale_lookups");
+  return plan_->resolve_reference(client, *dynamics_);
 }
 
 }  // namespace acdn

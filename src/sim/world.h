@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "beacon/beacon.h"
+#include "cdn/day_plan.h"
 #include "cdn/router.h"
 #include "dns/ldns.h"
 #include "routing/dynamics.h"
@@ -48,15 +49,23 @@ class World {
     return Rng(config_.seed).fork(label);
   }
 
-  /// A client's anycast routing for the dynamics' current day: primary
-  /// route, plus the alternate route and its traffic share when the
-  /// client's routing unit flaps today.
-  struct DayRoute {
-    RouteResult primary;
-    std::optional<RouteResult> alternate;
-    double alternate_share = 0.0;
-  };
+  /// A client's anycast routing for the dynamics' current day (the
+  /// struct now lives in cdn/day_plan.h; this alias keeps call sites
+  /// spelled World::DayRoute working).
+  using DayRoute = acdn::DayRoute;
+
+  /// Advances route dynamics to `day` and rebuilds the day-route plan so
+  /// anycast_today answers from the per-unit table. The day driver
+  /// (Simulation::run_day) calls this once per day before fanning out.
+  void prepare_day(DayIndex day, int threads);
+
+  /// O(1) when the plan is current (prepare_day ran for the dynamics'
+  /// present state); otherwise falls back to uncached per-client
+  /// resolution and counts route_plan.stale_lookups.
   [[nodiscard]] DayRoute anycast_today(const Client24& client) const;
+
+  [[nodiscard]] const DayRoutePlan& day_plan() const { return *plan_; }
+  [[nodiscard]] DayRoutePlan& day_plan() { return *plan_; }
 
  private:
   ScenarioConfig config_;
@@ -72,6 +81,7 @@ class World {
   std::unique_ptr<QuerySchedule> schedule_;
   std::unique_ptr<BeaconSystem> beacon_;
   std::unique_ptr<RouteDynamics> dynamics_;
+  std::unique_ptr<DayRoutePlan> plan_;
 };
 
 }  // namespace acdn

@@ -168,5 +168,67 @@ TEST(RouteDynamics, WeekendQuieterThanWeekdays) {
   EXPECT_EQ(moved(), after_friday);
 }
 
+TEST(RouteDynamics, ReRegistrationIsDrawNeutral) {
+  // Re-registering a unit must consume nothing from the RNG stream: with
+  // the old behavior the duplicate registration burned a bernoulli draw,
+  // shifting the flappy draw of every unit registered afterwards. Two
+  // same-seed instances — one with a duplicate registration in the middle
+  // — must be observably identical on every unit for every day.
+  DynamicsConfig config;
+  config.flappy_unit_fraction = 0.5;
+  config.weekday_change_prob = 0.3;
+  const int n = 64;
+
+  RouteDynamics clean(config, SimCalendar{}, 11);
+  RouteDynamics redundant(config, SimCalendar{}, 11);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    clean.register_unit(unit(i, 0), 3);
+    redundant.register_unit(unit(i, 0), 3);
+    if (i == 5) redundant.register_unit(unit(2, 0), 3);  // duplicate
+  }
+
+  for (DayIndex d = 0; d < 8; ++d) {
+    clean.advance_to(d);
+    redundant.advance_to(d);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      ASSERT_EQ(clean.selected_candidate(unit(i, 0)),
+                redundant.selected_candidate(unit(i, 0)))
+          << "unit " << i << " day " << d;
+      ASSERT_EQ(clean.flap_alternate(unit(i, 0)),
+                redundant.flap_alternate(unit(i, 0)))
+          << "unit " << i << " day " << d;
+    }
+  }
+}
+
+TEST(RouteDynamics, ReRegistrationUpdatesCandidateCount) {
+  // The update itself must stick: a unit re-registered below two
+  // candidates stops moving entirely.
+  DynamicsConfig config;
+  config.weekday_change_prob = 1.0;
+  config.flappy_unit_fraction = 1.0;
+  config.flappy_weekday_flap_prob = 1.0;
+  RouteDynamics dyn(config, SimCalendar{}, 5);
+  dyn.register_unit(unit(1, 1), 3);
+  dyn.register_unit(unit(1, 1), 1);  // shrinks: route diversity is gone
+  for (DayIndex d = 0; d < 5; ++d) {
+    dyn.advance_to(d);
+    EXPECT_EQ(dyn.selected_candidate(unit(1, 1)), 0u);
+    EXPECT_FALSE(dyn.flap_alternate(unit(1, 1)).has_value());
+  }
+}
+
+TEST(RouteDynamics, EpochAdvancesWithEverySteppedDay) {
+  RouteDynamics dyn(calm_config(), SimCalendar{}, 1);
+  dyn.register_unit(unit(1, 1), 2);
+  EXPECT_EQ(dyn.epoch(), 0u);
+  dyn.advance_to(0);
+  EXPECT_EQ(dyn.epoch(), 1u);  // day 0's initial flap draw is a step
+  dyn.advance_to(0);
+  EXPECT_EQ(dyn.epoch(), 1u);  // no rewind, no re-step
+  dyn.advance_to(3);
+  EXPECT_EQ(dyn.epoch(), 4u);  // days 1..3 simulated individually
+}
+
 }  // namespace
 }  // namespace acdn

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "load/load_model.h"
@@ -126,6 +127,34 @@ TEST_P(WorldProperties, BeaconJoinIsLossless) {
   }
   EXPECT_EQ(sim.measurements().by_day(0).size(), stats.beacons);
   EXPECT_EQ(joined_targets, stats.beacons * 4);
+}
+
+TEST(BeaconIdPacking, HeavyClientPast4096BeaconsKeepsIdsUnique) {
+  // Regression: beacon ids packed the per-client-day ordinal into 12 bits,
+  // so a client running more than 4095 beacons in one day silently reused
+  // ids and the DNS/HTTP join merged distinct beacons. Drive a tiny world
+  // hot enough that every client executes thousands of beacons and check
+  // the join stays lossless: one measurement per executed beacon.
+  ScenarioConfig config = ScenarioConfig::small_test();
+  config.workload.total_client_24s = 10;
+  // ~125k queries/day/client with a deliberately thin tail (alpha 50), at
+  // 5% sampling: ~6.2k beacons per client-day, comfortably past 4096 and
+  // nowhere near the 20-bit ordinal field.
+  config.workload.base_daily_queries = 250000.0;
+  config.workload.volume_pareto_alpha = 50.0;
+  config.beacon.fetch_loss_prob = 0.0;
+  World world(config);
+  Simulation sim(world);
+  const DayStats stats = sim.run_day();
+
+  std::uint64_t heaviest = 0;
+  std::map<std::uint32_t, std::uint64_t> per_client;
+  for (const BeaconMeasurement& m : sim.measurements().by_day(0)) {
+    heaviest = std::max(heaviest, ++per_client[m.client.value]);
+  }
+  ASSERT_GT(heaviest, 4096u)
+      << "world not hot enough to exercise the wide ordinal field";
+  EXPECT_EQ(sim.measurements().by_day(0).size(), stats.beacons);
 }
 
 TEST_P(WorldProperties, FetchLossOnlyShrinksTheJoin) {

@@ -59,6 +59,9 @@ constexpr RuleFixture kRuleFixtures[] = {
     // with the sorted-vector rewrite as the sanctioned must-pass twin.
     {"unordered-iter", "flat_group"},
     {"parallel-fp-accum", "flat_group"},
+    // The day-plan route-cache idiom: generation-tagged lookup-only maps,
+    // with the justified NOLINT form as the sanctioned must-pass twin.
+    {"unordered-decl", "route_cache"},
 };
 
 TEST(LintRules, EveryRuleHasAMustFireFixture) {

@@ -1,0 +1,25 @@
+// Must-fire: the day-plan route-cache idiom written WITHOUT hash-order
+// justifications — a generation-tagged walk memo and a pre-warmed unicast
+// route map, both unordered and both silent about why hash order is safe.
+#include <cstdint>
+#include <unordered_map>
+
+struct CachedRoute {
+  std::uint64_t generation = 0;
+  int front_end = -1;
+};
+
+class DayRouteCache {
+ public:
+  int lookup(std::uint64_t key, std::uint64_t generation) {
+    auto it = routes_.find(key);
+    if (it != routes_.end() && it->second.generation == generation) {
+      return it->second.front_end;
+    }
+    return -1;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, CachedRoute> routes_;
+  std::unordered_map<std::uint64_t, int> unicast_warm_;
+};

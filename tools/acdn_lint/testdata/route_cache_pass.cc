@@ -1,0 +1,29 @@
+// Must-pass: the sanctioned day-plan route-cache idiom — unordered maps
+// used as keyed memo lookups only (found by key, never iterated), each
+// declaration carrying its hash-order justification.
+#include <cstdint>
+#include <unordered_map>
+
+struct CachedRoute {
+  std::uint64_t generation = 0;
+  int front_end = -1;
+};
+
+class DayRouteCache {
+ public:
+  int lookup(std::uint64_t key, std::uint64_t generation) {
+    auto it = routes_.find(key);
+    if (it != routes_.end() && it->second.generation == generation) {
+      return it->second.front_end;
+    }
+    return -1;
+  }
+
+ private:
+  // Generation tags invalidate stale entries in place: a lookup whose tag
+  // mismatches re-resolves, so no iteration-order-dependent sweep exists.
+  // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
+  std::unordered_map<std::uint64_t, CachedRoute> routes_;
+  // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
+  std::unordered_map<std::uint64_t, int> unicast_warm_;
+};

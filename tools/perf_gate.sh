@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf-smoke gate: fail when the smoke benchmark's simulation phase
+# regresses more than the tolerance against the committed reference.
+#
+#   tools/perf_gate.sh <smoke_json> [reference_json] [tolerance_pct]
+#
+# Compares the smoke run's `sim.ns_per_row` (scale "small" — the only
+# scale --smoke runs) against the same figure in the committed repo-root
+# BENCH_pipeline.json. CI runners are noisy, so the default tolerance is
+# a generous 25%: the gate catches step-change regressions (an O(clients)
+# loop reappearing in route resolution), not jitter. Override the
+# tolerance via argument 3 or skip entirely with ACDN_PERF_GATE=off.
+set -euo pipefail
+
+smoke_json="${1:?usage: perf_gate.sh <smoke_json> [reference_json] [tolerance_pct]}"
+reference_json="${2:-BENCH_pipeline.json}"
+tolerance_pct="${3:-25}"
+
+if [[ "${ACDN_PERF_GATE:-on}" == "off" ]]; then
+  echo "perf_gate: skipped (ACDN_PERF_GATE=off)"
+  exit 0
+fi
+
+for f in "$smoke_json" "$reference_json"; do
+  if [[ ! -f "$f" ]]; then
+    echo "perf_gate: missing $f" >&2
+    exit 2
+  fi
+done
+
+# First "sim" ns_per_row after the "small" scale header. The bench JSON is
+# machine-written with one phase per line, so line-oriented awk is enough —
+# no jq dependency.
+extract_small_sim_ns() {
+  awk '
+    /"name": "small"/ { in_small = 1 }
+    in_small && /"sim":/ {
+      if (match($0, /"ns_per_row": [0-9.]+/)) {
+        print substr($0, RSTART + 14, RLENGTH - 14)
+        exit
+      }
+    }
+  ' "$1"
+}
+
+smoke_ns="$(extract_small_sim_ns "$smoke_json")"
+ref_ns="$(extract_small_sim_ns "$reference_json")"
+
+if [[ -z "$smoke_ns" || -z "$ref_ns" ]]; then
+  echo "perf_gate: could not extract small-scale sim.ns_per_row" >&2
+  echo "  smoke:     '$smoke_ns' from $smoke_json" >&2
+  echo "  reference: '$ref_ns' from $reference_json" >&2
+  exit 2
+fi
+
+awk -v smoke="$smoke_ns" -v ref="$ref_ns" -v tol="$tolerance_pct" '
+  BEGIN {
+    limit = ref * (1 + tol / 100)
+    printf "perf_gate: sim ns/row smoke=%.2f reference=%.2f limit=%.2f (+%s%%)\n", \
+           smoke, ref, limit, tol
+    if (smoke > limit) {
+      printf "perf_gate: FAIL — sim phase regressed %.1f%% (> %s%%)\n", \
+             (smoke / ref - 1) * 100, tol
+      exit 1
+    }
+    printf "perf_gate: OK\n"
+  }
+'
