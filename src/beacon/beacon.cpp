@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <array>
-#include <mutex>
 
 #include "common/check.h"
 #include "common/error.h"
@@ -101,14 +100,14 @@ RouteResult BeaconSystem::cached_unicast(AsId as, MetroId metro,
     return it->second;
   }
   {
-    std::shared_lock lock(unicast_cache_mutex_);
+    ReaderMutexLock lock(unicast_cache_mutex_);
     auto it = unicast_cache_.find(key);
     if (it != unicast_cache_.end()) return it->second;
   }
   // Re-check and compute under the exclusive lock: two threads racing on
   // the same key must not both reach route_unicast, or the
   // router.unicast_lookups counter varies with scheduling.
-  std::unique_lock lock(unicast_cache_mutex_);
+  WriterMutexLock lock(unicast_cache_mutex_);
   auto it = unicast_cache_.find(key);
   if (it != unicast_cache_.end()) return it->second;
   const RouteResult result = router_->route_unicast(as, metro, fe);

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <shared_mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -22,6 +21,7 @@
 #include "cdn/router.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
+#include "common/thread_annotations.h"
 #include "dns/ldns.h"
 #include "geo/geolocation.h"
 #include "latency/rtt_model.h"
@@ -149,10 +149,13 @@ class BeaconSystem {
   /// stay invalid and are never indexed.
   std::vector<RouteResult> pool_routes_;
   /// Overflow cache for keys outside the pre-warmed set (synthetic
-  /// clients, ad-hoc probes). Guarded for concurrent simulation days.
-  mutable std::shared_mutex unicast_cache_mutex_;
+  /// clients, ad-hoc probes). Guarded for concurrent simulation days —
+  /// the PR 7 double-compute race lived here, and the annotation keeps
+  /// any future unlocked access from compiling on Clang.
+  mutable SharedMutex unicast_cache_mutex_;
   // NOLINT-ACDN(unordered-decl): keyed memo lookups only, never iterated
-  mutable std::unordered_map<std::uint64_t, RouteResult> unicast_cache_;
+  mutable std::unordered_map<std::uint64_t, RouteResult> unicast_cache_
+      ACDN_GUARDED_BY(unicast_cache_mutex_);
 };
 
 }  // namespace acdn

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/error.h"
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace acdn {
 
@@ -145,29 +146,39 @@ FailPointRegistry::FailPointRegistry()
 
 void FailPointRegistry::arm(const FaultSchedule& schedule) {
   schedule.validate();
-  for (auto& per_point : rules_by_point_) per_point.clear();
-  for (auto& count : fired_) count.store(0, std::memory_order_relaxed);
-  schedule_ = schedule;
-  for (const FaultRule& rule : schedule.rules) {
-    const auto idx = point_index(rule.point);
-    ACDN_CHECK(idx.has_value()) << "validated rule has unknown point";
-    rules_by_point_[*idx].push_back(rule);
+  bool armed = false;
+  {
+    WriterMutexLock lock(state_mutex_);
+    for (auto& per_point : rules_by_point_) per_point.clear();
+    for (auto& count : fired_) count.store(0, std::memory_order_relaxed);
+    schedule_ = schedule;
+    for (const FaultRule& rule : schedule.rules) {
+      const auto idx = point_index(rule.point);
+      ACDN_CHECK(idx.has_value()) << "validated rule has unknown point";
+      rules_by_point_[*idx].push_back(rule);
+    }
+    for (auto& per_point : rules_by_point_) {
+      std::sort(per_point.begin(), per_point.end(),
+                [](const FaultRule& a, const FaultRule& b) {
+                  return a.first_day < b.first_day;
+                });
+    }
+    armed = !schedule_.rules.empty();
   }
-  for (auto& per_point : rules_by_point_) {
-    std::sort(per_point.begin(), per_point.end(),
-              [](const FaultRule& a, const FaultRule& b) {
-                return a.first_day < b.first_day;
-              });
-  }
-  detail::g_fail_points_armed.store(!schedule_.rules.empty(),
-                                    std::memory_order_relaxed);
+  detail::g_fail_points_armed.store(armed, std::memory_order_relaxed);
 }
 
 void FailPointRegistry::disarm() {
   detail::g_fail_points_armed.store(false, std::memory_order_relaxed);
+  WriterMutexLock lock(state_mutex_);
   schedule_ = FaultSchedule{};
   for (auto& per_point : rules_by_point_) per_point.clear();
   for (auto& count : fired_) count.store(0, std::memory_order_relaxed);
+}
+
+FaultSchedule FailPointRegistry::schedule() const {
+  ReaderMutexLock lock(state_mutex_);
+  return schedule_;
 }
 
 std::map<std::string, std::uint64_t> FailPointRegistry::trigger_counts()
@@ -191,6 +202,7 @@ std::uint64_t FailPointRegistry::total_triggered() const {
 std::optional<Fault> FailPointRegistry::evaluate(std::size_t point_index,
                                                  DayIndex day,
                                                  std::uint64_t coordinate) {
+  ReaderMutexLock lock(state_mutex_);
   ACDN_DCHECK(point_index < rules_by_point_.size()) << "point index range";
   for (const FaultRule& rule : rules_by_point_[point_index]) {
     if (day < rule.first_day) break;  // sorted by first_day; disjoint

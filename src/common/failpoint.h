@@ -34,6 +34,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "common/types.h"
 
 namespace acdn {
@@ -120,11 +121,12 @@ class FailPointRegistry {
 
   /// Validates and installs `schedule`, resetting trigger counts. An
   /// empty schedule disarms. Phase operation: no concurrent fire().
-  void arm(const FaultSchedule& schedule);
-  void disarm();
+  void arm(const FaultSchedule& schedule) ACDN_EXCLUDES(state_mutex_);
+  void disarm() ACDN_EXCLUDES(state_mutex_);
 
-  /// The schedule as armed (empty when disarmed).
-  [[nodiscard]] const FaultSchedule& schedule() const { return schedule_; }
+  /// The schedule as armed (empty when disarmed). By value: a reference
+  /// into the registry could dangle across a concurrent re-arm.
+  [[nodiscard]] FaultSchedule schedule() const ACDN_EXCLUDES(state_mutex_);
 
   /// Fires recorded per point since the last arm(), for every known
   /// point (zero when never fired). Deterministic for a deterministic
@@ -143,13 +145,20 @@ class FailPointRegistry {
 
   [[nodiscard]] std::optional<Fault> evaluate(std::size_t point_index,
                                               DayIndex day,
-                                              std::uint64_t coordinate);
+                                              std::uint64_t coordinate)
+      ACDN_EXCLUDES(state_mutex_);
 
-  FaultSchedule schedule_;
+  /// Guards the armed schedule. Arming is a phase operation, so the
+  /// reader lock on the fire path is uncontended in practice — the mutex
+  /// exists to make a misuse (arm during a run) a stale read instead of
+  /// a torn one, and to give -Wthread-safety something to verify.
+  mutable SharedMutex state_mutex_;
+  FaultSchedule schedule_ ACDN_GUARDED_BY(state_mutex_);
   /// rules_by_point_[i]: rules of known_fail_points()[i], sorted by
   /// first_day. Windows are disjoint (validate()), so the first window
   /// containing `day` is the only one.
-  std::vector<std::vector<FaultRule>> rules_by_point_;
+  std::vector<std::vector<FaultRule>> rules_by_point_
+      ACDN_GUARDED_BY(state_mutex_);
   /// "fault.fired.<point>" names, precomputed so the fire path does not
   /// allocate.
   std::vector<std::string> metric_names_;

@@ -3,10 +3,20 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/thread_annotations.h"
+
 namespace acdn {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// Serializes sink writes: one fprintf is atomic per POSIX, but keeping
+/// the mutex makes the contract independent of the sink and gives
+/// executor-worker log lines a defined order relative to each other.
+Mutex& sink_mutex() {
+  static Mutex* m = new Mutex;  // leaked: loggable static teardown
+  return *m;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -26,6 +36,7 @@ LogLevel log_level() { return g_level.load(); }
 namespace detail {
 void log_line(LogLevel level, const std::string& message) {
   if (level > log_level() || message.empty()) return;
+  MutexLock lock(sink_mutex());
   std::fprintf(stderr, "[acdn %s] %s\n", level_name(level), message.c_str());
 }
 }  // namespace detail

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "stats/p2.h"
 
 namespace acdn {
@@ -101,18 +101,20 @@ void fold_histogram(HistogramStats& out, const ShardHistogram& shard) {
 /// race-free. Shards are never deallocated, so the thread_local pointer
 /// cache below stays valid for the life of the process.
 struct MetricsRegistry::Shard {
-  std::mutex m;
-  NameMap<std::uint64_t> counters;
-  NameMap<ShardHistogram> histograms;
+  Mutex m;
+  NameMap<std::uint64_t> counters ACDN_GUARDED_BY(m);
+  NameMap<ShardHistogram> histograms ACDN_GUARDED_BY(m);
 };
 
 /// Registry internals: rarely-touched state under one mutex (gauge and
-/// phase updates are per-pass, not per-item) plus the shard list.
+/// phase updates are per-pass, not per-item) plus the shard list. Lock
+/// order where both are held: Central::m before Shard::m (snapshot,
+/// reset); update paths hold exactly one.
 struct MetricsRegistry::Central {
-  std::mutex m;
-  std::vector<std::unique_ptr<Shard>> shards;
-  NameMap<double> gauges;
-  NameMap<PhaseStats> phases;
+  Mutex m;
+  std::vector<std::unique_ptr<Shard>> shards ACDN_GUARDED_BY(m);
+  NameMap<double> gauges ACDN_GUARDED_BY(m);
+  NameMap<PhaseStats> phases ACDN_GUARDED_BY(m);
 };
 
 MetricsRegistry::MetricsRegistry() : central_(new Central) {}
@@ -129,7 +131,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   if (cached == nullptr) {
     auto shard = std::make_unique<Shard>();
     cached = shard.get();
-    std::lock_guard<std::mutex> lock(central_->m);
+    MutexLock lock(central_->m);
     central_->shards.push_back(std::move(shard));
   }
   return *cached;
@@ -138,7 +140,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 void MetricsRegistry::counter_add(std::string_view name,
                                   std::uint64_t delta) {
   Shard& shard = local_shard();
-  std::lock_guard<std::mutex> lock(shard.m);
+  MutexLock lock(shard.m);
   auto it = shard.counters.find(name);
   if (it == shard.counters.end()) {
     shard.counters.emplace(std::string(name), delta);
@@ -148,7 +150,7 @@ void MetricsRegistry::counter_add(std::string_view name,
 }
 
 void MetricsRegistry::gauge_set(std::string_view name, double value) {
-  std::lock_guard<std::mutex> lock(central_->m);
+  MutexLock lock(central_->m);
   auto it = central_->gauges.find(name);
   if (it == central_->gauges.end()) {
     central_->gauges.emplace(std::string(name), value);
@@ -159,7 +161,7 @@ void MetricsRegistry::gauge_set(std::string_view name, double value) {
 
 void MetricsRegistry::observe(std::string_view name, double value) {
   Shard& shard = local_shard();
-  std::lock_guard<std::mutex> lock(shard.m);
+  MutexLock lock(shard.m);
   auto it = shard.histograms.find(name);
   if (it == shard.histograms.end()) {
     it = shard.histograms.emplace(std::string(name), ShardHistogram{})
@@ -170,7 +172,7 @@ void MetricsRegistry::observe(std::string_view name, double value) {
 
 void MetricsRegistry::record_phase(std::string_view path,
                                    double elapsed_ms) {
-  std::lock_guard<std::mutex> lock(central_->m);
+  MutexLock lock(central_->m);
   auto it = central_->phases.find(path);
   if (it == central_->phases.end()) {
     it = central_->phases.emplace(std::string(path), PhaseStats{}).first;
@@ -186,7 +188,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   // insertion order cannot affect the result, so hash-order visits are
   // safe here and nowhere past this point.
   MetricsSnapshot out;
-  std::lock_guard<std::mutex> lock(central_->m);
+  MutexLock lock(central_->m);
   // NOLINT-ACDN(unordered-iter): folded into name-sorted snapshot map
   for (const auto& [name, value] : central_->gauges) {
     out.gauges.emplace(name, value);
@@ -196,7 +198,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     out.phases.emplace(path, stats);
   }
   for (const auto& shard : central_->shards) {
-    std::lock_guard<std::mutex> shard_lock(shard->m);
+    MutexLock shard_lock(shard->m);
     // NOLINT-ACDN(unordered-iter): += into name-sorted map, commutative
     for (const auto& [name, value] : shard->counters) {
       out.counters[name] += value;
@@ -210,11 +212,11 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(central_->m);
+  MutexLock lock(central_->m);
   central_->gauges.clear();
   central_->phases.clear();
   for (const auto& shard : central_->shards) {
-    std::lock_guard<std::mutex> shard_lock(shard->m);
+    MutexLock shard_lock(shard->m);
     shard->counters.clear();
     shard->histograms.clear();
   }

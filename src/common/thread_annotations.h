@@ -1,0 +1,196 @@
+// Lock-discipline annotations and annotated mutex types.
+//
+// Wraps Clang's thread-safety attributes behind ACDN_* macros (no-ops on
+// other compilers) and provides the capability-annotated mutex wrappers
+// the rest of the tree must use instead of raw std::mutex /
+// std::shared_mutex. With the wrappers, `-Wthread-safety -Werror` (on in
+// every Clang CI leg) proves at compile time that every ACDN_GUARDED_BY
+// member is only touched under its mutex — the class of bug that shipped
+// as the beacon unicast-route-cache double-compute race (PR 7) becomes a
+// build failure instead of a scheduling-dependent counter.
+//
+// Policy (docs/ARCHITECTURE.md, "Correctness tooling"):
+//   * every mutex member is an acdn::Mutex or acdn::SharedMutex — the
+//     acdn_lint `unguarded-mutex` rule fails CI on a raw std mutex type
+//     in src/ outside this header;
+//   * every member whose access is serialized by that mutex carries
+//     ACDN_GUARDED_BY(mutex_name);
+//   * functions that take or require a lock are annotated with
+//     ACDN_ACQUIRE / ACDN_REQUIRES / ACDN_EXCLUDES as appropriate;
+//   * condition-variable waits pair std::condition_variable_any with the
+//     relockable MutexLock below (std::condition_variable would need the
+//     raw std::mutex back).
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+// ----------------------------------------------------------- attributes
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ACDN_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ACDN_THREAD_ANNOTATION
+#define ACDN_THREAD_ANNOTATION(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex", "shared_mutex").
+#define ACDN_CAPABILITY(x) ACDN_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose lifetime acquires/releases a capability.
+#define ACDN_SCOPED_CAPABILITY ACDN_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding `x`.
+#define ACDN_GUARDED_BY(x) ACDN_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded by `x`.
+#define ACDN_PT_GUARDED_BY(x) ACDN_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold `...` exclusively before calling.
+#define ACDN_REQUIRES(...) \
+  ACDN_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold `...` at least shared before calling.
+#define ACDN_REQUIRES_SHARED(...) \
+  ACDN_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires `...` exclusively and does not release it.
+#define ACDN_ACQUIRE(...) \
+  ACDN_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires `...` shared and does not release it.
+#define ACDN_ACQUIRE_SHARED(...) \
+  ACDN_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases `...` (exclusive or shared).
+#define ACDN_RELEASE(...) \
+  ACDN_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define ACDN_RELEASE_SHARED(...) \
+  ACDN_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires `...` on a true return (try_lock shape).
+#define ACDN_TRY_ACQUIRE(...) \
+  ACDN_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold `...` (deadlock prevention on self-locking fns).
+#define ACDN_EXCLUDES(...) ACDN_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability `x` (accessor idiom).
+#define ACDN_RETURN_CAPABILITY(x) ACDN_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: body is exempt from analysis. Pair with a comment
+/// explaining why, the same standard NOLINT-ACDN holds itself to.
+#define ACDN_NO_THREAD_SAFETY_ANALYSIS \
+  ACDN_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace acdn {
+
+// ------------------------------------------------------- annotated types
+//
+// Thin wrappers: same fast paths as the std primitives they hold (the
+// std object is the sole member), but carrying the capability attribute
+// Clang's analysis keys on. libstdc++ ships std::mutex unannotated, so
+// annotating call sites alone would verify nothing.
+
+/// Exclusive mutex. BasicLockable, so std::condition_variable_any and
+/// std::lock_guard-style generic code still work where needed.
+class ACDN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACDN_ACQUIRE() { m_.lock(); }
+  void unlock() ACDN_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() ACDN_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+ private:
+  std::mutex m_;  // NOLINT-ACDN(unguarded-mutex): the annotated wrapper
+                  // itself; every other std::mutex in src/ must be a Mutex
+};
+
+/// Reader-writer mutex (exclusive + shared modes).
+class ACDN_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() ACDN_ACQUIRE() { m_.lock(); }
+  void unlock() ACDN_RELEASE() { m_.unlock(); }
+  void lock_shared() ACDN_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void unlock_shared() ACDN_RELEASE_SHARED() { m_.unlock_shared(); }
+
+ private:
+  std::shared_mutex m_;  // NOLINT-ACDN(unguarded-mutex): the annotated
+                         // wrapper for std::shared_mutex (see Mutex above)
+};
+
+/// Scoped exclusive lock over Mutex. Relockable — lock()/unlock() exist
+/// so a std::condition_variable_any can wait on it — and BasicLockable.
+class ACDN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ACDN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+    held_ = true;
+  }
+  ~MutexLock() ACDN_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  /// Manual relock cycle (condition-variable waits).
+  void lock() ACDN_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+  void unlock() ACDN_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+  bool held_ = false;
+};
+
+/// Scoped exclusive (writer) lock over SharedMutex.
+class ACDN_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mutex) ACDN_ACQUIRE(mutex)
+      : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~WriterMutexLock() ACDN_RELEASE() { mutex_.unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+/// Scoped shared (reader) lock over SharedMutex.
+class ACDN_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mutex) ACDN_ACQUIRE_SHARED(mutex)
+      : mutex_(mutex) {
+    mutex_.lock_shared();
+  }
+  ~ReaderMutexLock() ACDN_RELEASE() { mutex_.unlock_shared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mutex_;
+};
+
+}  // namespace acdn

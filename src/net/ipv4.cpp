@@ -20,6 +20,7 @@ std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
     unsigned v = 0;
     auto [next, ec] = std::from_chars(p, end, v);
     if (ec != std::errc{} || v > 255 || next == p) return std::nullopt;
+    // NOLINT-ACDN(unchecked-pack): v > 255 already rejected via nullopt
     value = (value << 8) | v;
     p = next;
     if (octet < 3) {

@@ -21,6 +21,8 @@ class Ipv4Address {
   constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
   constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
                         std::uint8_t d)
+      // Each operand is uint8_t and its field is exactly 8 bits.
+      // NOLINT-ACDN(unchecked-pack): no operand can outgrow its field
       : value_((std::uint32_t(a) << 24) | (std::uint32_t(b) << 16) |
                (std::uint32_t(c) << 8) | std::uint32_t(d)) {}
 
@@ -92,6 +94,7 @@ template <>
 struct hash<acdn::Prefix> {
   size_t operator()(const acdn::Prefix& p) const noexcept {
     return std::hash<std::uint64_t>{}(
+        // NOLINT-ACDN(unchecked-pack): 32-bit address + length <= 32
         (std::uint64_t(p.address().value()) << 8) |
         std::uint64_t(p.length()));
   }

@@ -106,8 +106,9 @@ FaultInjectionRecord FaultInjectionRecord::from_registry() {
   const FailPointRegistry& registry = FailPointRegistry::global();
   FaultInjectionRecord record;
   record.armed = fail_points_armed();
-  record.seed = registry.schedule().seed;
-  record.rules = registry.schedule().rules;
+  const FaultSchedule schedule = registry.schedule();
+  record.seed = schedule.seed;
+  record.rules = schedule.rules;
   record.trigger_counts = registry.trigger_counts();
   return record;
 }

@@ -1,0 +1,105 @@
+// CLI-level coverage for the acdn_lint binary: exit codes for a clean
+// tree / a tree with findings / a bad root path, and the --json golden
+// output. Runs the real executable (ACDN_LINT_BIN) against throwaway
+// trees, so the argument parsing and stream plumbing in main.cpp are
+// covered, not just the library.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs `acdn_lint <args>` with stdout captured into `capture`.
+RunResult run_lint(const std::string& args, const fs::path& capture) {
+  const std::string cmd = std::string(ACDN_LINT_BIN) + " " + args + " > " +
+                          capture.string() + " 2> /dev/null";
+  const int status = std::system(cmd.c_str());
+  RunResult result;
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  std::ifstream in(capture, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  result.output = buf.str();
+  return result;
+}
+
+class AcdnLintCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::path(::testing::TempDir()) /
+            ("acdn_lint_cli_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "src" / "sim");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const std::string& rel, const std::string& text) {
+    std::ofstream out(root_ / rel, std::ios::binary);
+    out << text;
+  }
+
+  [[nodiscard]] fs::path capture() const { return root_ / "out.txt"; }
+
+  fs::path root_;
+};
+
+TEST_F(AcdnLintCli, CleanTreeExitsZeroWithNoOutput) {
+  write("src/sim/clean.cpp", "int answer() { return 42; }\n");
+  const RunResult r = run_lint(root_.string(), capture());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "");
+}
+
+TEST_F(AcdnLintCli, FindingsExitOneAndNameTheRule) {
+  write("src/sim/hot.cpp", "std::thread t;\n");
+  const RunResult r = run_lint(root_.string(), capture());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("src/sim/hot.cpp:1"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("[raw-thread]"), std::string::npos) << r.output;
+}
+
+TEST_F(AcdnLintCli, BadRootExitsTwo) {
+  const RunResult r =
+      run_lint((root_ / "no_such_dir").string(), capture());
+  EXPECT_EQ(r.exit_code, 2);
+
+  const RunResult no_args = run_lint("", capture());
+  EXPECT_EQ(no_args.exit_code, 2);
+}
+
+TEST_F(AcdnLintCli, JsonGoldenOutput) {
+  write("src/sim/hot.cpp", "std::thread t;\n");
+  const RunResult r = run_lint("--json " + root_.string(), capture());
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_EQ(r.output,
+            "[\n"
+            "  {\"file\": \"src/sim/hot.cpp\", \"line\": 1, \"rule\": "
+            "\"raw-thread\", \"message\": \"std::thread outside "
+            "common/executor — all parallelism goes through "
+            "Executor::global() so chunk plans stay deterministic and "
+            "exceptions propagate\"}\n"
+            "]\n");
+}
+
+TEST_F(AcdnLintCli, JsonCleanTreeIsEmptyArray) {
+  write("src/sim/clean.cpp", "int answer() { return 42; }\n");
+  const RunResult r = run_lint("--json " + root_.string(), capture());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.output, "[]\n");
+}
+
+}  // namespace

@@ -28,6 +28,10 @@ namespace {
 /// line table for offset -> 1-based line lookups.
 struct Stripped {
   std::string code;
+  /// Comments kept, string/char literals blanked: the view NOLINT-ACDN
+  /// directives are parsed from. Parsing them from raw text let string
+  /// literals (raw strings especially) suppress or fabricate findings.
+  std::string directives;
   std::vector<std::size_t> line_start;  // offset of each line's first char
 
   [[nodiscard]] int line_of(std::size_t pos) const {
@@ -39,6 +43,7 @@ struct Stripped {
 Stripped strip(const std::string& text) {
   Stripped out;
   out.code.assign(text.size(), ' ');
+  out.directives.assign(text.size(), ' ');
   out.line_start.push_back(0);
 
   enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
@@ -54,8 +59,11 @@ Stripped strip(const std::string& text) {
       case State::kCode:
         if (c == '/' && next == '/') {
           state = State::kLine;
+          out.directives[i] = c;
         } else if (c == '/' && next == '*') {
           state = State::kBlock;
+          out.directives[i] = c;
+          out.directives[i + 1] = next;
           ++i;
         } else if (c == '"') {
           // Raw string? Look back for R (and an optional prefix like u8R).
@@ -78,14 +86,18 @@ Stripped strip(const std::string& text) {
           state = State::kChar;
         } else {
           out.code[i] = c;
+          out.directives[i] = c;
         }
         break;
       case State::kLine:
         if (c == '\n') state = State::kCode;
+        out.directives[i] = c;
         break;
       case State::kBlock:
+        out.directives[i] = c;
         if (c == '*' && next == '/') {
           state = State::kCode;
+          out.directives[i + 1] = next;
           ++i;
         }
         break;
@@ -116,6 +128,12 @@ Stripped strip(const std::string& text) {
       }
     }
     if (c == '\n') out.code[i] = '\n';
+  }
+  // Every newline of the original survives in the directive view (escaped
+  // newlines inside literals included), so its line numbers match the
+  // line table.
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.directives[i] = '\n';
   }
   return out;
 }
@@ -195,10 +213,14 @@ struct Directive {
   std::string justification;
 };
 
-/// Directives are parsed from the raw text so they work inside comments.
-/// Only a parenthesized lowercase rule name parses as a directive;
-/// anything else (placeholders like NOLINT-ACDN(<rule>) in prose) is
-/// ignored, which is fail-safe: a typo never suppresses a finding.
+/// Directives are parsed from the strings-blanked view (Stripped::
+/// directives) so they work inside comments but a NOLINT-ACDN spelled in
+/// a string or raw-string literal — test data, log text, the linter's own
+/// fixtures — can neither suppress a finding nor fabricate a
+/// nolint-justification one. Only a parenthesized lowercase rule name
+/// parses as a directive; anything else (placeholders like
+/// NOLINT-ACDN(<rule>) in prose) is ignored, which is fail-safe: a typo
+/// never suppresses a finding.
 std::vector<Directive> parse_directives(const std::string& text) {
   std::vector<Directive> out;
   std::istringstream in(text);
@@ -598,15 +620,107 @@ void rule_failpoint(const Stripped& s, const std::string& label,
   }
 }
 
+void rule_unguarded_mutex(const Stripped& s, const std::string& label,
+                          std::vector<Finding>* out) {
+  // The annotated wrappers (acdn::Mutex & co) are the only sanctioned
+  // spelling in src/: a raw std mutex type carries no capability
+  // attribute, so -Wthread-safety cannot verify anything about it. The
+  // wrappers' own std members are suppressed in place with NOLINT-ACDN.
+  if (!starts_with(label, "src/")) return;
+  for (const std::string& token :
+       {std::string("std::mutex"), std::string("std::shared_mutex"),
+        std::string("std::recursive_mutex"),
+        std::string("std::timed_mutex")}) {
+    for (std::size_t pos : find_words(s.code, token)) {
+      out->push_back({"", s.line_of(pos), "unguarded-mutex",
+                      token + " is invisible to -Wthread-safety — use the "
+                              "annotated acdn::Mutex/SharedMutex "
+                              "(common/thread_annotations.h) and mark "
+                              "guarded members ACDN_GUARDED_BY"});
+    }
+  }
+}
+
+void rule_unchecked_pack(const Stripped& s, const std::string& label,
+                         std::vector<Finding>* out) {
+  // Bit-packing by shift-or: `(a << K) | b`. PR 7 shipped a 12-bit
+  // beacon-id aliasing bug of exactly this shape — the pack is silently
+  // lossy the day an operand outgrows its field. A pack is fine when the
+  // operands are range-guarded by an ACDN_CHECK*/ACDN_DCHECK* within a
+  // few lines; otherwise it is a finding.
+  if (!starts_with(label, "src/")) return;
+  constexpr int kGuardRadius = 10;  // lines on either side of the pack
+  std::vector<int> guard_lines;
+  for (const std::string& fam :
+       {std::string("ACDN_CHECK"), std::string("ACDN_DCHECK")}) {
+    for (std::size_t pos = s.code.find(fam); pos != std::string::npos;
+         pos = s.code.find(fam, pos + 1)) {
+      if (pos > 0 && ident_char(s.code[pos - 1])) continue;
+      guard_lines.push_back(s.line_of(pos));
+    }
+  }
+  const auto guarded_near = [&](int line) {
+    for (const int g : guard_lines) {
+      if (g >= line - kGuardRadius && g <= line + kGuardRadius) return true;
+    }
+    return false;
+  };
+  std::set<std::size_t> reported;  // statement begins; one finding each
+  for (std::size_t pos = s.code.find("<<"); pos != std::string::npos;
+       pos = s.code.find("<<", pos + 2)) {
+    if (pos + 2 < s.code.size() && s.code[pos + 2] == '<') continue;
+    if (pos > 0 && s.code[pos - 1] == '<') continue;
+    // Packing shifts move by a literal field width; shifts by an
+    // expression (and stream inserts, which shift nothing) are skipped.
+    const std::size_t rhs = skip_space(s.code, pos + 2);
+    if (rhs >= s.code.size() ||
+        std::isdigit(static_cast<unsigned char>(s.code[rhs])) == 0) {
+      continue;
+    }
+    // The enclosing statement: between ';', '{', '}' boundaries.
+    std::size_t begin = pos;
+    while (begin > 0 && s.code[begin - 1] != ';' &&
+           s.code[begin - 1] != '{' && s.code[begin - 1] != '}') {
+      --begin;
+    }
+    std::size_t end = pos;
+    while (end < s.code.size() && s.code[end] != ';' &&
+           s.code[end] != '{' && s.code[end] != '}') {
+      ++end;
+    }
+    bool has_or = false;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (s.code[i] != '|') continue;
+      const char prev = i > 0 ? s.code[i - 1] : '\0';
+      const char after = i + 1 < s.code.size() ? s.code[i + 1] : '\0';
+      if (prev == '|' || after == '|' || after == '=') continue;
+      has_or = true;
+      break;
+    }
+    if (!has_or) continue;
+    if (!reported.insert(begin).second) continue;  // one per statement
+    const int line = s.line_of(pos);
+    if (guarded_near(line)) continue;
+    out->push_back({"", line, "unchecked-pack",
+                    "shift-or bit-pack with no ACDN_CHECK*/ACDN_DCHECK* "
+                    "range guard nearby — an operand outgrowing its field "
+                    "aliases silently (the PR 7 beacon-id bug); check the "
+                    "operands' ranges beside the pack or justify why they "
+                    "cannot overflow"});
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
 
 const std::vector<std::string>& known_rules() {
   static const std::vector<std::string> kRules = {
-      "unordered-iter",    "unordered-decl", "raw-thread",
-      "banned-random",     "wall-clock",     "parallel-fp-accum",
-      "failpoint",         "nolint-justification"};
+      "unordered-iter",  "unordered-decl",
+      "raw-thread",      "banned-random",
+      "wall-clock",      "parallel-fp-accum",
+      "failpoint",       "unguarded-mutex",
+      "unchecked-pack",  "nolint-justification"};
   return kRules;
 }
 
@@ -623,7 +737,7 @@ std::vector<Finding> lint_file(
     const std::vector<std::string>& extra_unordered_names) {
   const Stripped s = strip(file.text);
   const UnorderedSurvey survey = survey_unordered(s);
-  const std::vector<Directive> directives = parse_directives(file.text);
+  const std::vector<Directive> directives = parse_directives(s.directives);
 
   std::set<std::string> names(extra_unordered_names.begin(),
                               extra_unordered_names.end());
@@ -637,6 +751,8 @@ std::vector<Finding> lint_file(
   rule_wall_clock(s, file.label, &findings);
   rule_parallel_fp_accum(s, file.label, &findings);
   rule_failpoint(s, file.label, &findings);
+  rule_unguarded_mutex(s, file.label, &findings);
+  rule_unchecked_pack(s, file.label, &findings);
 
   // Suppression: a well-formed directive covers its own line and the next.
   const std::set<std::string> rules(known_rules().begin(),
@@ -720,6 +836,48 @@ std::vector<Finding> lint_tree(const std::string& root) {
 std::string format(const Finding& finding) {
   return finding.file + ":" + std::to_string(finding.line) + ": [" +
          finding.rule + "] " + finding.message;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n";  break;
+      case '\t': out += "\\t";  break;
+      case '\r': out += "\\r";  break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"file\": \"" + json_escape(f.file) + "\", \"line\": " +
+           std::to_string(f.line) + ", \"rule\": \"" + json_escape(f.rule) +
+           "\", \"message\": \"" + json_escape(f.message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace acdn::lint

@@ -33,6 +33,15 @@
 //                     named fail point (seeded, day-windowed,
 //                     trigger-counted); organic loss rates justify via
 //                     NOLINT-ACDN
+//   unguarded-mutex   raw std::mutex / std::shared_mutex (or recursive/
+//                     timed) in src/ — use the capability-annotated
+//                     acdn::Mutex/SharedMutex wrappers
+//                     (common/thread_annotations.h) so -Wthread-safety
+//                     can verify lock discipline
+//   unchecked-pack    shift-or bit-pack `(a << K) | b` in src/ with no
+//                     ACDN_CHECK*/ACDN_DCHECK* range guard within 10
+//                     lines — unguarded packs alias silently when an
+//                     operand outgrows its field (the PR 7 beacon-id bug)
 //   nolint-justification  every NOLINT-ACDN directive must name a known
 //                     rule and carry `: <justification>`
 //
@@ -81,5 +90,10 @@ struct FileInput {
 
 /// "file:line: [rule] message" for human and CI output.
 [[nodiscard]] std::string format(const Finding& finding);
+
+/// The findings as a JSON array of {file, line, rule, message} objects
+/// (sorted order preserved from the input), for machine-readable CI
+/// artifacts. Stable: same findings, byte-identical output.
+[[nodiscard]] std::string format_json(const std::vector<Finding>& findings);
 
 }  // namespace acdn::lint

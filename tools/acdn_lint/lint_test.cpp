@@ -55,6 +55,8 @@ constexpr RuleFixture kRuleFixtures[] = {
     {"wall-clock", "wall_clock"},
     {"parallel-fp-accum", "parallel_fp_accum"},
     {"failpoint", "failpoint"},
+    {"unguarded-mutex", "unguarded_mutex"},
+    {"unchecked-pack", "unchecked_pack"},
     // The pre-flat_group aggregation idiom: both hazards in one fixture,
     // with the sorted-vector rewrite as the sanctioned must-pass twin.
     {"unordered-iter", "flat_group"},
@@ -166,6 +168,53 @@ TEST(LintRules, DirectiveCoversOwnAndNextLine) {
       "std::thread t;\n";
   const auto findings = lint_file(FileInput{"tests/t.cpp", too_far});
   EXPECT_EQ(count_rule(findings, "raw-thread"), 1) << dump(findings);
+}
+
+TEST(LintRules, DirectivesInsideStringLiteralsAreInert) {
+  // Regression: directives used to be parsed from the raw text, so a
+  // NOLINT-ACDN spelled inside a string literal acted as a real
+  // directive. Here the quoted directive's (line, line + 1) window
+  // covers the std::thread — it must NOT suppress the finding.
+  const std::string quoted =
+      "const char* kDoc = \"NOLINT-ACDN(raw-thread): quoted, not real\";\n"
+      "std::thread t;\n";
+  const auto findings = lint_file(FileInput{"src/sim/doc.cpp", quoted});
+  EXPECT_EQ(count_rule(findings, "raw-thread"), 1) << dump(findings);
+
+  // ...and a directive-shaped fragment in a raw string literal (the
+  // expected-output idiom in linter tests) must not fabricate a
+  // nolint-justification finding for its unknown rule.
+  const std::string raw =
+      "const char* kExpected =\n"
+      "    R\"(t.cc:1: NOLINT-ACDN(bogus-rule) names unknown rule)\";\n";
+  const auto fabricated = lint_file(FileInput{"src/sim/golden.cpp", raw});
+  EXPECT_TRUE(fabricated.empty()) << dump(fabricated);
+
+  // Raw-string delimiters and embedded comment openers must not derail
+  // the scanner: the directive after the literal is real and must still
+  // suppress, and the // inside the raw string must not eat the line.
+  const std::string mixed =
+      "auto s = R\"json({\"note\": \"// NOLINT-ACDN(raw-thread): no\"})json\";\n"
+      "// NOLINT-ACDN(raw-thread): real directive after a raw literal\n"
+      "std::thread t;\n";
+  const auto suppressed = lint_file(FileInput{"src/sim/mix.cpp", mixed});
+  EXPECT_TRUE(suppressed.empty()) << dump(suppressed);
+}
+
+TEST(LintFormat, JsonIsStableAndEscaped) {
+  const std::vector<Finding> findings = {
+      {"src/a.cpp", 3, "raw-thread", "say \"no\" to \\ backslash"},
+      {"src/b.cpp", 7, "wall-clock", "plain"},
+  };
+  EXPECT_EQ(format_json(findings),
+            "[\n"
+            "  {\"file\": \"src/a.cpp\", \"line\": 3, \"rule\": "
+            "\"raw-thread\", \"message\": \"say \\\"no\\\" to \\\\ "
+            "backslash\"},\n"
+            "  {\"file\": \"src/b.cpp\", \"line\": 7, \"rule\": "
+            "\"wall-clock\", \"message\": \"plain\"}\n"
+            "]\n");
+  EXPECT_EQ(format_json(std::vector<Finding>{}), "[]\n");
 }
 
 TEST(LintTree, RealTreeIsClean) {

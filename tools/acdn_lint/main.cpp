@@ -1,9 +1,13 @@
-// acdn_lint CLI: `acdn_lint <repo-root> [file...]`.
+// acdn_lint CLI: `acdn_lint [--json] <repo-root> [file...]`.
 //
 // With only a root, lints every .h/.cpp under {src,tests,bench,examples,
 // tools} (skipping testdata fixtures) and exits 1 if anything fires —
 // this is the AcdnLint ctest. Extra arguments lint individual files
 // (labels are taken relative to the root) for editor/pre-commit use.
+// `--json` replaces the human lines with a stable JSON array of
+// {file, line, rule, message} objects (CI uploads it as an artifact).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage error or unreadable root.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -25,17 +29,31 @@ std::string read_file(const std::filesystem::path& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: acdn_lint <repo-root> [file...]\n";
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    std::cerr << "usage: acdn_lint [--json] <repo-root> [file...]\n";
     return 2;
   }
-  const std::string root = argv[1];
+  const std::string root = args[0];
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "acdn_lint: not a directory: " << root << "\n";
+    return 2;
+  }
   std::vector<acdn::lint::Finding> findings;
-  if (argc == 2) {
+  if (args.size() == 1) {
     findings = acdn::lint::lint_tree(root);
   } else {
-    for (int i = 2; i < argc; ++i) {
-      const std::filesystem::path p(argv[i]);
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      const std::filesystem::path p(args[i]);
       acdn::lint::FileInput input;
       std::error_code ec;
       const auto rel = std::filesystem::relative(p, root, ec);
@@ -53,6 +71,10 @@ int main(int argc, char** argv) {
         findings.push_back(std::move(f));
       }
     }
+  }
+  if (json) {
+    std::cout << acdn::lint::format_json(findings);
+    return findings.empty() ? 0 : 1;
   }
   for (const auto& f : findings) {
     std::cout << acdn::lint::format(f) << "\n";

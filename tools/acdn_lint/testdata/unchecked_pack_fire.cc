@@ -1,0 +1,8 @@
+// Must-fire: shift-or bit-pack with no range guard in sight. The day
+// `metro` outgrows its 20-bit field this aliases another key silently —
+// the exact shape of the PR 7 beacon-id bug.
+#include <cstdint>
+
+std::uint64_t pack_key(std::uint64_t as, std::uint64_t metro) {
+  return (as << 20) | metro;
+}

@@ -1,0 +1,15 @@
+// Must-pass twin: the same pack with its operands range-guarded beside
+// it (the sanctioned idiom), plus shift shapes the rule must skip.
+#include <cstdint>
+
+#include "common/check.h"
+
+std::uint64_t pack_key(std::uint64_t as, std::uint64_t metro) {
+  ACDN_DCHECK_LT(as, 1ull << 44);
+  ACDN_DCHECK_LT(metro, 1ull << 20);
+  return (as << 20) | metro;
+}
+
+std::uint64_t join_halves(std::uint64_t hi, std::uint64_t lo, int width) {
+  return (hi << width) | lo;  // non-literal width is not the pack shape
+}

@@ -1,0 +1,13 @@
+// Must-fire: raw std mutex types in src/ carry no capability attribute,
+// so -Wthread-safety cannot verify anything about the state they guard.
+#include <mutex>
+#include <shared_mutex>
+
+struct RouteCache {
+  std::mutex m;
+  std::shared_mutex table_mutex;
+};
+
+struct ReentrantQueue {
+  std::recursive_mutex m;
+};

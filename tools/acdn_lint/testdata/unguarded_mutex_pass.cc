@@ -1,0 +1,17 @@
+// Must-pass twin: the capability-annotated wrappers, with guarded
+// members marked, plus the justified-NOLINT form for unavoidable raw
+// mutexes (FFI, wrapper internals).
+#include <map>
+
+#include "common/thread_annotations.h"
+
+struct RouteCache {
+  acdn::Mutex m;
+  std::map<int, int> routes ACDN_GUARDED_BY(m);
+
+  acdn::SharedMutex table_mutex;
+  std::map<int, int> table ACDN_GUARDED_BY(table_mutex);
+
+  // NOLINT-ACDN(unguarded-mutex): handed to a C callback (raw type only)
+  std::mutex interop_m;
+};

@@ -1,0 +1,319 @@
+#include "layer_check/layer.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+namespace acdn::layer {
+
+namespace {
+
+/// The declared layering. Order within deps mirrors the
+/// target_link_libraries call in the module's CMakeLists.txt; the check
+/// itself uses the transitive closure, like linking does.
+LayerConfig build_default_config() {
+  LayerConfig config;
+  config.modules = {
+      {"stats", {}},
+      {"common", {"stats"}},
+      {"geo", {"common"}},
+      {"net", {"common"}},
+      {"latency", {"common"}},
+      {"topology", {"geo", "common"}},
+      {"routing", {"topology", "common"}},
+      {"workload", {"topology", "latency", "net", "geo", "common"}},
+      {"cdn", {"routing", "topology", "net", "geo", "workload", "common"}},
+      {"load", {"cdn", "workload", "routing", "common"}},
+      {"dns", {"workload", "cdn", "geo", "common"}},
+      {"beacon",
+       {"cdn", "dns", "workload", "latency", "routing", "common"}},
+      {"analysis",
+       {"beacon", "workload", "cdn", "stats", "geo", "common"}},
+      {"core", {"analysis", "beacon", "dns", "stats", "common"}},
+      {"atlas", {"cdn", "routing", "latency", "common"}},
+      {"sim",
+       {"core", "beacon", "cdn", "dns", "workload", "routing", "topology",
+        "latency", "atlas", "common"}},
+      {"report", {"beacon", "stats", "common"}},
+  };
+  config.waivers = {
+      // stats sits below common in the link order, but its .cpp files
+      // throw the shared ConfigError. error.h is a header-only leaf with
+      // no further includes, so the edge links fine and cannot recurse.
+      {"stats", "common/error.h",
+       "header-only error type shared by every layer"},
+  };
+  return config;
+}
+
+}  // namespace
+
+const LayerConfig& default_config() {
+  static const LayerConfig* config = new LayerConfig(build_default_config());
+  return *config;
+}
+
+std::vector<IncludeRef> quoted_includes(const std::string& text) {
+  // Line-oriented scan with just enough lexing to ignore directives in
+  // /* */ blocks, line comments, and string literals. An #include is
+  // only real when the '#' is the first non-space character.
+  std::vector<IncludeRef> out;
+  bool in_block_comment = false;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::size_t i = 0;
+    if (in_block_comment) {
+      const std::size_t close = line.find("*/");
+      if (close == std::string::npos) continue;
+      in_block_comment = false;
+      i = close + 2;
+    }
+    // First non-space character from offset i.
+    while (i < line.size() &&
+           (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    if (i < line.size() && line[i] == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') continue;
+      if (line[i + 1] == '*') {
+        const std::size_t close = line.find("*/", i + 2);
+        if (close == std::string::npos) {
+          in_block_comment = true;
+          continue;
+        }
+        // A one-line block comment before the directive: rescan after.
+        i = close + 2;
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t')) {
+          ++i;
+        }
+      }
+    }
+    if (i >= line.size() || line[i] != '#') continue;
+    ++i;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const std::string kw = "include";
+    if (line.compare(i, kw.size(), kw) != 0) continue;
+    i += kw.size();
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    if (i >= line.size() || line[i] != '"') continue;
+    const std::size_t close = line.find('"', i + 1);
+    if (close == std::string::npos) continue;
+    out.push_back({line_no, line.substr(i + 1, close - i - 1)});
+  }
+  return out;
+}
+
+Checker::Checker(LayerConfig config) : config_(std::move(config)) {
+  waiver_used_.assign(config_.waivers.size(), false);
+
+  std::set<std::string> names;
+  for (const Module& m : config_.modules) {
+    if (!names.insert(m.name).second) {
+      config_violations_.push_back(
+          {"", 0, "config-cycle",
+           "module '" + m.name + "' declared twice in the layer DAG"});
+    }
+  }
+  for (const Module& m : config_.modules) {
+    for (const std::string& dep : m.deps) {
+      if (names.count(dep) == 0) {
+        config_violations_.push_back(
+            {"", 0, "config-cycle",
+             "module '" + m.name + "' depends on undeclared module '" +
+                 dep + "'"});
+      }
+    }
+  }
+  if (!config_violations_.empty()) return;
+
+  // Cycle check: iterative DFS with colors over the declared edges.
+  std::map<std::string, const Module*> by_name;
+  for (const Module& m : config_.modules) by_name.emplace(m.name, &m);
+  enum Color { kWhite, kGray, kBlack };
+  std::map<std::string, Color> color;
+  for (const Module& m : config_.modules) color[m.name] = kWhite;
+  for (const Module& root : config_.modules) {
+    if (color[root.name] != kWhite) continue;
+    std::vector<std::pair<const Module*, std::size_t>> stack;
+    stack.emplace_back(&root, 0);
+    color[root.name] = kGray;
+    while (!stack.empty()) {
+      auto& [mod, next] = stack.back();
+      if (next >= mod->deps.size()) {
+        color[mod->name] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      const std::string& dep = mod->deps[next++];
+      if (color[dep] == kGray) {
+        config_violations_.push_back(
+            {"", 0, "config-cycle",
+             "layer DAG cycle through '" + mod->name + "' -> '" + dep +
+                 "' — layers must be acyclic"});
+        return;
+      }
+      if (color[dep] == kWhite) {
+        color[dep] = kGray;
+        stack.emplace_back(by_name.at(dep), 0);
+      }
+    }
+  }
+}
+
+std::vector<Violation> Checker::check_file(const std::string& label,
+                                           const std::string& text) {
+  std::vector<Violation> out;
+  if (!config_violations_.empty()) return out;
+
+  // Only src/<module>/... files are layered. The umbrella header at the
+  // src root and anything outside src/ (tests, tools) may include
+  // freely — they sit above every layer by construction.
+  const std::string prefix = "src/";
+  if (label.rfind(prefix, 0) != 0) return out;
+  const std::size_t module_end = label.find('/', prefix.size());
+  if (module_end == std::string::npos) return out;
+  const std::string module = label.substr(prefix.size(),
+                                          module_end - prefix.size());
+
+  std::map<std::string, const Module*> by_name;
+  for (const Module& m : config_.modules) by_name.emplace(m.name, &m);
+  const auto self = by_name.find(module);
+  if (self == by_name.end()) {
+    out.push_back({label, 0, "unknown-module",
+                   "directory src/" + module +
+                       " is not in the layer DAG — add it to "
+                       "default_config() with its dependencies"});
+    return out;
+  }
+
+  // Transitive dependency closure of this module.
+  std::set<std::string> allowed;
+  std::vector<const Module*> frontier = {self->second};
+  while (!frontier.empty()) {
+    const Module* m = frontier.back();
+    frontier.pop_back();
+    for (const std::string& dep : m->deps) {
+      if (allowed.insert(dep).second) frontier.push_back(by_name.at(dep));
+    }
+  }
+
+  for (const IncludeRef& inc : quoted_includes(text)) {
+    const std::size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-directory include
+    const std::string target = inc.path.substr(0, slash);
+    if (target == module) continue;
+    if (by_name.count(target) == 0) {
+      out.push_back({label, inc.line, "unknown-module",
+                     "#include \"" + inc.path +
+                         "\" names no module in the layer DAG"});
+      continue;
+    }
+    if (allowed.count(target) > 0) continue;
+    bool waived = false;
+    for (std::size_t w = 0; w < config_.waivers.size(); ++w) {
+      if (config_.waivers[w].module == module &&
+          config_.waivers[w].include == inc.path) {
+        waiver_used_[w] = true;
+        waived = true;
+        break;
+      }
+    }
+    if (waived) continue;
+    // Is this the dangerous direction — does the target (transitively)
+    // depend on us?
+    std::set<std::string> target_closure;
+    std::vector<const Module*> tf = {by_name.at(target)};
+    while (!tf.empty()) {
+      const Module* m = tf.back();
+      tf.pop_back();
+      for (const std::string& dep : m->deps) {
+        if (target_closure.insert(dep).second) {
+          tf.push_back(by_name.at(dep));
+        }
+      }
+    }
+    const bool upward = target_closure.count(module) > 0;
+    out.push_back(
+        {label, inc.line, "undeclared-dependency",
+         "#include \"" + inc.path + "\": " + module +
+             (upward ? " -> " + target +
+                           " is an upward include (" + target +
+                           " already layers above " + module +
+                           ") — invert the dependency or move the shared "
+                           "code below both"
+                     : " -> " + target +
+                           " is not a declared layer edge — add it to "
+                           "default_config() alongside the "
+                           "target_link_libraries edge, or waive it with "
+                           "a justification")});
+  }
+  return out;
+}
+
+std::vector<Violation> Checker::finish() const {
+  std::vector<Violation> out;
+  if (!config_violations_.empty()) return out;
+  for (std::size_t w = 0; w < config_.waivers.size(); ++w) {
+    if (waiver_used_[w]) continue;
+    const Waiver& waiver = config_.waivers[w];
+    out.push_back({"", 0, "stale-waiver",
+                   "waiver (" + waiver.module + ", " + waiver.include +
+                       ") matched nothing — the debt it documented is "
+                       "gone, delete the waiver"});
+  }
+  return out;
+}
+
+std::vector<Violation> check_tree(const std::string& root) {
+  namespace fs = std::filesystem;
+  Checker checker(default_config());
+  std::vector<Violation> out = checker.config_violations();
+  if (!out.empty()) return out;
+
+  std::vector<fs::path> files;
+  const fs::path base = fs::path(root) / "src";
+  if (fs::exists(base)) {
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      if (p.extension() == ".h" || p.extension() == ".cpp") {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string label = fs::relative(p, root).generic_string();
+    std::vector<Violation> file_violations =
+        checker.check_file(label, buf.str());
+    out.insert(out.end(), file_violations.begin(), file_violations.end());
+  }
+  std::vector<Violation> stale = checker.finish();
+  out.insert(out.end(), stale.begin(), stale.end());
+
+  std::sort(out.begin(), out.end(),
+            [](const Violation& a, const Violation& b) {
+              return std::tie(a.file, a.line, a.kind) <
+                     std::tie(b.file, b.line, b.kind);
+            });
+  return out;
+}
+
+std::string format(const Violation& violation) {
+  return violation.file + ":" + std::to_string(violation.line) + ": [" +
+         violation.kind + "] " + violation.message;
+}
+
+}  // namespace acdn::layer

@@ -1,0 +1,115 @@
+// Include-layer analyzer (see docs/ARCHITECTURE.md, "Correctness
+// tooling").
+//
+// src/ is layered: each module directory may include headers only from
+// itself and from the modules below it in the declared DAG, which
+// mirrors the CMake link graph (src/<module>/CMakeLists.txt). An upward
+// include compiles fine today — headers are all on one include path —
+// and quietly inverts the layering until the link step or a future
+// refactor breaks; PR 2 had to flip the common → stats boundary by hand
+// after exactly that. This tool parses the quoted #include edges across
+// src/ and fails CI on any edge the DAG does not allow.
+//
+// Violation kinds:
+//   unknown-module         include's first path component is not a
+//                          declared module (typo, or a new directory not
+//                          yet added to default_config())
+//   undeclared-dependency  the edge is not in the includer's transitive
+//                          dependency closure; the message says when the
+//                          reverse edge exists (an upward include — the
+//                          dangerous case)
+//   config-cycle           the declared DAG itself has a cycle or names
+//                          an unknown module (configuration bug)
+//   stale-waiver           a waiver matched no include in the tree —
+//                          the debt it documented is gone, delete it
+//
+// Amending the DAG: a new module or a new downward edge is added to
+// default_config() in layer.cpp, in the same change that adds the
+// target_link_libraries edge. A deliberate exception (and the reasons
+// had better be good) is a Waiver naming the exact (module, include)
+// pair plus a justification; waivers that stop matching fail CI as
+// stale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace acdn::layer {
+
+/// One module directory under src/ and the modules it may include
+/// (directly; the check uses the transitive closure, like linking).
+struct Module {
+  std::string name;
+  std::vector<std::string> deps;
+};
+
+/// A deliberate exception: `module`'s files may include exactly
+/// `include` even though the DAG forbids it. Must stay justified.
+struct Waiver {
+  std::string module;
+  std::string include;
+  std::string justification;
+};
+
+struct LayerConfig {
+  std::vector<Module> modules;
+  std::vector<Waiver> waivers;
+};
+
+/// The repo's declared layering, mirroring src/*/CMakeLists.txt.
+[[nodiscard]] const LayerConfig& default_config();
+
+struct Violation {
+  std::string file;  // label as given (tree scans use repo-relative paths)
+  int line = 0;      // 1-based; 0 for config/waiver-level violations
+  std::string kind;
+  std::string message;
+};
+
+/// A quoted #include directive, with its 1-based line.
+struct IncludeRef {
+  int line = 0;
+  std::string path;
+};
+
+/// The quoted includes of one file, comment-aware: directives inside
+/// // and /* */ comments or string literals do not count.
+[[nodiscard]] std::vector<IncludeRef> quoted_includes(
+    const std::string& text);
+
+/// Checks files one at a time against a config, tracking waiver use so
+/// stale waivers can be reported at the end.
+class Checker {
+ public:
+  explicit Checker(LayerConfig config);
+
+  /// Violations of the config itself (cycles, unknown dep names).
+  /// Non-empty config violations make every edge check meaningless, so
+  /// callers should stop there.
+  [[nodiscard]] const std::vector<Violation>& config_violations() const {
+    return config_violations_;
+  }
+
+  /// Layer violations of one file. `label` must be the repo-relative
+  /// path ("src/<module>/<file>"); files outside src/ or directly at the
+  /// src root (the umbrella header) are exempt and return nothing.
+  [[nodiscard]] std::vector<Violation> check_file(const std::string& label,
+                                                 const std::string& text);
+
+  /// Call once after every file: stale-waiver violations.
+  [[nodiscard]] std::vector<Violation> finish() const;
+
+ private:
+  LayerConfig config_;
+  std::vector<Violation> config_violations_;
+  std::vector<bool> waiver_used_;
+};
+
+/// Scans every .h/.cpp under root/src with default_config(). Violations
+/// are sorted by (file, line, kind).
+[[nodiscard]] std::vector<Violation> check_tree(const std::string& root);
+
+/// "file:line: [kind] message" for human and CI output.
+[[nodiscard]] std::string format(const Violation& violation);
+
+}  // namespace acdn::layer

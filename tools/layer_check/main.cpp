@@ -1,0 +1,36 @@
+// layer_check CLI: `layer_check <repo-root>`.
+//
+// Checks every quoted #include under <repo-root>/src against the layer
+// DAG declared in layer.cpp (which mirrors the CMake link graph) and
+// exits 1 on any violation — this is the LayerCheck ctest.
+//
+// Exit codes: 0 clean, 1 violations, 2 usage error or unreadable root.
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "layer_check/layer.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::cerr << "usage: layer_check <repo-root>\n";
+    return 2;
+  }
+  const std::string root = argv[1];
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "layer_check: not a directory: " << root << "\n";
+    return 2;
+  }
+  const auto violations = acdn::layer::check_tree(root);
+  for (const auto& v : violations) {
+    std::cout << acdn::layer::format(v) << "\n";
+  }
+  if (!violations.empty()) {
+    std::cout << violations.size()
+              << " layer violation(s). The DAG lives in "
+                 "tools/layer_check/layer.cpp (docs/ARCHITECTURE.md, "
+                 "Correctness tooling).\n";
+    return 1;
+  }
+  return 0;
+}
