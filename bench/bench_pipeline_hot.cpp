@@ -14,8 +14,13 @@
 // loop (resolve once per routing unit, O(1) client lookup) and de-locked
 // the beacon fetch path; its bar is >= 1.5x sim-phase throughput at the
 // "large" scale over the previously committed sim numbers (189.65 ->
-// 117.08 ns/row on the pinned run, ~1.6x). CI's perf-smoke leg gates the
-// small-scale sim figure against the committed JSON via tools/perf_gate.sh.
+// 117.08 ns/row on the pinned run, ~1.6x). The batch-kernel PR rewired
+// the join and aggregation onto radix sorts and SIMD kernels; its bar is
+// >= 1.5x join and aggregate ns/row at the "large" scale. CI's
+// perf-smoke leg gates the small-scale sim, join, and aggregate figures
+// against the committed JSON via tools/perf_gate.sh. Each scale also
+// records a 1/4/max thread sweep of the two deterministic phases and the
+// process high-water RSS after the scale completed.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -75,6 +80,13 @@ struct PhaseResult {
   }
 };
 
+/// One thread-count point of the join/aggregate thread sweep.
+struct SweepEntry {
+  int threads = 0;
+  PhaseResult join;
+  PhaseResult aggregate;
+};
+
 struct ScaleResult {
   std::string name;
   int clients = 0;
@@ -83,6 +95,10 @@ struct ScaleResult {
   PhaseResult sim;        // rows = dns+http+passive rows per day
   PhaseResult join;       // rows = dns+http log rows
   PhaseResult aggregate;  // rows = latency samples (targets)
+  /// Process high-water RSS right after this scale finished (kB):
+  /// monotone across scales, so the per-scale deltas localize growth.
+  long rss_kb = 0;
+  std::vector<SweepEntry> sweep;  // join+aggregate at 1 / 4 / max threads
 };
 
 /// Pre-refactor (hash-join + std::map group-by) numbers, captured on this
@@ -184,6 +200,44 @@ ScaleResult run_scale(const std::string& name, ScenarioConfig config,
     result.aggregate.total_ns = timer.elapsed_ns();
   }
   require(sink > 0, "aggregate phase produced no groups");
+
+  // --- Thread sweep: the two deterministic phases at 1 / 4 / max
+  // threads. The outputs are bit-identical across counts by contract;
+  // the sweep records what that determinism costs or buys in wall time.
+  int sweep_counts[] = {1, 4, default_thread_count()};
+  for (const int t : sweep_counts) {
+    bool seen = false;
+    for (const SweepEntry& e : result.sweep) seen = seen || e.threads == t;
+    if (seen) continue;
+    SweepEntry entry;
+    entry.threads = t;
+    entry.join.rows = result.join.rows;
+    entry.join.reps = reps;
+    {
+      const WallTimer timer;
+      for (int r = 0; r < reps; ++r) {
+        MeasurementStore fresh;
+        fresh.join(dns_log, http_log, t);
+      }
+      entry.join.total_ns = timer.elapsed_ns();
+    }
+    entry.aggregate.rows = result.aggregate.rows;
+    entry.aggregate.reps = reps;
+    ScratchArena sweep_scratch;
+    {
+      const WallTimer timer;
+      for (int r = 0; r < reps; ++r) {
+        const DayAggregates agg =
+            DayAggregates::build(day0, Grouping::kEcsPrefix, t,
+                                 &sweep_scratch);
+        sink += agg.groups().size();
+      }
+      entry.aggregate.total_ns = timer.elapsed_ns();
+    }
+    result.sweep.push_back(entry);
+  }
+
+  result.rss_kb = peak_rss_kb();
   return result;
 }
 
@@ -246,7 +300,18 @@ int main(int argc, char** argv) {
                  r.name.c_str(), r.clients, r.sites, r.threads);
     write_phase(f, "sim", r.sim, false);
     write_phase(f, "join", r.join, false);
-    write_phase(f, "aggregate", r.aggregate, true);
+    write_phase(f, "aggregate", r.aggregate, false);
+    std::fprintf(f, "    \"peak_rss_kb\": %ld,\n", r.rss_kb);
+    std::fprintf(f, "    \"thread_sweep\": [\n");
+    for (std::size_t s = 0; s < r.sweep.size(); ++s) {
+      const SweepEntry& e = r.sweep[s];
+      std::fprintf(f,
+                   "     {\"threads\": %d, \"join_ns_per_row\": %.2f, "
+                   "\"aggregate_ns_per_row\": %.2f}%s\n",
+                   e.threads, e.join.ns_per_row(), e.aggregate.ns_per_row(),
+                   s + 1 < r.sweep.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]\n");
     std::fprintf(f, "   }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

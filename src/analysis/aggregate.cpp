@@ -1,39 +1,35 @@
 #include "analysis/aggregate.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/check.h"
 #include "common/flat_group.h"
+#include "common/radix.h"
+#include "common/simd.h"
 
 namespace acdn {
 
 namespace {
 
-/// One (group, target, sample) triple of the flat aggregation table. The
-/// packed target key — anycast flag above the 32 front-end bits — sorts
-/// exactly like TargetKey's (anycast, front_end) lexicographic order for
-/// every possible front-end id; `seq` is the flat scan position, making
-/// the sort key a total order (deterministic parallel sort) and keeping
-/// each target's samples in measurement scan order.
-struct AggEntry {
-  std::uint32_t group = 0;
-  std::uint64_t target = 0;
-  std::uint32_t seq = 0;
-};
+// The aggregation sort key is one packed uint64 built by the SIMD
+// key-pack kernel: group in the high half, the target in the low half as
+// anycast-bit-31 | front-end-id-30..0 (simd::pack_group_target). For any
+// unicast front-end id < 2^31 the low half sorts exactly like TargetKey's
+// (anycast, front_end) lexicographic order — unicast ids ascend below
+// 0x80000000, the anycast lane is exactly 0x80000000 — and the radix
+// sort's stability replaces the old explicit seq tie-breaker column:
+// equal keys keep measurement scan order by construction.
+constexpr std::uint64_t kAnycastBit = std::uint64_t{1} << 31;
 
-constexpr std::uint64_t kAnycastBit = std::uint64_t{1} << 32;
-
-[[nodiscard]] std::uint64_t pack_target(bool anycast, FrontEndId fe) {
-  return anycast ? kAnycastBit : std::uint64_t{fe.value};
-}
-
-[[nodiscard]] TargetKey unpack_target(std::uint64_t target) {
-  const bool anycast = (target & kAnycastBit) != 0;
+[[nodiscard]] TargetKey unpack_target(std::uint64_t key) {
+  const bool anycast = (key & kAnycastBit) != 0;
   // The hash join normalized anycast targets to a default FrontEndId;
   // reproduce that here rather than round-tripping the logged id.
-  return TargetKey{anycast, anycast ? FrontEndId{}
-                                    : FrontEndId{static_cast<std::uint32_t>(
-                                          target)}};
+  return TargetKey{anycast,
+                   anycast ? FrontEndId{}
+                           : FrontEndId{static_cast<std::uint32_t>(
+                                 key & (kAnycastBit - 1))}};
 }
 
 }  // namespace
@@ -85,46 +81,59 @@ DayAggregates DayAggregates::build(const MeasurementColumns& columns,
 
   ScratchArena local;
   ScratchArena& arena = scratch != nullptr ? *scratch : local;
-  std::vector<AggEntry>& entries = arena.buffer<AggEntry>("agg.entries");
-  entries.reserve(n);
+
+  // Expand the per-row group id onto the flat target column, then pack
+  // (group, anycast, front_end) into one sortable uint64 per target with
+  // the SIMD kernel.
+  std::vector<std::uint32_t>& group_col =
+      arena.buffer<std::uint32_t>("agg.group");
+  group_col.resize(n);
   for (std::size_t i = 0; i < columns.size(); ++i) {
     const std::uint32_t group = grouping == Grouping::kEcsPrefix
                                     ? columns.client[i].value
                                     : columns.ldns[i].value;
     for (std::size_t t = columns.row_targets_begin(i);
          t < columns.row_targets_end(i); ++t) {
-      entries.push_back(AggEntry{group,
-                                 pack_target(columns.target_anycast[t] != 0,
-                                             columns.target_front_end[t]),
-                                 static_cast<std::uint32_t>(t)});
+      group_col[t] = group;
     }
   }
-  ACDN_DCHECK_EQ(entries.size(), n) << "aggregation entry table mismatch";
 
-  parallel_sort(std::span<AggEntry>(entries), threads,
-                [](const AggEntry& a, const AggEntry& b) {
-                  if (a.group != b.group) return a.group < b.group;
-                  if (a.target != b.target) return a.target < b.target;
-                  return a.seq < b.seq;
-                });
+  std::vector<std::uint64_t>& keys = arena.buffer<std::uint64_t>("agg.keys");
+  keys.resize(n);
+  const std::uint32_t overflow = simd::pack_group_target(
+      std::span<const std::uint32_t>(group_col),
+      std::span<const std::uint8_t>(columns.target_anycast),
+      std::span<const std::uint32_t>(columns.target_front_end),
+      std::span<std::uint64_t>(keys));
+  ACDN_CHECK_EQ(overflow, 0u)
+      << "unicast front-end id overflows the 31-bit aggregation key";
 
-  out.samples_.reserve(n);
-  for (const AggEntry& e : entries) {
-    if (out.groups_.empty() || out.groups_.back().key != e.group) {
-      out.groups_.push_back(
-          Group{e.group, static_cast<std::uint32_t>(out.targets_.size()), 0});
-    }
-    Group& group = out.groups_.back();
-    if (group.target_count == 0 ||
-        out.targets_.back().key != unpack_target(e.target)) {
-      out.targets_.push_back(
-          Target{unpack_target(e.target),
-                 static_cast<std::uint32_t>(out.samples_.size()), 0});
-      ++group.target_count;
-    }
-    out.samples_.push_back(columns.target_rtt[e.seq]);
-    ++out.targets_.back().count;
-  }
+  // Stable radix sort with the flat scan position as payload: after the
+  // sort, equal keys are in scan order and seq[idx] gathers each sample.
+  std::vector<std::uint32_t>& seq = arena.buffer<std::uint32_t>("agg.seq");
+  seq.resize(n);
+  std::iota(seq.begin(), seq.end(), 0u);
+  radix_sort_pairs(std::span<std::uint64_t>(keys),
+                   std::span<std::uint32_t>(seq), threads, &arena);
+
+  out.samples_.resize(n);
+  std::vector<std::uint32_t>& starts = arena.buffer<std::uint32_t>("agg.runs");
+  for_each_run_u64(
+      std::span<const std::uint64_t>(keys), starts, [&](Run run) {
+        const std::uint64_t key = keys[run.begin];
+        const auto group = static_cast<std::uint32_t>(key >> 32);
+        if (out.groups_.empty() || out.groups_.back().key != group) {
+          out.groups_.push_back(Group{
+              group, static_cast<std::uint32_t>(out.targets_.size()), 0});
+        }
+        ++out.groups_.back().target_count;
+        out.targets_.push_back(
+            Target{unpack_target(key), static_cast<std::uint32_t>(run.begin),
+                   static_cast<std::uint32_t>(run.size())});
+        for (std::size_t idx = run.begin; idx < run.end; ++idx) {
+          out.samples_[idx] = columns.target_rtt[seq[idx]];
+        }
+      });
   return out;
 }
 

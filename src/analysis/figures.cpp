@@ -3,27 +3,28 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <tuple>
+#include <numeric>
 #include <utility>
 
 #include "common/error.h"
 #include "common/executor.h"
+#include "common/radix.h"
 #include "stats/quantile.h"
 
 namespace acdn {
 
 namespace {
 
-/// One passive-log entry flattened for the sort-based group-by. `seq` is
-/// the global (day, entry) scan position: sorting by (client, day, fe,
-/// seq) keeps each (client, day, front-end) cell's queries in log order,
-/// so the floating-point accumulation sequence matches the old per-shard
-/// map exactly.
+/// One passive-log entry flattened for the radix group-by. Rows stay in
+/// global (day, entry) scan order; the *stable* radix passes sort an
+/// index permutation by (client, day, fe) with scan order as the implied
+/// tie-breaker, so each (client, day, front-end) cell's queries still
+/// accumulate in log order — the floating-point sequence matches the old
+/// per-shard map exactly, without an explicit seq column.
 struct PassiveRow {
   ClientId client;
   DayIndex day = 0;
   FrontEndId fe;
-  std::uint32_t seq = 0;
   double queries = 0.0;
 };
 
@@ -51,32 +52,49 @@ PassiveView passive_by_client(const PassiveLog& log, int days, int threads) {
     for (DayIndex d = 0; d < days; ++d) total += log.by_day(d).size();
     rows.reserve(total);
   }
-  std::uint32_t seq = 0;
   for (DayIndex d = 0; d < days; ++d) {
     for (const PassiveLogEntry& e : log.by_day(d)) {
-      rows.push_back(PassiveRow{e.client, d, e.front_end, seq++, e.queries});
+      rows.push_back(PassiveRow{e.client, d, e.front_end, e.queries});
     }
   }
 
+  // The (client, day, fe) composite is 96 bits — too wide for one packed
+  // key — so LSD-chain two stable radix passes over a row-index
+  // permutation: first by (day, fe), then by client. Stability makes the
+  // second pass preserve the first pass's order within a client, and the
+  // first pass preserve scan order within a cell.
+  const std::size_t n = rows.size();
+  std::vector<std::uint64_t> keys(n);
+  std::vector<std::uint32_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0u);
+  for (std::size_t i = 0; i < n; ++i) {
+    // NOLINT-ACDN(unchecked-pack): full 32-bit operands in disjoint halves
+    keys[i] = (std::uint64_t{static_cast<std::uint32_t>(rows[i].day)} << 32) |
+              rows[i].fe.value;
+  }
+  radix_sort_pairs(std::span<std::uint64_t>(keys),
+                   std::span<std::uint32_t>(idx), threads);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = rows[idx[i]].client.value;
+  }
+  radix_sort_pairs(std::span<std::uint64_t>(keys),
+                   std::span<std::uint32_t>(idx), threads);
+
   PassiveView view;
-  sort_group_by(
-      std::span<PassiveRow>(rows), threads,
-      [](const PassiveRow& a, const PassiveRow& b) {
-        return std::tie(a.client, a.day, a.fe, a.seq) <
-               std::tie(b.client, b.day, b.fe, b.seq);
-      },
-      [](const PassiveRow& a, const PassiveRow& b) {
-        return a.client == b.client && a.day == b.day && a.fe == b.fe;
-      },
-      [&](Run run) {
-        double queries = 0.0;
-        for (std::size_t i = run.begin; i < run.end; ++i) {
-          queries += rows[i].queries;  // ascending seq = log scan order
-        }
-        view.cells.push_back(PassiveCell{rows[run.begin].client,
-                                         rows[run.begin].day,
-                                         rows[run.begin].fe, queries});
-      });
+  const auto same_cell = [&](const PassiveRow& a, const PassiveRow& b) {
+    return a.client == b.client && a.day == b.day && a.fe == b.fe;
+  };
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (i < n && same_cell(rows[idx[begin]], rows[idx[i]])) continue;
+    double queries = 0.0;
+    for (std::size_t k = begin; k < i; ++k) {
+      queries += rows[idx[k]].queries;  // ascending idx run = log order
+    }
+    const PassiveRow& head = rows[idx[begin]];
+    view.cells.push_back(PassiveCell{head.client, head.day, head.fe, queries});
+    begin = i;
+  }
   for_each_run(
       std::span<const PassiveCell>(view.cells),
       [](const PassiveCell& a, const PassiveCell& b) {
@@ -331,28 +349,36 @@ std::vector<Fig5Day> fig5_daily_prevalence(const MeasurementStore& store,
 
 Fig6Duration fig6_poor_duration(const MeasurementStore& store,
                                 const Fig5Config& config, int threads) {
-  // Collect every (group, poor-day) pair, then one group-by pass per /24.
+  // Collect every (group, poor-day) pair packed group-major into one
+  // radix-sortable key, then one group-by pass per /24.
   ScratchArena scratch;
-  std::vector<std::pair<std::uint32_t, DayIndex>> poor;
+  std::vector<std::uint64_t> poor;
   for (DayIndex d = 0; d < store.days(); ++d) {
     for (const auto& [group, improvement] :
          daily_improvement(store.columns(d), config, threads, &scratch)) {
-      if (improvement > config.epsilon_ms) poor.emplace_back(group, d);
+      if (improvement > config.epsilon_ms) {
+        // NOLINT-ACDN(unchecked-pack): 32-bit operands in disjoint halves
+        poor.push_back((std::uint64_t{group} << 32) |
+                       static_cast<std::uint32_t>(d));
+      }
     }
   }
+  radix_sort(std::span<std::uint64_t>(poor), threads);
 
   Fig6Duration out;
-  sort_group_by(
-      std::span<std::pair<std::uint32_t, DayIndex>>(poor), threads,
-      [](const auto& a, const auto& b) { return a < b; },
-      [](const auto& a, const auto& b) { return a.first == b.first; },
+  const auto day_of = [](std::uint64_t key) {
+    return static_cast<std::uint32_t>(key);
+  };
+  for_each_run(
+      std::span<const std::uint64_t>(poor),
+      [](std::uint64_t a, std::uint64_t b) { return (a >> 32) == (b >> 32); },
       [&](Run run) {
         out.days_poor.add(static_cast<double>(run.size()));
         int longest = 1;
         int current = 1;
         for (std::size_t i = run.begin + 1; i < run.end; ++i) {
-          current =
-              (poor[i].second == poor[i - 1].second + 1) ? current + 1 : 1;
+          current = (day_of(poor[i]) == day_of(poor[i - 1]) + 1) ? current + 1
+                                                                 : 1;
           longest = std::max(longest, current);
         }
         out.max_consecutive.add(static_cast<double>(longest));

@@ -57,10 +57,27 @@ BeaconSystem::BeaconSystem(const CdnRouter& router,
         static_cast<std::size_t>(config_.candidate_pool));
   }
 
-  client_local_km_.reserve(clients.size());
-  for (const Client24& c : clients.clients()) {
-    client_local_km_.push_back(
-        haversine_km(c.location, metros.metro(c.metro).location));
+  // Per-client distance to the metro center, in one batch haversine over
+  // coordinate columns (bit-identical per client to the scalar call).
+  {
+    std::vector<double> client_lat;
+    std::vector<double> client_lon;
+    std::vector<double> metro_lat;
+    std::vector<double> metro_lon;
+    client_lat.reserve(clients.size());
+    client_lon.reserve(clients.size());
+    metro_lat.reserve(clients.size());
+    metro_lon.reserve(clients.size());
+    for (const Client24& c : clients.clients()) {
+      client_lat.push_back(c.location.lat_deg);
+      client_lon.push_back(c.location.lon_deg);
+      const GeoPoint& center = metros.metro(c.metro).location;
+      metro_lat.push_back(center.lat_deg);
+      metro_lon.push_back(center.lon_deg);
+    }
+    client_local_km_.resize(clients.size());
+    haversine_km_pairs(client_lat, client_lon, metro_lat, metro_lon,
+                       client_local_km_);
   }
 
   // Pre-resolve the unicast route for every (client unit, pool candidate)
@@ -84,6 +101,30 @@ BeaconSystem::BeaconSystem(const CdnRouter& router,
       }
       pool_routes_[c.id.value * stride + j] = it->second;
     }
+  }
+
+  // Hoist the deterministic base RTT of every (client, pool slot) out of
+  // the per-fetch path: one batch kernel over the whole table. Path
+  // columns mirror route_rtt_at's scalar arithmetic exactly — local
+  // client-to-metro km plus the route's total km — so the per-slot base
+  // is bit-identical to what the fetch loop used to compute.
+  {
+    const std::size_t slots = pool_routes_.size();
+    std::vector<double> path_km(slots, 0.0);
+    std::vector<std::int32_t> hops(slots, 0);
+    std::vector<double> last_mile(slots, 0.0);
+    for (const Client24& c : clients.clients()) {
+      for (std::size_t j = 0; j < stride; ++j) {
+        const std::size_t slot = c.id.value * stride + j;
+        const RouteResult& route = pool_routes_[slot];
+        if (!route.valid) continue;  // slot never read by the hot path
+        path_km[slot] = client_local_km_[c.id.value] + route.total_km();
+        hops[slot] = route.as_hops;
+        last_mile[slot] = c.last_mile_ms;
+      }
+    }
+    pool_base_ms_.resize(slots);
+    rtt_->base_rtt_batch(path_km, hops, last_mile, pool_base_ms_);
   }
 }
 
@@ -160,7 +201,9 @@ Milliseconds BeaconSystem::pooled_unicast_rtt(const Client24& client,
   ACDN_DCHECK_LT(slot, pool_routes_.size());
   const RouteResult& route = pool_routes_[slot];
   require(route.valid, "unicast prefix unreachable from client");
-  return route_rtt_at(client, route, diurnal, rng);
+  // The caller guarantees population identity (location and last mile
+  // included), so the precomputed base applies verbatim.
+  return rtt_->sample_at(pool_base_ms_[slot], diurnal, rng);
 }
 
 void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
@@ -219,11 +262,18 @@ void BeaconSystem::run_beacon(std::uint64_t beacon_id, const Client24& client,
   // client (different coordinates under a reused id) falls back to the
   // keyed cache.
   const auto population = clients_->clients();
+  // Location and last-mile must match too: the pooled path reads a base
+  // RTT precomputed from the population row, so any field feeding it has
+  // to be the population's value.
   const bool pooled = client.id.value < population.size() &&
                       population[client.id.value].ldns == client.ldns &&
                       population[client.id.value].access_as ==
                           client.access_as &&
-                      population[client.id.value].metro == client.metro;
+                      population[client.id.value].metro == client.metro &&
+                      population[client.id.value].location ==
+                          client.location &&
+                      population[client.id.value].last_mile_ms ==
+                          client.last_mile_ms;
 
   // One browser per page load: Resource Timing support is per-beacon.
   const bool resource_timing = timing_->supports_resource_timing(rng);

@@ -148,6 +148,12 @@ class BeaconSystem {
   /// probe for one array load. Slots past a pool's real candidate count
   /// stay invalid and are never indexed.
   std::vector<RouteResult> pool_routes_;
+  /// Deterministic base RTT per pool_routes_ slot, precomputed with the
+  /// batch kernel (RttModel::base_rtt_batch): the base is a pure function
+  /// of (client, route), so hoisting it out of the per-fetch path draws
+  /// the exact same rng stream and bit-identical samples. Slots whose
+  /// route is invalid hold 0 and are never read.
+  std::vector<Milliseconds> pool_base_ms_;
   /// Overflow cache for keys outside the pre-warmed set (synthetic
   /// clients, ad-hoc probes). Guarded for concurrent simulation days —
   /// the PR 7 double-compute race lived here, and the annotation keeps

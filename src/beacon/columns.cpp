@@ -43,7 +43,7 @@ void MeasurementColumns::append_target(bool anycast, FrontEndId front_end,
                                        Milliseconds rtt) {
   ACDN_DCHECK(!beacon_id.empty()) << "append_target without an open row";
   target_anycast.push_back(anycast ? 1 : 0);
-  target_front_end.push_back(front_end);
+  target_front_end.push_back(front_end.value);
   target_rtt.push_back(rtt);
   target_begin.back() = static_cast<std::uint32_t>(target_rtt.size());
 }
@@ -61,8 +61,8 @@ void MeasurementColumns::append_from(const MeasurementColumns& other,
              other.day[i], other.hour[i]);
   for (std::size_t t = other.row_targets_begin(i);
        t < other.row_targets_end(i); ++t) {
-    append_target(other.target_anycast[t] != 0, other.target_front_end[t],
-                  other.target_rtt[t]);
+    append_target(other.target_anycast[t] != 0,
+                  FrontEndId{other.target_front_end[t]}, other.target_rtt[t]);
   }
 }
 
@@ -101,7 +101,8 @@ BeaconMeasurement MeasurementColumns::row(std::size_t i) const {
   m.targets.reserve(end - row_targets_begin(i));
   for (std::size_t t = row_targets_begin(i); t < end; ++t) {
     m.targets.push_back(BeaconMeasurement::Target{
-        target_anycast[t] != 0, target_front_end[t], target_rtt[t]});
+        target_anycast[t] != 0, FrontEndId{target_front_end[t]},
+        target_rtt[t]});
   }
   return m;
 }

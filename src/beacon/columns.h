@@ -27,9 +27,11 @@ struct MeasurementColumns {
   /// exists (target_begin[0] == 0), empty otherwise.
   std::vector<std::uint32_t> target_begin;
 
-  // Per target (one timed fetch), flat across all rows.
+  // Per target (one timed fetch), flat across all rows. Front-end ids are
+  // stored as raw uint32 values (FrontEndId::value) so the column feeds
+  // the SIMD key-pack kernel directly; row() re-wraps them.
   std::vector<std::uint8_t> target_anycast;
-  std::vector<FrontEndId> target_front_end;
+  std::vector<std::uint32_t> target_front_end;
   std::vector<Milliseconds> target_rtt;
 
   [[nodiscard]] std::size_t size() const { return beacon_id.size(); }

@@ -1,29 +1,31 @@
 #include "beacon/store.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/error.h"
 #include "common/executor.h"
 #include "common/failpoint.h"
 #include "common/metrics.h"
+#include "common/radix.h"
+#include "common/simd.h"
 
 namespace acdn {
 
 namespace {
 
-/// DNS-side join key: (url_id, log position). Sorted, the last entry of a
-/// url_id run is the "last log row wins" winner the hash index produced.
-struct DnsKey {
-  std::uint64_t url_id = 0;
-  std::uint32_t pos = 0;
-};
-
-/// HTTP-side join key: (beacon id, log position). Sorted, one beacon's
-/// rows are contiguous and keep HTTP log order — which is what fixes the
-/// measurement's target order and metadata row.
-struct HttpKey {
-  std::uint64_t beacon_id = 0;
-  std::uint32_t pos = 0;
+/// Per-shard join-key columns, SoA: the uint64 sort key (DNS side:
+/// url_id; HTTP side: beacon id = url_id / 4) and the source log
+/// position. Positions are appended in ascending scan order, so a
+/// non-decreasing key column is already sorted by (key, pos) — and when
+/// it is not, the *stable* radix pair sort restores exactly that order
+/// without an explicit tie-breaker: the last entry of a url_id run stays
+/// the "last log row wins" winner the hash index produced, and a
+/// beacon's HTTP rows keep log order, which fixes the measurement's
+/// target order and metadata row.
+struct ShardKeys {
+  std::vector<std::uint64_t> key;
+  std::vector<std::uint32_t> pos;
 };
 
 }  // namespace
@@ -52,6 +54,101 @@ std::optional<BeaconMeasurement::Target> BeaconMeasurement::best_unicast()
   return best;
 }
 
+bool MeasurementStore::join_presorted_day(
+    std::span<const DnsLogEntry> dns_log,
+    std::span<const HttpLogEntry> http_log) {
+  const DayIndex day0 = http_log.empty() ? DayIndex{0} : http_log[0].day;
+  if (day0 < 0) return false;
+  for (const HttpLogEntry& row : http_log) {
+    if (row.day != day0) return false;
+  }
+
+  auto& dns_keys = scratch_.buffer<std::uint64_t>("join.fast_dns");
+  auto& http_keys = scratch_.buffer<std::uint64_t>("join.fast_http");
+  dns_keys.resize(dns_log.size());
+  for (std::size_t i = 0; i < dns_log.size(); ++i) {
+    dns_keys[i] = dns_log[i].url_id;
+  }
+  http_keys.resize(http_log.size());
+  for (std::size_t i = 0; i < http_log.size(); ++i) {
+    http_keys[i] = http_log[i].url_id / 4;
+  }
+  if (!simd::is_sorted_u64(std::span<const std::uint64_t>(dns_keys)) ||
+      !simd::is_sorted_u64(std::span<const std::uint64_t>(http_keys))) {
+    return false;
+  }
+
+  // Both key columns are sorted in place, so log position == key index:
+  // no pos payload, no sort, no staging columns. Beacon runs come from
+  // the neighbor-compare kernel; the run count bounds the row reserve.
+  auto& runs = scratch_.buffer<std::uint32_t>("join.fast_runs");
+  simd::run_starts_u64(std::span<const std::uint64_t>(http_keys), runs);
+
+  std::size_t joined = 0;
+  std::size_t orphan_http = 0;
+  std::size_t stored_rows = 0;
+  MeasurementColumns* dest = nullptr;
+  std::size_t d = 0;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const std::size_t h_begin = runs[r];
+    const std::size_t h_end =
+        r + 1 < runs.size() ? runs[r + 1] : http_keys.size();
+    const std::uint64_t beacon = http_keys[h_begin];
+    while (d < dns_keys.size() && dns_keys[d] < beacon * 4) ++d;
+    std::size_t d_end = d;
+    while (d_end < dns_keys.size() && dns_keys[d_end] < beacon * 4 + 4) {
+      ++d_end;
+    }
+    bool opened = false;
+    for (std::size_t h = h_begin; h < h_end; ++h) {
+      const HttpLogEntry& row = http_log[h];
+      // Last matching DNS row wins, as in the hash index the sort-merge
+      // join replaced.
+      const DnsLogEntry* match = nullptr;
+      for (std::size_t k = d; k < d_end; ++k) {
+        if (dns_keys[k] == row.url_id) match = &dns_log[k];
+      }
+      if (match == nullptr) {
+        ++orphan_http;  // unjoined fetch: drop
+        continue;
+      }
+      ++joined;
+      if (dest == nullptr) {
+        // First stored row materializes the day (all-orphan batches must
+        // not grow days()) and reserves for the batch's upper bound.
+        if (static_cast<std::size_t>(day0) >= by_day_.size()) {
+          by_day_.resize(static_cast<std::size_t>(day0) + 1);
+        }
+        dest = &by_day_[static_cast<std::size_t>(day0)];
+        dest->reserve(dest->size() + runs.size(),
+                      dest->target_count() + http_log.size());
+      }
+      if (!opened) {
+        dest->append_row(beacon, row.client, match->ldns, row.day, row.hour);
+        opened = true;
+        ++stored_rows;
+      }
+      dest->append_target(row.anycast, row.front_end, row.rtt_ms);
+    }
+    d = d_end;
+  }
+
+  std::size_t distinct_urls = 0;
+  for (std::size_t k = 0; k < dns_keys.size(); ++k) {
+    if (k == 0 || dns_keys[k] != dns_keys[k - 1]) ++distinct_urls;
+  }
+  metric_count("join.orphan_http", orphan_http);
+  metric_count("join.orphan_dns", distinct_urls - joined);
+  metric_count("join.measurements", stored_rows);
+  metric_count("join.joined_targets", joined);
+  metric_count("join.distinct_dns", distinct_urls);
+  metric_count("join.stored_rows", stored_rows);
+  metric_count("join.stored_targets", joined);
+  metric_count("join.dropped_rows", 0);
+  metric_count("join.dropped_targets", 0);
+  return true;
+}
+
 void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
                             std::span<const HttpLogEntry> http_log,
                             int threads) {
@@ -68,10 +165,23 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
   const auto shard_count =
       static_cast<std::size_t>(std::clamp(threads, 1, 16));
 
+  static const FailPoint store_fault("beacon/store");
+  const bool faults_armed = fail_points_armed();
+
+  // Fast path — one shard, no armed faults, every HTTP row on one valid
+  // day, both logs already sorted (the steady-state day loop): join
+  // straight into the day's columns. This skips the whole staging copy
+  // the sharded path pays (join into a shard output, then re-append every
+  // column into by_day_), which at paper scale dominates the join.
+  if (shard_count == 1 && !faults_armed &&
+      join_presorted_day(dns_log, http_log)) {
+    return;
+  }
+
   // Shard scratch persists across joins; steady-state day loops reuse the
   // capacity grown on day one.
-  auto& dns_shards = scratch_.raw_buffer<std::vector<DnsKey>>("join.dns");
-  auto& http_shards = scratch_.raw_buffer<std::vector<HttpKey>>("join.http");
+  auto& dns_shards = scratch_.raw_buffer<ShardKeys>("join.dns");
+  auto& http_shards = scratch_.raw_buffer<ShardKeys>("join.http");
   auto& out_shards = scratch_.raw_buffer<MeasurementColumns>("join.out");
   if (dns_shards.size() < shard_count) dns_shards.resize(shard_count);
   if (http_shards.size() < shard_count) http_shards.resize(shard_count);
@@ -79,53 +189,57 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
 
   Executor::global().parallel_for(
       0, shard_count, threads, [&](std::size_t s) {
-        std::vector<DnsKey>& dns_keys = dns_shards[s];
-        std::vector<HttpKey>& http_keys = http_shards[s];
+        ShardKeys& dns = dns_shards[s];
+        ShardKeys& http = http_shards[s];
         MeasurementColumns& out = out_shards[s];
-        dns_keys.clear();
-        http_keys.clear();
+        dns.key.clear();
+        dns.pos.clear();
+        http.key.clear();
+        http.pos.clear();
         out.clear();
 
         if (shard_count == 1) {
           // One shard takes everything: no per-row modulo (an integer
           // division per log row otherwise).
-          dns_keys.reserve(dns_log.size());
+          dns.key.resize(dns_log.size());
+          dns.pos.resize(dns_log.size());
           for (std::size_t i = 0; i < dns_log.size(); ++i) {
-            dns_keys.push_back(
-                DnsKey{dns_log[i].url_id, static_cast<std::uint32_t>(i)});
+            dns.key[i] = dns_log[i].url_id;
           }
-          http_keys.reserve(http_log.size());
+          std::iota(dns.pos.begin(), dns.pos.end(), 0u);
+          http.key.resize(http_log.size());
+          http.pos.resize(http_log.size());
           for (std::size_t i = 0; i < http_log.size(); ++i) {
-            http_keys.push_back(HttpKey{http_log[i].url_id / 4,
-                                        static_cast<std::uint32_t>(i)});
+            http.key[i] = http_log[i].url_id / 4;
           }
+          std::iota(http.pos.begin(), http.pos.end(), 0u);
         } else {
           for (std::size_t i = 0; i < dns_log.size(); ++i) {
             if ((dns_log[i].url_id / 4) % shard_count != s) continue;
-            dns_keys.push_back(
-                DnsKey{dns_log[i].url_id, static_cast<std::uint32_t>(i)});
+            dns.key.push_back(dns_log[i].url_id);
+            dns.pos.push_back(static_cast<std::uint32_t>(i));
           }
           for (std::size_t i = 0; i < http_log.size(); ++i) {
             const std::uint64_t beacon = http_log[i].url_id / 4;
             if (beacon % shard_count != s) continue;
-            http_keys.push_back(
-                HttpKey{beacon, static_cast<std::uint32_t>(i)});
+            http.key.push_back(beacon);
+            http.pos.push_back(static_cast<std::uint32_t>(i));
           }
         }
         // Day-loop logs arrive presorted (client-major, monotone beacon
-        // ids), so check before paying the sort.
-        const auto dns_lt = [](const DnsKey& a, const DnsKey& b) {
-          return a.url_id != b.url_id ? a.url_id < b.url_id : a.pos < b.pos;
-        };
-        const auto http_lt = [](const HttpKey& a, const HttpKey& b) {
-          return a.beacon_id != b.beacon_id ? a.beacon_id < b.beacon_id
-                                            : a.pos < b.pos;
-        };
-        if (!std::is_sorted(dns_keys.begin(), dns_keys.end(), dns_lt)) {
-          std::sort(dns_keys.begin(), dns_keys.end(), dns_lt);
+        // ids), so check — with the SIMD neighbor-compare kernel — before
+        // paying the sort. A non-decreasing key column is already sorted
+        // by (key, pos) because positions are appended ascending; when it
+        // is not, the stable radix pair sort restores exactly that order.
+        if (!simd::is_sorted_u64(
+                std::span<const std::uint64_t>(dns.key))) {
+          radix_sort_pairs(std::span<std::uint64_t>(dns.key),
+                           std::span<std::uint32_t>(dns.pos));
         }
-        if (!std::is_sorted(http_keys.begin(), http_keys.end(), http_lt)) {
-          std::sort(http_keys.begin(), http_keys.end(), http_lt);
+        if (!simd::is_sorted_u64(
+                std::span<const std::uint64_t>(http.key))) {
+          radix_sort_pairs(std::span<std::uint64_t>(http.key),
+                           std::span<std::uint32_t>(http.pos));
         }
 
         // Single merge pass: both sequences ascend in beacon id, so the
@@ -134,31 +248,29 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
         std::size_t joined = 0;
         std::size_t orphan_http = 0;
         std::size_t d = 0;
-        for (std::size_t h = 0; h < http_keys.size();) {
-          const std::uint64_t beacon = http_keys[h].beacon_id;
+        for (std::size_t h = 0; h < http.key.size();) {
+          const std::uint64_t beacon = http.key[h];
           std::size_t h_end = h;
-          while (h_end < http_keys.size() &&
-                 http_keys[h_end].beacon_id == beacon) {
+          while (h_end < http.key.size() && http.key[h_end] == beacon) {
             ++h_end;
           }
-          while (d < dns_keys.size() && dns_keys[d].url_id < beacon * 4) {
+          while (d < dns.key.size() && dns.key[d] < beacon * 4) {
             ++d;
           }
           std::size_t d_end = d;
-          while (d_end < dns_keys.size() &&
-                 dns_keys[d_end].url_id < beacon * 4 + 4) {
+          while (d_end < dns.key.size() && dns.key[d_end] < beacon * 4 + 4) {
             ++d_end;
           }
           bool opened = false;
           for (; h < h_end; ++h) {
-            const HttpLogEntry& row = http_log[http_keys[h].pos];
+            const HttpLogEntry& row = http_log[http.pos[h]];
             // Last matching DNS row wins, as in the hash index. The run
             // holds at most a handful of rows (four fetches per beacon),
             // so the scan is cheaper than any per-row search structure.
             const DnsLogEntry* match = nullptr;
             for (std::size_t k = d; k < d_end; ++k) {
-              if (dns_keys[k].url_id == row.url_id) {
-                match = &dns_log[dns_keys[k].pos];
+              if (dns.key[k] == row.url_id) {
+                match = &dns_log[dns.pos[k]];
               }
             }
             if (match == nullptr) {
@@ -178,8 +290,8 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
         }
 
         std::size_t distinct_urls = 0;
-        for (std::size_t k = 0; k < dns_keys.size(); ++k) {
-          if (k == 0 || dns_keys[k].url_id != dns_keys[k - 1].url_id) {
+        for (std::size_t k = 0; k < dns.key.size(); ++k) {
+          if (k == 0 || dns.key[k] != dns.key[k - 1]) {
             ++distinct_urls;
           }
         }
@@ -228,12 +340,10 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
   // storage (delay/corrupt). It is evaluated here in the serial merge —
   // keyed by (day, beacon id) — so drops hit the same beacons for any
   // shard count, and the dropped/stored ledger stays exact.
-  static const FailPoint store_fault("beacon/store");
-  const bool faults_armed = fail_points_armed();
 
-  // One shard, one day, no armed faults (the common single-threaded day
-  // loop): the merge is shard 0's order verbatim and no row can drop, so
-  // store the batch as one bulk column concat.
+  // One shard, one day, no armed faults but out-of-order logs (the fast
+  // path declined): the merge is shard 0's order verbatim and no row can
+  // drop, so store the batch as one bulk column concat.
   if (shard_count == 1 && !faults_armed && uniform_day) {
     if (batch_day >= 0 && total_rows > 0) {
       by_day_[static_cast<std::size_t>(batch_day)].append_all(out_shards[0]);

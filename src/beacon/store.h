@@ -49,6 +49,16 @@ class MeasurementStore {
   }
 
  private:
+  /// Single-shard fast path: when every HTTP row lands on one valid day
+  /// and both logs are already sorted (checked with the SIMD neighbor-
+  /// compare kernel), the merge writes joined rows straight into that
+  /// day's columns — no shard staging copy. Returns false (having stored
+  /// nothing) when the preconditions do not hold, and the caller falls
+  /// back to the sharded sort-merge path. Callers must ensure no fail
+  /// points are armed; this path never evaluates the store fail point.
+  bool join_presorted_day(std::span<const DnsLogEntry> dns_log,
+                          std::span<const HttpLogEntry> http_log);
+
   std::vector<MeasurementColumns> by_day_;
   ScratchArena scratch_;
 };

@@ -81,10 +81,25 @@ std::optional<FrontEndId> Deployment::site_at(MetroId metro) const {
 std::vector<FrontEndId> Deployment::nearest_sites(const MetroDatabase& metros,
                                                   const GeoPoint& p,
                                                   std::size_t k) const {
+  // Site coordinates as columns, then one batch haversine from p: the
+  // SIMD kernel is bit-identical per site to the scalar haversine_km(p,
+  // site) this replaces, so the partial_sort order cannot change.
+  std::vector<double> lat;
+  std::vector<double> lon;
+  lat.reserve(sites_.size());
+  lon.reserve(sites_.size());
+  for (const FrontEndSite& s : sites_) {
+    const GeoPoint& where = metros.metro(s.metro).location;
+    lat.push_back(where.lat_deg);
+    lon.push_back(where.lon_deg);
+  }
+  std::vector<Kilometers> km(sites_.size());
+  haversine_km_batch(p, lat, lon, km);
+
   std::vector<std::pair<Kilometers, FrontEndId>> dist;
   dist.reserve(sites_.size());
   for (const FrontEndSite& s : sites_) {
-    dist.emplace_back(haversine_km(p, metros.metro(s.metro).location), s.id);
+    dist.emplace_back(km[s.id.value], s.id);
   }
   const std::size_t n = std::min(k, dist.size());
   std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(n),

@@ -1,9 +1,10 @@
 #include "core/streaming.h"
 
-#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "analysis/aggregate.h"
+#include "common/radix.h"
 
 namespace acdn {
 
@@ -41,7 +42,7 @@ FlatMap<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
   keys.reserve(states_.size());
   // NOLINT-ACDN(unordered-iter): keys are sorted on the next line
   for (const auto& [key, estimator] : states_) keys.push_back(key);
-  std::sort(keys.begin(), keys.end());
+  radix_sort(std::span<std::uint64_t>(keys));
 
   FlatMap<std::uint32_t, Prediction> predictions;
   std::optional<std::uint32_t> open_group;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/simd.h"
+
 namespace acdn {
 
 namespace {
@@ -34,6 +36,24 @@ Kilometers haversine_km(const GeoPoint& a, const GeoPoint& b) {
   const double t = std::sin(dlam / 2.0);
   const double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
   return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+void haversine_km_batch(const GeoPoint& origin, std::span<const double> lat_deg,
+                        std::span<const double> lon_deg,
+                        std::span<Kilometers> out_km) {
+  // 2R is exact (doubling a double never rounds), so the kernel's
+  // (2R) * asin(...) product is the same operation the scalar path runs.
+  simd::haversine_batch(origin.lat_deg, origin.lon_deg, lat_deg, lon_deg,
+                        2.0 * kEarthRadiusKm, out_km);
+}
+
+void haversine_km_pairs(std::span<const double> lat_a,
+                        std::span<const double> lon_a,
+                        std::span<const double> lat_b,
+                        std::span<const double> lon_b,
+                        std::span<Kilometers> out_km) {
+  simd::haversine_pairs_batch(lat_a, lon_a, lat_b, lon_b,
+                              2.0 * kEarthRadiusKm, out_km);
 }
 
 double initial_bearing_deg(const GeoPoint& a, const GeoPoint& b) {

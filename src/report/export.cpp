@@ -103,7 +103,7 @@ void export_measurements(const MeasurementStore& store,
             double(cols.client[i].value),
             double(cols.ldns[i].value),
             anycast ? 1.0 : 0.0,
-            anycast ? 0.0 : double(cols.target_front_end[t].value),
+            anycast ? 0.0 : double(cols.target_front_end[t]),
             cols.target_rtt[t]};
         csv.write_row(row);
       }

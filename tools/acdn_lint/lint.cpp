@@ -710,6 +710,88 @@ void rule_unchecked_pack(const Stripped& s, const std::string& label,
   }
 }
 
+void rule_raw_intrinsics(const Stripped& s, const std::string& label,
+                         std::vector<Finding>* out) {
+  // Vector code belongs behind the common/simd dispatch facade: every
+  // kernel there pairs with a scalar reference, a runtime-dispatch table,
+  // and the ACDN_SIMD override, and the test wall sweeps vector-vs-scalar
+  // bit-identity. An intrinsic spelled anywhere else has none of that —
+  // no forced-scalar CI leg exercises it and no sweep proves it matches
+  // its scalar twin.
+  if (starts_with(label, "src/common/simd")) return;
+  const std::string why =
+      " outside common/simd — vector kernels live behind the dispatch "
+      "facade (scalar reference, runtime dispatch, ACDN_SIMD override, "
+      "bit-identity sweep); add the kernel there or justify";
+
+  // Vendor intrinsic headers (<immintrin.h> and family, <arm_neon.h>).
+  for (std::size_t pos = s.code.find("#include"); pos != std::string::npos;
+       pos = s.code.find("#include", pos + 1)) {
+    std::size_t eol = s.code.find('\n', pos);
+    if (eol == std::string::npos) eol = s.code.size();
+    const std::string line = s.code.substr(pos, eol - pos);
+    if (line.find("intrin.h") != std::string::npos ||
+        line.find("arm_neon") != std::string::npos ||
+        line.find("arm_sve") != std::string::npos) {
+      out->push_back({"", s.line_of(pos), "raw-intrinsics",
+                      "vendor intrinsic header include" + why});
+    }
+  }
+
+  // NEON intrinsics end in a lane-type tail (vld1q_f64, vaddq_u32) and
+  // the vector types in a lane-count tail (float64x2_t); requiring the
+  // tail keeps ordinary identifiers like `vaddr` out.
+  static const std::vector<std::string> kNeonLaneTails = {
+      "_s8",  "_s16", "_s32", "_s64", "_u8",  "_u16", "_u32",
+      "_u64", "_f16", "_f32", "_f64", "_p8",  "_p16"};
+  static const std::vector<std::string> kNeonTypeTails = {
+      "x2_t", "x4_t", "x8_t", "x16_t"};
+  static const std::vector<std::string> kNeonPrefixes = {
+      "vld",  "vst",  "vdup", "vadd", "vsub", "vmul", "vdiv",
+      "vfma", "vmla", "vand", "vorr", "veor", "vget", "vset",
+      "vcvt", "vmax", "vmin", "vabs", "vneg", "vbsl", "vceq",
+      "vclt", "vcgt", "vreinterpret"};
+  const auto ends_with_any = [](const std::string& id,
+                                const std::vector<std::string>& tails) {
+    for (const std::string& t : tails) {
+      if (id.size() > t.size() &&
+          id.compare(id.size() - t.size(), t.size(), t) == 0) {
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto has_neon_prefix = [&](const std::string& id) {
+    for (const std::string& p : kNeonPrefixes) {
+      if (starts_with(id, p)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < s.code.size();) {
+    if (!ident_char(s.code[i]) || (i > 0 && ident_char(s.code[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < s.code.size() && ident_char(s.code[end])) ++end;
+    const std::string id = s.code.substr(i, end - i);
+    // x86: _mm_* / _mm256_* calls and the __m128/__m256/__m512 types.
+    const bool x86 =
+        starts_with(id, "_mm") ||
+        (starts_with(id, "__m") && id.size() > 3 &&
+         std::isdigit(static_cast<unsigned char>(id[3])) != 0);
+    const bool neon =
+        (has_neon_prefix(id) && ends_with_any(id, kNeonLaneTails)) ||
+        ends_with_any(id, kNeonTypeTails);
+    if (x86 || neon) {
+      out->push_back({"", s.line_of(i), "raw-intrinsics",
+                      "raw SIMD intrinsic '" + id + "'" + why});
+    }
+    i = end;
+  }
+}
+
 }  // namespace
 
 // ------------------------------------------------------------ public API
@@ -720,7 +802,8 @@ const std::vector<std::string>& known_rules() {
       "raw-thread",      "banned-random",
       "wall-clock",      "parallel-fp-accum",
       "failpoint",       "unguarded-mutex",
-      "unchecked-pack",  "nolint-justification"};
+      "unchecked-pack",  "raw-intrinsics",
+      "nolint-justification"};
   return kRules;
 }
 
@@ -753,6 +836,7 @@ std::vector<Finding> lint_file(
   rule_failpoint(s, file.label, &findings);
   rule_unguarded_mutex(s, file.label, &findings);
   rule_unchecked_pack(s, file.label, &findings);
+  rule_raw_intrinsics(s, file.label, &findings);
 
   // Suppression: a well-formed directive covers its own line and the next.
   const std::set<std::string> rules(known_rules().begin(),

@@ -42,6 +42,13 @@
 //                     ACDN_CHECK*/ACDN_DCHECK* range guard within 10
 //                     lines — unguarded packs alias silently when an
 //                     operand outgrows its field (the PR 7 beacon-id bug)
+//   raw-intrinsics    x86/NEON intrinsics (_mm*/__m128../vld1q_f64/
+//                     float64x2_t) or a vendor intrinsic header
+//                     (<immintrin.h>, <arm_neon.h>) outside common/simd —
+//                     vector kernels live behind the dispatch facade
+//                     (scalar reference, runtime dispatch, ACDN_SIMD
+//                     override, bit-identity sweep), so a stray intrinsic
+//                     is invisible to the forced-scalar CI leg
 //   nolint-justification  every NOLINT-ACDN directive must name a known
 //                     rule and carry `: <justification>`
 //

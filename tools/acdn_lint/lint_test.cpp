@@ -57,6 +57,7 @@ constexpr RuleFixture kRuleFixtures[] = {
     {"failpoint", "failpoint"},
     {"unguarded-mutex", "unguarded_mutex"},
     {"unchecked-pack", "unchecked_pack"},
+    {"raw-intrinsics", "raw_intrinsics"},
     // The pre-flat_group aggregation idiom: both hazards in one fixture,
     // with the sorted-vector rewrite as the sanctioned must-pass twin.
     {"unordered-iter", "flat_group"},

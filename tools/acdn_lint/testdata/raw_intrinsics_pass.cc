@@ -1,0 +1,15 @@
+// Must-pass twin: the same work routed through the common/simd facade,
+// which owns the dispatch table, the scalar reference, and the ACDN_SIMD
+// override — callers stay intrinsic-free. Plus the justified-NOLINT form
+// for the rare case that cannot live in the facade.
+#include <cstdint>
+#include <span>
+
+#include "common/simd.h"
+
+bool keys_sorted(std::span<const std::uint64_t> keys) {
+  return acdn::simd::is_sorted_u64(keys);
+}
+
+// NOLINT-ACDN(raw-intrinsics): prefetch hint only — no data-path result
+void warm(const void* p) { __builtin_prefetch(p); }

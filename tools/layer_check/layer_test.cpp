@@ -157,6 +157,32 @@ TEST(LayerCheck, DefaultConfigIsValid) {
       << dump(checker.config_violations());
 }
 
+TEST(LayerCheck, BatchKernelHeadersFollowTheCommonEdges) {
+  // The batch-kernel layer (common/radix.h, common/simd.h) is a leaf of
+  // the DAG: every pipeline layer that was rewired onto it reaches *down*
+  // to common, which needs no new edges.
+  Checker checker(default_config());
+  ASSERT_TRUE(checker.config_violations().empty())
+      << dump(checker.config_violations());
+  const std::string kernels =
+      "#include \"common/radix.h\"\n"
+      "#include \"common/simd.h\"\n";
+  for (const char* file :
+       {"src/analysis/aggregate.cpp", "src/beacon/store.cpp",
+        "src/geo/geo_point.cpp", "src/latency/rtt_model.cpp",
+        "src/core/streaming.cpp"}) {
+    const auto violations = checker.check_file(file, kernels);
+    EXPECT_TRUE(violations.empty()) << file << "\n" << dump(violations);
+  }
+  // And the kernels cannot reach back up: common including geo (say, for
+  // kEarthRadiusKm) would invert the DAG. That is why the haversine
+  // kernels take 2R as a parameter instead of naming the constant.
+  const auto upward = checker.check_file(
+      "src/common/simd.cpp", "#include \"geo/geo_point.h\"\n");
+  ASSERT_EQ(upward.size(), 1u) << dump(upward);
+  EXPECT_EQ(upward[0].kind, "undeclared-dependency");
+}
+
 TEST(LayerTree, RealTreeIsClean) {
   const auto violations = check_tree(ACDN_LAYER_SOURCE_ROOT);
   EXPECT_TRUE(violations.empty())
