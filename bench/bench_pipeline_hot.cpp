@@ -21,7 +21,9 @@
 // against the committed JSON via tools/perf_gate.sh. Each scale also
 // records a 1/4/max thread sweep of the two deterministic phases and the
 // process high-water RSS after the scale completed.
+#include <bit>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +34,8 @@
 #include "common/error.h"
 #include "common/executor.h"
 #include "core/predictor.h"
+#include "core/streaming.h"
+#include "sim/pipeline.h"
 #include "sim/simulation.h"
 #include "sim/world.h"
 
@@ -241,6 +245,138 @@ ScaleResult run_scale(const std::string& name, ScenarioConfig config,
   return result;
 }
 
+// --------------------------------------------------------------- scenario
+// End-to-end multi-day section: the pre-pipeline serial composition
+// (run_day per day, then the batch figure-5 pass and a per-row trainer
+// fold over the finished store) against the cross-day pipelined loop
+// (sim/pipeline.h) at several thread counts. Digests must match across
+// every run — the pipeline's determinism contract — before any timing is
+// worth reporting. `hardware_threads` is recorded alongside: on a 1-core
+// box the overlap cannot buy wall time, and whatever the pipelined loop
+// still saves comes from work avoided (the columnar trainer fold skips
+// the per-row struct materialization the serial composition pays).
+
+std::uint64_t mix_into(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+/// Order-sensitive digest over every stored measurement field (the chaos
+/// wall's scheme): equal digests mean byte-identical stores.
+std::uint64_t store_digest(const MeasurementStore& store) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (DayIndex d = 0; d < store.days(); ++d) {
+    for (const BeaconMeasurement& m : store.by_day(d)) {
+      h = mix_into(h, m.beacon_id);
+      h = mix_into(h, m.client.value);
+      h = mix_into(h, m.ldns.value);
+      h = mix_into(h, std::uint64_t(m.day));
+      for (const BeaconMeasurement::Target& t : m.targets) {
+        h = mix_into(h, t.anycast ? 1 : 0);
+        h = mix_into(h, t.front_end.value);
+        h = mix_into(h, std::bit_cast<std::uint64_t>(t.rtt_ms));
+      }
+    }
+  }
+  return h;
+}
+
+PredictorConfig scenario_predictor() {
+  PredictorConfig pc;
+  pc.min_measurements = 3;
+  return pc;
+}
+
+struct ScenarioEntry {
+  std::string mode;  // "serial" or "pipelined"
+  int threads = 0;
+  int window = 0;
+  int days = 0;
+  double total_ms = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t observed = 0;
+};
+
+ScenarioEntry run_scenario_serial(ScenarioConfig config, int days) {
+  config.simulation_threads = 1;
+  World world(config);
+  Simulation sim(world);
+  StreamingTrainer trainer(scenario_predictor());
+
+  ScenarioEntry entry;
+  entry.mode = "serial";
+  entry.threads = 1;
+  entry.window = 0;
+  entry.days = days;
+  const WallTimer timer;
+  sim.run_days(days);
+  const auto prevalence =
+      fig5_daily_prevalence(sim.measurements(), Fig5Config{});
+  for (DayIndex d = 0; d < sim.measurements().days(); ++d) {
+    for (const BeaconMeasurement& m : sim.measurements().by_day(d)) {
+      trainer.observe(m);
+    }
+  }
+  entry.total_ms = timer.elapsed_ns() / 1e6;
+  require(prevalence.size() == std::size_t(days),
+          "scenario produced the wrong number of figure-5 days");
+  entry.digest = store_digest(sim.measurements());
+  entry.observed = trainer.observed();
+  return entry;
+}
+
+ScenarioEntry run_scenario_pipelined(ScenarioConfig config, int days,
+                                     int threads, int window) {
+  config.simulation_threads = threads;
+  World world(config);
+  Simulation sim(world);
+  PipelineOptions options;
+  options.window = window;
+  options.threads = threads;
+  options.predictor = scenario_predictor();
+  ScenarioPipeline pipeline(sim, options);
+
+  ScenarioEntry entry;
+  entry.mode = "pipelined";
+  entry.threads = threads;
+  entry.window = window;
+  entry.days = days;
+  const WallTimer timer;
+  const PipelineResult result = pipeline.run_days(days);
+  entry.total_ms = timer.elapsed_ns() / 1e6;
+  require(result.prevalence.size() == std::size_t(days),
+          "pipeline produced the wrong number of figure-5 days");
+  entry.digest = store_digest(sim.measurements());
+  entry.observed = result.observed;
+  return entry;
+}
+
+std::vector<ScenarioEntry> run_scenario(const ScenarioConfig& config,
+                                        int days, bool smoke) {
+  std::vector<ScenarioEntry> out;
+  out.push_back(run_scenario_serial(config, days));
+  if (smoke) {
+    // CI's perf-smoke leg: one pipelined pass with overlap actually armed.
+    out.push_back(run_scenario_pipelined(config, days, 2, 2));
+  } else {
+    int counts[] = {1, 2, 4, default_thread_count()};
+    for (const int t : counts) {
+      bool seen = false;
+      for (const ScenarioEntry& e : out) {
+        seen = seen || (e.mode == "pipelined" && e.threads == t);
+      }
+      if (!seen) out.push_back(run_scenario_pipelined(config, days, t, 2));
+    }
+  }
+  for (const ScenarioEntry& e : out) {
+    require(e.digest == out.front().digest,
+            "pipelined scenario diverged from the serial composition");
+    require(e.observed == out.front().observed,
+            "pipelined trainer fold diverged from the serial composition");
+  }
+  return out;
+}
+
 void write_phase(std::FILE* f, const char* key, const PhaseResult& p,
                  bool last) {
   std::fprintf(f,
@@ -282,6 +418,14 @@ int main(int argc, char** argv) {
     results.push_back(run_scale("large", large, 2, 5));
   }
 
+  // --- End-to-end scenario: serial composition vs the pipelined day
+  // loop. Smoke runs the small world (and exercises the pipelined loop
+  // with threads=2, window=2 on every CI perf-smoke run); the full run
+  // sweeps thread counts at the large scale.
+  const int scenario_days = smoke ? 2 : 3;
+  const std::vector<ScenarioEntry> scenario =
+      run_scenario(smoke ? small : large, scenario_days, smoke);
+
   std::FILE* f = std::fopen("BENCH_pipeline.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_pipeline.json\n");
@@ -315,6 +459,22 @@ int main(int argc, char** argv) {
     std::fprintf(f, "   }%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"scenario\": {\n");
+  std::fprintf(f, "   \"days\": %d,\n", scenario_days);
+  std::fprintf(f, "   \"hardware_threads\": %d,\n", default_thread_count());
+  std::fprintf(f, "   \"runs\": [\n");
+  for (std::size_t i = 0; i < scenario.size(); ++i) {
+    const ScenarioEntry& e = scenario[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"threads\": %d, \"window\": %d, "
+                 "\"total_ms\": %.3f, \"ms_per_day\": %.3f, "
+                 "\"digest\": \"%016llx\"}%s\n",
+                 e.mode.c_str(), e.threads, e.window, e.total_ms,
+                 e.total_ms / double(e.days),
+                 static_cast<unsigned long long>(e.digest),
+                 i + 1 < scenario.size() ? "," : "");
+  }
+  std::fprintf(f, "   ]\n  },\n");
   std::fprintf(f, "  \"baseline_pre_refactor\": [\n");
   for (std::size_t i = 0; i < std::size(kBaseline); ++i) {
     const Baseline& b = kBaseline[i];
@@ -338,6 +498,11 @@ int main(int argc, char** argv) {
         r.sim.rows / std::size_t(r.sim.reps), r.join.ns_per_row(),
         r.join.rows_per_s(), r.join.rows, r.aggregate.ns_per_row(),
         r.aggregate.rows_per_s(), r.aggregate.rows);
+  }
+  for (const ScenarioEntry& e : scenario) {
+    std::printf("scenario %-9s threads=%d window=%d : %8.3f ms/day\n",
+                e.mode.c_str(), e.threads, e.window,
+                e.total_ms / double(e.days));
   }
   std::printf("peak RSS: %ld kB\nwrote BENCH_pipeline.json\n",
               peak_rss_kb());

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
+#include "common/cost_model.h"
 #include "common/error.h"
 #include "common/executor.h"
 #include "common/failpoint.h"
@@ -14,18 +16,12 @@ namespace acdn {
 
 namespace {
 
-/// Per-shard join-key columns, SoA: the uint64 sort key (DNS side:
-/// url_id; HTTP side: beacon id = url_id / 4) and the source log
-/// position. Positions are appended in ascending scan order, so a
-/// non-decreasing key column is already sorted by (key, pos) — and when
-/// it is not, the *stable* radix pair sort restores exactly that order
-/// without an explicit tie-breaker: the last entry of a url_id run stays
-/// the "last log row wins" winner the hash index produced, and a
-/// beacon's HTTP rows keep log order, which fixes the measurement's
-/// target order and metadata row.
-struct ShardKeys {
-  std::vector<std::uint64_t> key;
-  std::vector<std::uint32_t> pos;
+/// Per-shard merge tallies, folded into the join.* counters after the
+/// parallel region (one metric call per name instead of one per shard).
+struct ShardCounts {
+  std::size_t joined = 0;
+  std::size_t orphan_http = 0;
+  std::size_t distinct_urls = 0;
 };
 
 }  // namespace
@@ -152,21 +148,31 @@ bool MeasurementStore::join_presorted_day(
 void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
                             std::span<const HttpLogEntry> http_log,
                             int threads) {
-  // Sort-merge join, sharded by beacon id (url_id / 4): a beacon's DNS
-  // and HTTP rows always share a shard, so shards join independently.
-  // Within a shard both sides sort by deterministic total orders, the
-  // merge walks beacons in ascending id, and the shard outputs k-way
-  // merge back in ascending beacon id — so the stored order, and every
-  // downstream analysis, is identical for any shard or thread count and
-  // matches the hash join this replaced exactly.
+  // Sort-merge join over contiguous beacon-id ranges: both logs sort once
+  // globally (DNS by url_id, HTTP by beacon id = url_id / 4; positions
+  // break ties by log order), then split at beacon boundaries into shards
+  // that merge independently. A beacon's DNS and HTTP rows always fall in
+  // the same range, so shards join without communication, and because the
+  // ranges partition one global ascending order, concatenating shard
+  // outputs in shard order *is* the ascending-beacon-id sequence — the
+  // stored order, and every downstream analysis, is identical for any
+  // shard or thread count and matches the hash join this replaced.
   const PhaseSpan join_phase("join");
   metric_count("join.dns_rows", dns_log.size());
   metric_count("join.http_rows", http_log.size());
-  const auto shard_count =
-      static_cast<std::size_t>(std::clamp(threads, 1, 16));
 
   static const FailPoint store_fault("beacon/store");
   const bool faults_armed = fail_points_armed();
+
+  // Cost model: the shard count derives from the input size (one shard
+  // per kJoinMinRowsPerShard log rows), capped by the requested threads,
+  // the physical cores, and the historical 16-shard ceiling. Small
+  // batches — and any batch on a 1-core host — take the single-shard
+  // path below at every thread count, which is what keeps 4-thread joins
+  // from ever regressing past 1-thread (tools/perf_gate.sh pins this).
+  const std::size_t log_rows = dns_log.size() + http_log.size();
+  const auto shard_count = static_cast<std::size_t>(plan_parallelism(
+      log_rows, kJoinMinRowsPerShard, std::clamp(threads, 1, 16)));
 
   // Fast path — one shard, no armed faults, every HTTP row on one valid
   // day, both logs already sorted (the steady-state day loop): join
@@ -178,106 +184,132 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
     return;
   }
 
-  // Shard scratch persists across joins; steady-state day loops reuse the
-  // capacity grown on day one.
-  auto& dns_shards = scratch_.raw_buffer<ShardKeys>("join.dns");
-  auto& http_shards = scratch_.raw_buffer<ShardKeys>("join.http");
-  auto& out_shards = scratch_.raw_buffer<MeasurementColumns>("join.out");
-  if (dns_shards.size() < shard_count) dns_shards.resize(shard_count);
-  if (http_shards.size() < shard_count) http_shards.resize(shard_count);
+  // Full-log key/pos columns, SoA. Positions append in scan order, so a
+  // non-decreasing key column is already sorted by (key, pos) — and when
+  // it is not, the *stable* radix pair sort restores exactly that order
+  // without an explicit tie-breaker: the last entry of a url_id run stays
+  // the "last log row wins" winner the hash index produced, and a
+  // beacon's HTTP rows keep log order, which fixes the measurement's
+  // target order and metadata row. Leased (not plain buffers): these
+  // slots stay live across the nested radix/merge passes below.
+  auto dns_key = scratch_.lease<std::uint64_t>("join.dns_key");
+  auto dns_pos = scratch_.lease<std::uint32_t>("join.dns_pos");
+  auto http_key = scratch_.lease<std::uint64_t>("join.http_key");
+  auto http_pos = scratch_.lease<std::uint32_t>("join.http_pos");
+  dns_key->resize(dns_log.size());
+  dns_pos->resize(dns_log.size());
+  for (std::size_t i = 0; i < dns_log.size(); ++i) {
+    (*dns_key)[i] = dns_log[i].url_id;
+  }
+  std::iota(dns_pos->begin(), dns_pos->end(), 0u);
+  http_key->resize(http_log.size());
+  http_pos->resize(http_log.size());
+  for (std::size_t i = 0; i < http_log.size(); ++i) {
+    (*http_key)[i] = http_log[i].url_id / 4;
+  }
+  std::iota(http_pos->begin(), http_pos->end(), 0u);
+
+  // Day-loop logs arrive presorted (client-major, monotone beacon ids),
+  // so check — with the SIMD neighbor-compare kernel — before paying the
+  // sort.
+  if (!simd::is_sorted_u64(std::span<const std::uint64_t>(*dns_key))) {
+    radix_sort_pairs(std::span<std::uint64_t>(*dns_key),
+                     std::span<std::uint32_t>(*dns_pos), threads, &scratch_);
+  }
+  if (!simd::is_sorted_u64(std::span<const std::uint64_t>(*http_key))) {
+    radix_sort_pairs(std::span<std::uint64_t>(*http_key),
+                     std::span<std::uint32_t>(*http_pos), threads, &scratch_);
+  }
+
+  // Shard boundaries: equal slices of the HTTP side, advanced to beacon-
+  // run starts, with the DNS boundary at the first url of the boundary
+  // beacon. lower_bound splits only between distinct keys, so neither a
+  // beacon's HTTP run nor a url_id's DNS run ever straddles a shard —
+  // per-shard distinct-url counts sum to the global count. DNS-only
+  // batches (no HTTP rows) slice the DNS side instead so orphan counting
+  // still fans out.
+  auto http_bound = scratch_.lease<std::size_t>("join.http_bounds");
+  auto dns_bound = scratch_.lease<std::size_t>("join.dns_bounds");
+  http_bound->assign(shard_count + 1, 0);
+  dns_bound->assign(shard_count + 1, 0);
+  (*http_bound)[shard_count] = http_key->size();
+  (*dns_bound)[shard_count] = dns_key->size();
+  for (std::size_t s = 1; s < shard_count; ++s) {
+    if (!http_key->empty()) {
+      std::size_t cut = s * http_key->size() / shard_count;
+      while (cut > 0 && cut < http_key->size() &&
+             (*http_key)[cut] == (*http_key)[cut - 1]) {
+        ++cut;
+      }
+      cut = std::max(cut, (*http_bound)[s - 1]);
+      (*http_bound)[s] = cut;
+      (*dns_bound)[s] =
+          cut < http_key->size()
+              ? static_cast<std::size_t>(
+                    std::lower_bound(dns_key->begin(), dns_key->end(),
+                                     (*http_key)[cut] * 4) -
+                    dns_key->begin())
+              : dns_key->size();
+    } else {
+      std::size_t cut = s * dns_key->size() / shard_count;
+      while (cut > 0 && cut < dns_key->size() &&
+             (*dns_key)[cut] == (*dns_key)[cut - 1]) {
+        ++cut;
+      }
+      (*dns_bound)[s] = std::max(cut, (*dns_bound)[s - 1]);
+    }
+    (*dns_bound)[s] = std::max((*dns_bound)[s], (*dns_bound)[s - 1]);
+  }
+
+  // Shard outputs and tallies persist across joins; steady-state day
+  // loops reuse the capacity grown on day one.
+  auto out_lease = scratch_.lease_raw<MeasurementColumns>("join.out");
+  std::vector<MeasurementColumns>& out_shards = out_lease.get();
   if (out_shards.size() < shard_count) out_shards.resize(shard_count);
+  auto counts_lease = scratch_.lease<ShardCounts>("join.counts");
+  std::vector<ShardCounts>& counts = counts_lease.get();
+  counts.assign(shard_count, ShardCounts{});
 
   Executor::global().parallel_for(
       0, shard_count, threads, [&](std::size_t s) {
-        ShardKeys& dns = dns_shards[s];
-        ShardKeys& http = http_shards[s];
         MeasurementColumns& out = out_shards[s];
-        dns.key.clear();
-        dns.pos.clear();
-        http.key.clear();
-        http.pos.clear();
         out.clear();
-
-        if (shard_count == 1) {
-          // One shard takes everything: no per-row modulo (an integer
-          // division per log row otherwise).
-          dns.key.resize(dns_log.size());
-          dns.pos.resize(dns_log.size());
-          for (std::size_t i = 0; i < dns_log.size(); ++i) {
-            dns.key[i] = dns_log[i].url_id;
-          }
-          std::iota(dns.pos.begin(), dns.pos.end(), 0u);
-          http.key.resize(http_log.size());
-          http.pos.resize(http_log.size());
-          for (std::size_t i = 0; i < http_log.size(); ++i) {
-            http.key[i] = http_log[i].url_id / 4;
-          }
-          std::iota(http.pos.begin(), http.pos.end(), 0u);
-        } else {
-          for (std::size_t i = 0; i < dns_log.size(); ++i) {
-            if ((dns_log[i].url_id / 4) % shard_count != s) continue;
-            dns.key.push_back(dns_log[i].url_id);
-            dns.pos.push_back(static_cast<std::uint32_t>(i));
-          }
-          for (std::size_t i = 0; i < http_log.size(); ++i) {
-            const std::uint64_t beacon = http_log[i].url_id / 4;
-            if (beacon % shard_count != s) continue;
-            http.key.push_back(beacon);
-            http.pos.push_back(static_cast<std::uint32_t>(i));
-          }
-        }
-        // Day-loop logs arrive presorted (client-major, monotone beacon
-        // ids), so check — with the SIMD neighbor-compare kernel — before
-        // paying the sort. A non-decreasing key column is already sorted
-        // by (key, pos) because positions are appended ascending; when it
-        // is not, the stable radix pair sort restores exactly that order.
-        if (!simd::is_sorted_u64(
-                std::span<const std::uint64_t>(dns.key))) {
-          radix_sort_pairs(std::span<std::uint64_t>(dns.key),
-                           std::span<std::uint32_t>(dns.pos));
-        }
-        if (!simd::is_sorted_u64(
-                std::span<const std::uint64_t>(http.key))) {
-          radix_sort_pairs(std::span<std::uint64_t>(http.key),
-                           std::span<std::uint32_t>(http.pos));
-        }
+        ShardCounts& tally = counts[s];
+        const std::size_t h_lo = (*http_bound)[s];
+        const std::size_t h_hi = (*http_bound)[s + 1];
+        const std::size_t d_lo = (*dns_bound)[s];
+        const std::size_t d_hi = (*dns_bound)[s + 1];
 
         // Single merge pass: both sequences ascend in beacon id, so the
         // DNS cursor only ever moves forward. A beacon's DNS rows are the
         // run with url_id in [4*beacon, 4*beacon + 4).
-        std::size_t joined = 0;
-        std::size_t orphan_http = 0;
-        std::size_t d = 0;
-        for (std::size_t h = 0; h < http.key.size();) {
-          const std::uint64_t beacon = http.key[h];
+        std::size_t d = d_lo;
+        for (std::size_t h = h_lo; h < h_hi;) {
+          const std::uint64_t beacon = (*http_key)[h];
           std::size_t h_end = h;
-          while (h_end < http.key.size() && http.key[h_end] == beacon) {
-            ++h_end;
-          }
-          while (d < dns.key.size() && dns.key[d] < beacon * 4) {
-            ++d;
-          }
+          while (h_end < h_hi && (*http_key)[h_end] == beacon) ++h_end;
+          while (d < d_hi && (*dns_key)[d] < beacon * 4) ++d;
           std::size_t d_end = d;
-          while (d_end < dns.key.size() && dns.key[d_end] < beacon * 4 + 4) {
+          while (d_end < d_hi && (*dns_key)[d_end] < beacon * 4 + 4) {
             ++d_end;
           }
           bool opened = false;
           for (; h < h_end; ++h) {
-            const HttpLogEntry& row = http_log[http.pos[h]];
+            const HttpLogEntry& row = http_log[(*http_pos)[h]];
             // Last matching DNS row wins, as in the hash index. The run
             // holds at most a handful of rows (four fetches per beacon),
             // so the scan is cheaper than any per-row search structure.
             const DnsLogEntry* match = nullptr;
             for (std::size_t k = d; k < d_end; ++k) {
-              if (dns.key[k] == row.url_id) {
-                match = &dns_log[dns.pos[k]];
+              if ((*dns_key)[k] == row.url_id) {
+                match = &dns_log[(*dns_pos)[k]];
               }
             }
             if (match == nullptr) {
-              ++orphan_http;  // unjoined fetch: drop
+              ++tally.orphan_http;  // unjoined fetch: drop
               continue;
             }
-            ++joined;
+            ++tally.joined;
             if (!opened) {
               // First joined HTTP row fixes the measurement metadata.
               out.append_row(beacon, row.client, match->ldns, row.day,
@@ -289,33 +321,41 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
           d = d_end;
         }
 
-        std::size_t distinct_urls = 0;
-        for (std::size_t k = 0; k < dns.key.size(); ++k) {
-          if (k == 0 || dns.key[k] != dns.key[k - 1]) {
-            ++distinct_urls;
+        for (std::size_t k = d_lo; k < d_hi; ++k) {
+          if (k == d_lo || (*dns_key)[k] != (*dns_key)[k - 1]) {
+            ++tally.distinct_urls;
           }
         }
-        metric_count("join.orphan_http", orphan_http);
-        // URL ids are unique per fetch, so every joined HTTP row consumes
-        // a distinct DNS url; the remainder never matched.
-        metric_count("join.orphan_dns", distinct_urls - joined);
-        metric_count("join.measurements", out.size());
-        // Conservation ledger (chaos invariants): per join call,
-        //   http_rows    == joined_targets + orphan_http
-        //   distinct_dns == joined_targets + orphan_dns
-        //   joined_targets == stored_targets + dropped_targets
-        metric_count("join.joined_targets", joined);
-        metric_count("join.distinct_dns", distinct_urls);
       });
+
+  std::size_t joined = 0;
+  std::size_t orphan_http = 0;
+  std::size_t distinct_urls = 0;
+  std::size_t total_rows = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    joined += counts[s].joined;
+    orphan_http += counts[s].orphan_http;
+    distinct_urls += counts[s].distinct_urls;
+    total_rows += out_shards[s].size();
+  }
+  metric_count("join.orphan_http", orphan_http);
+  // URL ids are unique per fetch, so every joined HTTP row consumes a
+  // distinct DNS url; the remainder never matched.
+  metric_count("join.orphan_dns", distinct_urls - joined);
+  metric_count("join.measurements", total_rows);
+  // Conservation ledger (chaos invariants): per join call,
+  //   http_rows    == joined_targets + orphan_http
+  //   distinct_dns == joined_targets + orphan_dns
+  //   joined_targets == stored_targets + dropped_targets
+  metric_count("join.joined_targets", joined);
+  metric_count("join.distinct_dns", distinct_urls);
 
   // Reserve the target day's columns when the whole batch lands on one
   // day (the simulation's case — join is called once per day).
-  std::size_t total_rows = 0;
   std::size_t total_targets = 0;
   bool uniform_day = true;
   DayIndex batch_day = -1;
   for (std::size_t s = 0; s < shard_count; ++s) {
-    total_rows += out_shards[s].size();
     total_targets += out_shards[s].target_count();
     for (const DayIndex day : out_shards[s].day) {
       if (batch_day == -1) batch_day = day;
@@ -331,22 +371,17 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
                  dest.target_count() + total_targets);
   }
 
-  // k-way merge: shard outputs are each sorted by beacon id and beacon
-  // ids are globally unique, so repeatedly taking the smallest head
-  // appends rows in ascending beacon id — the order the old concat+sort
-  // produced.
-  // The "beacon/store" fail point models measurement ingestion failures:
-  // whole joined rows lost (drop/error) or RTTs mangled on the way to
-  // storage (delay/corrupt). It is evaluated here in the serial merge —
-  // keyed by (day, beacon id) — so drops hit the same beacons for any
-  // shard count, and the dropped/stored ledger stays exact.
-
-  // One shard, one day, no armed faults but out-of-order logs (the fast
-  // path declined): the merge is shard 0's order verbatim and no row can
-  // drop, so store the batch as one bulk column concat.
-  if (shard_count == 1 && !faults_armed && uniform_day) {
+  // One day, no armed faults: no row can drop and shard order is already
+  // ascending beacon id (contiguous ranges of one global order), so the
+  // fold is a bulk column concat per shard — the per-row append_from walk
+  // the thread-derived modulo sharding used to force is gone.
+  if (!faults_armed && uniform_day) {
     if (batch_day >= 0 && total_rows > 0) {
-      by_day_[static_cast<std::size_t>(batch_day)].append_all(out_shards[0]);
+      MeasurementColumns& dest =
+          by_day_[static_cast<std::size_t>(batch_day)];
+      for (std::size_t s = 0; s < shard_count; ++s) {
+        dest.append_all(out_shards[s]);
+      }
     }
     metric_count("join.stored_rows", total_rows);
     metric_count("join.stored_targets", total_targets);
@@ -354,55 +389,51 @@ void MeasurementStore::join(std::span<const DnsLogEntry> dns_log,
     metric_count("join.dropped_targets", 0);
     return;
   }
+
+  // Serial fold, rows in ascending beacon id (shard-major over contiguous
+  // ranges — exactly the order the old k-way merge produced).
+  // The "beacon/store" fail point models measurement ingestion failures:
+  // whole joined rows lost (drop/error) or RTTs mangled on the way to
+  // storage (delay/corrupt). It is evaluated here in the serial fold —
+  // keyed by (day, beacon id) — so drops hit the same beacons for any
+  // shard count, and the dropped/stored ledger stays exact.
   std::size_t stored_rows = 0;
   std::size_t stored_targets = 0;
   std::size_t dropped_rows = 0;
   std::size_t dropped_targets = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const MeasurementColumns& src = out_shards[s];
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const std::uint64_t beacon = src.beacon_id[i];
+      const DayIndex day = src.day[i];
+      require(day >= 0, "measurement day must be non-negative");
+      const std::size_t row_targets =
+          src.row_targets_end(i) - src.row_targets_begin(i);
 
-  auto& cursors = scratch_.buffer<std::size_t>("join.cursors");
-  cursors.assign(shard_count, 0);
-  for (;;) {
-    std::size_t best = shard_count;
-    std::uint64_t best_id = 0;
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      if (cursors[s] >= out_shards[s].size()) continue;
-      const std::uint64_t id = out_shards[s].beacon_id[cursors[s]];
-      if (best == shard_count || id < best_id) {
-        best = s;
-        best_id = id;
+      std::optional<Fault> fault;
+      if (faults_armed) fault = store_fault.fire(day, beacon);
+      if (fault && (fault->kind == FaultKind::kDrop ||
+                    fault->kind == FaultKind::kError)) {
+        ++dropped_rows;
+        dropped_targets += row_targets;
+        continue;
       }
-    }
-    if (best == shard_count) break;
-    const MeasurementColumns& src = out_shards[best];
-    const std::size_t i = cursors[best]++;
-    const DayIndex day = src.day[i];
-    require(day >= 0, "measurement day must be non-negative");
-    const std::size_t row_targets =
-        src.row_targets_end(i) - src.row_targets_begin(i);
 
-    std::optional<Fault> fault;
-    if (faults_armed) fault = store_fault.fire(day, best_id);
-    if (fault && (fault->kind == FaultKind::kDrop ||
-                  fault->kind == FaultKind::kError)) {
-      ++dropped_rows;
-      dropped_targets += row_targets;
-      continue;
-    }
-
-    if (static_cast<std::size_t>(day) >= by_day_.size()) {
-      by_day_.resize(static_cast<std::size_t>(day) + 1);
-    }
-    MeasurementColumns& dest = by_day_[static_cast<std::size_t>(day)];
-    dest.append_from(src, i);
-    ++stored_rows;
-    stored_targets += row_targets;
-    if (fault) {  // kDelay / kCorrupt: ingestion skews the stored RTTs
-      for (std::size_t t = dest.target_count() - row_targets;
-           t < dest.target_count(); ++t) {
-        if (fault->kind == FaultKind::kDelay) {
-          dest.target_rtt[t] += fault->magnitude;
-        } else {
-          dest.target_rtt[t] *= 1.0 + fault->magnitude;
+      if (static_cast<std::size_t>(day) >= by_day_.size()) {
+        by_day_.resize(static_cast<std::size_t>(day) + 1);
+      }
+      MeasurementColumns& dest = by_day_[static_cast<std::size_t>(day)];
+      dest.append_from(src, i);
+      ++stored_rows;
+      stored_targets += row_targets;
+      if (fault) {  // kDelay / kCorrupt: ingestion skews the stored RTTs
+        for (std::size_t t = dest.target_count() - row_targets;
+             t < dest.target_count(); ++t) {
+          if (fault->kind == FaultKind::kDelay) {
+            dest.target_rtt[t] += fault->magnitude;
+          } else {
+            dest.target_rtt[t] *= 1.0 + fault->magnitude;
+          }
         }
       }
     }
@@ -431,6 +462,25 @@ const MeasurementColumns& MeasurementStore::columns(DayIndex day) const {
 
 std::vector<BeaconMeasurement> MeasurementStore::by_day(DayIndex day) const {
   return columns(day).rows();
+}
+
+MeasurementColumns MeasurementStore::take_day(DayIndex day) {
+  if (day < 0 || static_cast<std::size_t>(day) >= by_day_.size()) return {};
+  return std::exchange(by_day_[static_cast<std::size_t>(day)],
+                       MeasurementColumns{});
+}
+
+void MeasurementStore::put_day(DayIndex day, MeasurementColumns&& columns) {
+  require(day >= 0, "measurement day must be non-negative");
+  if (static_cast<std::size_t>(day) >= by_day_.size()) {
+    by_day_.resize(static_cast<std::size_t>(day) + 1);
+  }
+  MeasurementColumns& dest = by_day_[static_cast<std::size_t>(day)];
+  if (dest.empty()) {
+    dest = std::move(columns);
+  } else {
+    dest.append_all(columns);
+  }
 }
 
 std::size_t MeasurementStore::total() const {

@@ -15,17 +15,22 @@ namespace acdn {
 
 class MeasurementStore {
  public:
-  /// Joins the two server-side logs on url_id with a sort-merge join:
-  /// each shard (beacon id % shard count, so a beacon's four fetches land
-  /// in one shard) sorts its DNS rows by (url_id, log position) and its
-  /// HTTP rows by (beacon id, log position), then merges the two sorted
-  /// sequences in one pass — duplicate DNS url_ids resolve to the last
-  /// log row, targets keep HTTP log order within a beacon, and rows
-  /// lacking a counterpart drop, exactly like the hash join this
-  /// replaces. Shard outputs merge back in ascending beacon id, so the
-  /// stored sequence is identical for any thread and shard count. Scratch
-  /// buffers (shard indexes and outputs) persist in an arena across
-  /// calls, so steady-state joins allocate almost nothing.
+  /// Joins the two server-side logs on url_id with a sort-merge join.
+  /// Both logs sort once globally — DNS by (url_id, log position), HTTP
+  /// by (beacon id, log position); day-loop logs arrive presorted and
+  /// skip the sort — then split into *contiguous* beacon-id ranges, one
+  /// per shard, that merge independently: duplicate DNS url_ids resolve
+  /// to the last log row, targets keep HTTP log order within a beacon,
+  /// and rows lacking a counterpart drop, exactly like the hash join
+  /// this replaced. Because shards are contiguous ranges of one global
+  /// order, concatenating their outputs in shard order *is* the
+  /// ascending-beacon-id sequence — no k-way merge — so the stored
+  /// sequence is identical for any thread and shard count. The shard
+  /// count derives from the input size (common/cost_model.h), never from
+  /// `threads` alone: small batches take the single-shard presorted fast
+  /// path at any thread count, which is what keeps N-thread joins from
+  /// ever running slower than 1-thread. Scratch buffers persist in an
+  /// arena across calls, so steady-state joins allocate almost nothing.
   void join(std::span<const DnsLogEntry> dns_log,
             std::span<const HttpLogEntry> http_log, int threads = 1);
 
@@ -38,6 +43,17 @@ class MeasurementStore {
 
   /// Materializes the day's measurements as row structs (export, tests).
   [[nodiscard]] std::vector<BeaconMeasurement> by_day(DayIndex day) const;
+
+  /// Moves one day's columns out of the store, leaving that day empty.
+  /// Out-of-range days return empty columns. The cross-day pipeline joins
+  /// each day into a slot-local store off the critical path, then
+  /// take_day/put_day the finished columns into the scenario store during
+  /// the in-order fold.
+  [[nodiscard]] MeasurementColumns take_day(DayIndex day);
+
+  /// Installs `columns` as day `day` (appending if the day already holds
+  /// rows — it never does in the pipeline, which folds each day once).
+  void put_day(DayIndex day, MeasurementColumns&& columns);
 
   [[nodiscard]] int days() const { return static_cast<int>(by_day_.size()); }
   [[nodiscard]] std::size_t total() const;

@@ -1,0 +1,70 @@
+// Parallelism cost model: when fanning out costs more than it saves.
+//
+// Every parallel primitive in the library is deterministic — results are
+// bit-identical for any thread count — so the *only* question a call site
+// has to answer is economic: does splitting this input across lanes beat
+// running it serially? The committed BENCH_pipeline.json answered "no"
+// for every stage at every scale we ship: the sharded join regressed
+// 16.83 → 60.81 ns/row from 1 to 4 threads because shard count was
+// derived from the thread count (each shard re-scanned the full log and
+// the fold paid a per-row k-way merge), and the chunk+merge-tree sorts
+// pay a full extra pass per merge level, which only amortizes on inputs
+// far larger than the per-day columns.
+//
+// The rules here fix that at the root:
+//   * lane counts derive from the input size (rows per lane floors,
+//     calibrated by bench_micro_substrate), never from the thread count;
+//   * the thread count and the physical core count only *cap* the lanes —
+//     asking for 4 threads on a small input, or on a 1-core host, takes
+//     the exact serial fast path 1 thread takes.
+// Consequently an N-thread run executes the same code path as a 1-thread
+// run everywhere parallelism cannot pay, which is what makes the
+// perf_gate scaling invariant ("4-thread ns/row never worse than
+// 1-thread") hold by construction.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/executor.h"
+
+namespace acdn {
+
+/// Minimum log rows (DNS + HTTP) per join shard. Below one full shard the
+/// sort-merge join runs single-sharded and hits the presorted
+/// straight-into-columns fast path; the staging copy only amortizes once
+/// a shard carries tens of thousands of rows (bench_micro_substrate's
+/// join-stage calibration: the per-shard fixed cost — staging columns,
+/// boundary search, fold — is ~1 ms paid back at ≈4 ns/row).
+inline constexpr std::size_t kJoinMinRowsPerShard = std::size_t{1} << 16;
+
+/// Minimum keys before the radix sort fans out. The parallel variant
+/// (chunk LSD sorts + pairwise stable merge tree) does up to one extra
+/// full pass per merge level, so it needs both real concurrency and a
+/// large input to win; the committed aggregate sweep (28.62 → 35.54
+/// ns/row at 287k rows) sat squarely below this crossover.
+inline constexpr std::size_t kRadixParallelMinKeys = std::size_t{1} << 20;
+
+/// Minimum elements before parallel_sort's chunk+merge tree fans out.
+/// std::inplace_merge re-touches every element per level, the same
+/// economics as the radix merge tree.
+inline constexpr std::size_t kSortParallelMinRows = std::size_t{1} << 20;
+
+/// Lane count for an `rows`-element input: the input size sets the lanes
+/// (one per `min_rows_per_lane` floor), the requested thread count and
+/// the physical core count cap them. Returns at least 1; a return of 1
+/// means "take the serial fast path".
+[[nodiscard]] inline int plan_parallelism(std::size_t rows,
+                                          std::size_t min_rows_per_lane,
+                                          int threads) {
+  if (threads <= 1 || rows < 2 * std::max<std::size_t>(1, min_rows_per_lane)) {
+    return 1;
+  }
+  const std::size_t by_size = rows / std::max<std::size_t>(1, min_rows_per_lane);
+  const std::size_t by_caller = static_cast<std::size_t>(threads);
+  const std::size_t by_hardware =
+      static_cast<std::size_t>(default_thread_count());
+  return static_cast<int>(std::min({by_size, by_caller, by_hardware}));
+}
+
+}  // namespace acdn

@@ -60,6 +60,46 @@ struct Executor::Task {
   std::size_t end = 0;
 };
 
+/// Heap twin of the stack Batch for asynchronous submission: the handle
+/// and the pool share ownership through the TaskHandle's shared_ptr (the
+/// pool side only ever holds the raw Batch* inside a queued Task, and the
+/// handle cannot release the State before pending hits zero — its
+/// destructor waits — so the Task's pointer never dangles).
+struct TaskHandle::State {
+  Executor::Batch batch;
+  Executor::ChunkFn fn;
+};
+
+TaskHandle::~TaskHandle() { wait_no_throw(); }
+
+TaskHandle& TaskHandle::operator=(TaskHandle&& other) noexcept {
+  if (this != &other) {
+    wait_no_throw();
+    state_ = std::move(other.state_);
+  }
+  return *this;
+}
+
+void TaskHandle::wait_no_throw() noexcept {
+  if (!state_) return;
+  Executor::Batch& batch = state_->batch;
+  MutexLock lk(batch.m);
+  while (batch.pending != 0) batch.done.wait(lk);
+}
+
+void TaskHandle::join() {
+  if (!state_) return;
+  const std::shared_ptr<State> state = std::move(state_);
+  Executor::Batch& batch = state->batch;
+  std::exception_ptr error;
+  {
+    MutexLock lk(batch.m);
+    while (batch.pending != 0) batch.done.wait(lk);
+    error = batch.error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 struct Executor::Worker {
   Mutex m;
   /// Holds only tasks this worker is allowed to run (stripe invariant).
@@ -194,6 +234,35 @@ void Executor::worker_main(std::size_t index) {
     while (!self.stop && self.tasks.empty()) self.wake.wait(lk);
     if (self.stop) return;
   }
+}
+
+TaskHandle Executor::submit(std::function<void()> fn) {
+  auto state = std::make_shared<TaskHandle::State>();
+  state->fn = [body = std::move(fn)](std::size_t, std::size_t, std::size_t) {
+    body();
+  };
+  Batch& batch = state->batch;
+  batch.fn = &state->fn;
+  {
+    // Not yet published; see run_chunked for why the lock stays anyway.
+    MutexLock lk(batch.m);
+    batch.pending = 1;
+  }
+  // Every worker may run (or steal) an async task — the stripe covers the
+  // whole pool. The submitting thread does not participate: the point of
+  // submit() is that the caller keeps doing other (serial) work.
+  batch.stripe_base = 0;
+  batch.stripe_size = workers_.size();
+  static std::atomic<std::size_t> rotor{0};
+  const std::size_t pool = workers_.size();
+  Worker& w = *workers_[rotor.fetch_add(1, std::memory_order_relaxed) % pool];
+  {
+    MutexLock lk(w.m);
+    w.tasks.push_back(Task{&batch, 0, 0, 1});
+    w.wake.notify_one();
+  }
+  metric_count("executor.async_tasks");
+  return TaskHandle(std::move(state));
 }
 
 void Executor::run_chunked(std::size_t begin, std::size_t end,

@@ -43,6 +43,41 @@ namespace acdn {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+class Executor;
+
+/// Handle to one asynchronously submitted task (Executor::submit). join()
+/// blocks until the task ran and rethrows its captured exception; the
+/// destructor blocks too (swallowing any error), so a handle can never
+/// outlive-race its task. Movable, not copyable; a default-constructed
+/// handle is empty and join() on it is a no-op.
+class TaskHandle {
+ public:
+  TaskHandle() = default;
+  ~TaskHandle();
+
+  TaskHandle(TaskHandle&& other) noexcept = default;
+  TaskHandle& operator=(TaskHandle&& other) noexcept;
+  TaskHandle(const TaskHandle&) = delete;
+  TaskHandle& operator=(const TaskHandle&) = delete;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the task finished, rethrows its exception (if any), and
+  /// leaves the handle empty.
+  void join();
+
+ private:
+  friend class Executor;
+  struct State;
+  explicit TaskHandle(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  /// Blocks until the task finished; never throws (errors stay captured).
+  void wait_no_throw() noexcept;
+
+  std::shared_ptr<State> state_;
+};
+
 class Executor {
  public:
   /// Spawns `threads` (at least 1) workers. The workers live until the
@@ -79,6 +114,16 @@ class Executor {
   /// until every chunk finished; rethrows the first captured exception.
   void run_chunked(std::size_t begin, std::size_t end, int parallelism,
                    std::size_t grain, const ChunkFn& fn);
+
+  /// Enqueues `fn` as one task on the pool and returns immediately — the
+  /// asynchronous sibling of the blocking calls above, used by the
+  /// cross-day pipeline to overlap day N's analysis with day N+1's
+  /// simulation. Any worker may run the task; the submitting thread never
+  /// does. The task body may itself submit nested blocking batches
+  /// (parallel_for from inside a task is safe — the executing worker
+  /// drains its own batch). Exceptions are captured and rethrown by
+  /// TaskHandle::join().
+  [[nodiscard]] TaskHandle submit(std::function<void()> fn);
 
   /// Invokes fn(i) for every i in [begin, end). fn must be safe to call
   /// concurrently for distinct i. Exceptions are captured and the first
@@ -119,6 +164,8 @@ class Executor {
   }
 
  private:
+  friend class TaskHandle;  // TaskHandle::State embeds a Batch
+
   struct Batch;
   struct Task;
   struct Worker;

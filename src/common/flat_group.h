@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/cost_model.h"
 #include "common/error.h"
 #include "common/executor.h"
 #include "common/simd.h"
@@ -39,7 +40,11 @@ inline constexpr std::size_t kSortGrain = 1 << 15;
 template <typename T, typename Less = std::less<T>>
 void parallel_sort(std::span<T> v, int threads, Less less = {}) {
   const Executor::ChunkPlan plan = Executor::plan_chunks(v.size(), kSortGrain);
-  if (plan.chunks <= 1) {
+  // Serial below the cost-model crossover: the merge tree re-touches
+  // every element per level, so a sub-crossover fan-out does strictly
+  // more work than one std::sort (common/cost_model.h).
+  if (plan.chunks <= 1 ||
+      plan_parallelism(v.size(), kSortParallelMinRows, threads) <= 1) {
     std::sort(v.begin(), v.end(), less);
     return;
   }

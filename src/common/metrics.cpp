@@ -240,13 +240,25 @@ PhaseSpan::PhaseSpan(std::string_view name) : active_(metrics_enabled()) {
   start_ = std::chrono::steady_clock::now();
 }
 
+PhaseSpan::PhaseSpan(std::string_view name, RootTag)
+    : active_(metrics_enabled()), root_(true) {
+  if (!active_) return;
+  saved_path_ = std::move(t_phase_path);
+  t_phase_path.assign(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
 PhaseSpan::~PhaseSpan() {
   if (!active_) return;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
   MetricsRegistry::global().record_phase(
       t_phase_path,
       std::chrono::duration<double, std::milli>(elapsed).count());
-  t_phase_path.resize(parent_length_);
+  if (root_) {
+    t_phase_path = std::move(saved_path_);
+  } else {
+    t_phase_path.resize(parent_length_);
+  }
 }
 
 std::string PhaseSpan::current_path() { return t_phase_path; }

@@ -179,9 +179,22 @@ class ScopedTimer {
 /// live records under "outer/inner". The enabled decision is latched at
 /// construction so a span closes consistently even if the flag flips
 /// mid-scope.
+///
+/// The kRoot form starts a fresh path instead of nesting: whatever path
+/// the thread carried is saved and restored when the span closes, and the
+/// span's children record under "name/child" regardless of where the
+/// scope runs. The cross-day pipeline opens its per-day analysis scope
+/// this way — the same analysis may run inline on the driver thread (mid
+/// day loop) or asynchronously on a pool worker, and without the root tag
+/// those two placements would record under different (and, with
+/// overlapping days, interleaved) nested paths.
 class PhaseSpan {
  public:
+  struct RootTag {};
+  static constexpr RootTag kRoot{};
+
   explicit PhaseSpan(std::string_view name);
+  PhaseSpan(std::string_view name, RootTag);
   ~PhaseSpan();
 
   PhaseSpan(const PhaseSpan&) = delete;
@@ -192,7 +205,10 @@ class PhaseSpan {
 
  private:
   bool active_;
+  bool root_ = false;
   std::size_t parent_length_ = 0;
+  /// Saved thread path, root spans only (restored on close).
+  std::string saved_path_;
   std::chrono::steady_clock::time_point start_{};
 };
 

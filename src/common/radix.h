@@ -27,6 +27,7 @@
 
 #include "common/arena.h"
 #include "common/check.h"
+#include "common/cost_model.h"
 #include "common/executor.h"
 #include "common/flat_group.h"
 
@@ -136,15 +137,18 @@ void merge_adjacent(std::uint64_t* keys, V* vals, std::size_t lo,
   }
 }
 
-/// Shared driver: serial when one chunk or one thread, otherwise the
-/// fixed chunk plan + pairwise merge tree. Stability makes both paths
-/// produce the unique stable permutation, so the choice is invisible.
+/// Shared driver: serial below the cost-model crossover (the merge tree
+/// re-touches every element per level, so fanning out a sub-crossover
+/// input does strictly more work), otherwise the fixed chunk plan +
+/// pairwise merge tree. Stability makes both paths produce the unique
+/// stable permutation, so the choice is invisible.
 template <typename V>
 void sort_impl(std::span<std::uint64_t> keys, V* vals, int threads,
                std::uint64_t* tmp_keys, V* tmp_vals) {
   const std::size_t n = keys.size();
   const Executor::ChunkPlan plan = Executor::plan_chunks(n, kSortGrain);
-  if (plan.chunks <= 1 || threads <= 1) {
+  if (plan.chunks <= 1 ||
+      plan_parallelism(n, kRadixParallelMinKeys, threads) <= 1) {
     lsd_sort(keys.data(), vals, n, tmp_keys, tmp_vals);
     return;
   }

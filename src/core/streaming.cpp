@@ -29,6 +29,28 @@ void StreamingTrainer::observe(const BeaconMeasurement& measurement) {
   ++observed_;
 }
 
+void StreamingTrainer::observe_all(const MeasurementColumns& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const std::uint32_t group = config_.grouping == Grouping::kEcsPrefix
+                                    ? columns.client[i].value
+                                    : columns.ldns[i].value;
+    for (std::size_t t = columns.row_targets_begin(i);
+         t < columns.row_targets_end(i); ++t) {
+      const bool anycast = columns.target_anycast[t] != 0;
+      const std::uint64_t key =
+          pack(group, anycast, FrontEndId(columns.target_front_end[t]));
+      auto it = states_.find(key);
+      if (it == states_.end()) {
+        it = states_
+                 .emplace(key, P2Quantile(metric_quantile(config_.metric)))
+                 .first;
+      }
+      it->second.add(columns.target_rtt[t]);
+    }
+    ++observed_;
+  }
+}
+
 FlatMap<std::uint32_t, Prediction> StreamingTrainer::snapshot() const {
   // Regroup the flat state map by group, then apply the batch trainer's
   // selection rule. Keys are visited in sorted order — by the pack()

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "beacon/columns.h"
 #include "beacon/measurement.h"
 #include "common/check.h"
 #include "common/error.h"
@@ -27,6 +28,13 @@ class StreamingTrainer {
 
   /// Folds one joined beacon measurement into the running estimates.
   void observe(const BeaconMeasurement& measurement);
+
+  /// Columnar fold: observes every row of `columns` in row order — the
+  /// same adds in the same order (and the same observed() count) as
+  /// calling observe() on each materialized row, without the per-row
+  /// struct and vector<Target> allocation. The cross-day pipeline's
+  /// in-order fold streams day columns through this form.
+  void observe_all(const MeasurementColumns& columns);
 
   /// Prediction map from the current estimates — same shape and selection
   /// rule as HistoryPredictor (metric minimum among targets that meet the

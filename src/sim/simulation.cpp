@@ -63,6 +63,26 @@ void Simulation::run_days(int n) {
 DayStats Simulation::run_day() {
   const PhaseSpan day_phase("sim.day");
   const ScopedTimer day_timer("sim.day_ms");
+  std::vector<DnsLogEntry>& dns_log =
+      scratch_.buffer<DnsLogEntry>("sim.dns_log");
+  std::vector<HttpLogEntry>& http_log =
+      scratch_.buffer<HttpLogEntry>("sim.http_log");
+  const DayStats stats = kernel_into(dns_log, http_log);
+  measurements_.join(dns_log, http_log, world_->config().simulation_threads);
+  return stats;
+}
+
+DayStats Simulation::run_day_kernel(std::vector<DnsLogEntry>& dns_log,
+                                    std::vector<HttpLogEntry>& http_log) {
+  const PhaseSpan day_phase("sim.day");
+  const ScopedTimer day_timer("sim.day_ms");
+  dns_log.clear();
+  http_log.clear();
+  return kernel_into(dns_log, http_log);
+}
+
+DayStats Simulation::kernel_into(std::vector<DnsLogEntry>& dns_log,
+                                 std::vector<HttpLogEntry>& http_log) {
   const DayIndex day = next_day_++;
   World& w = *world_;
   // Advance dynamics and resolve every routing unit's route once: the
@@ -72,11 +92,14 @@ DayStats Simulation::run_day() {
 
   const QuerySchedule& schedule = w.schedule();
   const auto clients = w.clients().clients();
-  // Per-client outputs come from the arena: raw_buffer keeps each slot's
-  // nested vector capacity across days, so only day 0 pays allocation.
-  // Reset the slots we are about to use in place instead of clear()ing.
-  std::vector<ClientDayOutput>& outputs =
-      scratch_.raw_buffer<ClientDayOutput>("sim.outputs");
+  // Per-client outputs come from the arena: the raw lease keeps each
+  // slot's nested vector capacity across days, so only day 0 pays
+  // allocation — and the lease guard catches any overlapping acquisition
+  // (two kernels can never share this arena). Reset the slots we are
+  // about to use in place instead of clear()ing.
+  auto outputs_lease =
+      scratch_.lease_raw<ClientDayOutput>("sim.outputs");
+  std::vector<ClientDayOutput>& outputs = outputs_lease.get();
   if (outputs.size() < clients.size()) outputs.resize(clients.size());
   for (std::size_t i = 0; i < clients.size(); ++i) {
     outputs[i].active = false;
@@ -139,11 +162,8 @@ DayStats Simulation::run_day() {
   }  // close the "clients" phase before merging and joining
 
   // Merge in client order: byte-identical output for any thread count.
-  // The merged vectors are arena-backed and sized in one pass up front.
-  std::vector<DnsLogEntry>& dns_log =
-      scratch_.buffer<DnsLogEntry>("sim.dns_log");
-  std::vector<HttpLogEntry>& http_log =
-      scratch_.buffer<HttpLogEntry>("sim.http_log");
+  // The merged vectors (arena-backed in run_day, slot-owned under the
+  // pipeline) are sized in one pass up front.
   {
     std::size_t dns_total = 0;
     std::size_t http_total = 0;
@@ -175,7 +195,6 @@ DayStats Simulation::run_day() {
   metric_count("sim.clients_active", clients_active);
   metric_count("sim.clients_flapping", stats.clients_flapping);
 
-  measurements_.join(dns_log, http_log, w.config().simulation_threads);
   Log(LogLevel::kInfo) << "day " << day << " ("
                        << to_string(w.calendar().weekday(day)) << "): "
                        << stats.beacons << " beacons, "

@@ -30,13 +30,29 @@ class Simulation {
   /// Runs days [next_day, next_day + n). Days must be run in order.
   void run_days(int n);
 
-  /// Runs exactly one day and returns its stats.
+  /// Runs exactly one day — kernel plus join — and returns its stats.
   DayStats run_day();
+
+  /// The day's *sequential kernel* only: advances RouteDynamics, runs the
+  /// client fan-out and beacon executions, merges per-client outputs (in
+  /// client order) into `dns_log`/`http_log` (cleared first), and feeds
+  /// the passive log — everything that must stay serial across days
+  /// because the route dynamics and RNG streams advance day-by-day. It
+  /// does NOT join the logs into the measurement store; the cross-day
+  /// pipeline (sim/pipeline.h) runs that analysis tail off this thread
+  /// while the next day's kernel executes. run_day() == run_day_kernel()
+  /// + measurements().join(...), byte for byte.
+  DayStats run_day_kernel(std::vector<DnsLogEntry>& dns_log,
+                          std::vector<HttpLogEntry>& http_log);
 
   [[nodiscard]] DayIndex next_day() const { return next_day_; }
   [[nodiscard]] const MeasurementStore& measurements() const {
     return measurements_;
   }
+  /// Mutable store access for the pipeline driver, which joins each day
+  /// into a slot-local store and folds the columns back here in day
+  /// order (MeasurementStore::put_day).
+  [[nodiscard]] MeasurementStore& measurements_mut() { return measurements_; }
   [[nodiscard]] const PassiveLog& passive() const { return passive_; }
   [[nodiscard]] World& world() { return *world_; }
 
@@ -48,6 +64,11 @@ class Simulation {
   }
 
  private:
+  /// Shared kernel body: prepare_day, client fan-out, client-order merge
+  /// into the given (cleared) log vectors, passive fold, sim.* metrics.
+  DayStats kernel_into(std::vector<DnsLogEntry>& dns_log,
+                       std::vector<HttpLogEntry>& http_log);
+
   World* world_;
   DayIndex next_day_ = 0;
   MeasurementStore measurements_;

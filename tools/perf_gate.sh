@@ -19,6 +19,16 @@
 # their smoke rep counts are small, so their variance is higher.
 # Override the base tolerance via argument 3 (join/aggregate run at 2x
 # the base) or skip entirely with ACDN_PERF_GATE=off.
+#
+# Scaling gate: the same invocation also checks the large-scale thread
+# sweep — for each deterministic stage (join, aggregate), ns/row at 4
+# threads must not exceed ns/row at 1 thread by more than 10%. This is
+# the cost-model contract (common/cost_model.h): shard counts derive from
+# input size, so asking for more threads than the work supports falls
+# back to the serial path instead of paying fan-out overhead. The smoke
+# candidate only runs the small scale, so the sweep is read from
+# whichever input file carries it (the candidate when it is a full run,
+# else the committed reference — deterministic at gate time either way).
 set -euo pipefail
 
 smoke_json="${1:?usage: perf_gate.sh <smoke_json> [reference_json] [tolerance_pct]}"
@@ -82,6 +92,61 @@ gate_phase() {
 gate_phase sim "$tolerance_pct"
 gate_phase join "$((tolerance_pct * 2))"
 gate_phase aggregate "$((tolerance_pct * 2))"
+
+# `"<key>": <value>` from the large-scale thread_sweep entry with the
+# given thread count. Sweep lines are the only place join_ns_per_row /
+# aggregate_ns_per_row appear, so the scale-header "threads" line cannot
+# satisfy both patterns.
+extract_sweep_ns() {
+  awk -v want="\"threads\": $2," -v key="\"$3\": " '
+    /"name": "large"/ { in_large = 1 }
+    in_large && /"name":/ && !/"name": "large"/ { in_large = 0 }
+    in_large && index($0, want) && index($0, key) {
+      if (match($0, key "[0-9.]+")) {
+        print substr($0, RSTART + length(key), RLENGTH - length(key))
+        exit
+      }
+    }
+  ' "$1"
+}
+
+scale_file=""
+for f in "$smoke_json" "$reference_json"; do
+  if [[ -n "$(extract_sweep_ns "$f" 1 join_ns_per_row)" ]]; then
+    scale_file="$f"
+    break
+  fi
+done
+if [[ -z "$scale_file" ]]; then
+  echo "perf_gate: no large-scale thread_sweep in either input" >&2
+  exit 2
+fi
+
+gate_scaling() {
+  local key="$1"
+  local one_ns four_ns
+  one_ns="$(extract_sweep_ns "$scale_file" 1 "$key")"
+  four_ns="$(extract_sweep_ns "$scale_file" 4 "$key")"
+  if [[ -z "$one_ns" || -z "$four_ns" ]]; then
+    echo "perf_gate: could not extract large-scale $key sweep from $scale_file" >&2
+    exit 2
+  fi
+  awk -v key="$key" -v one="$one_ns" -v four="$four_ns" '
+    BEGIN {
+      limit = one * 1.10
+      printf "perf_gate: %-24s 1t=%.2f 4t=%.2f limit=%.2f (+10%%)\n", \
+             key, one, four, limit
+      if (four > limit) {
+        printf "perf_gate: FAIL — %s at 4 threads is %.1f%% over 1 thread (> 10%%)\n", \
+               key, (four / one - 1) * 100
+        exit 1
+      }
+    }
+  ' || status=1
+}
+
+gate_scaling join_ns_per_row
+gate_scaling aggregate_ns_per_row
 
 if [[ "$status" -ne 0 ]]; then
   exit 1
